@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// One benchmark per table and figure in the paper. Each iteration
+// regenerates the table/figure/measurement end to end (building guest
+// images, booting machines, running workloads), so ns/op is the cost of
+// reproducing that piece of the evaluation; the correctness of each
+// reproduction is asserted by internal/exp's tests.
+
+func benchExperiment(b *testing.B, id string) {
+	spec, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.PaperClaim != "" && !r.Match {
+			b.Fatalf("%s: shape does not hold: %s", id, r.Measured)
+		}
+	}
+}
+
+// Table 1: sensitive data touched by unprivileged instructions.
+func BenchmarkTable1SensitiveData(b *testing.B) { benchExperiment(b, "T1") }
+
+// Table 2: PROBE versus PROBEVM.
+func BenchmarkTable2ProbeVsProbeVM(b *testing.B) { benchExperiment(b, "T2") }
+
+// Table 3: solutions for sensitive data.
+func BenchmarkTable3Solutions(b *testing.B) { benchExperiment(b, "T3") }
+
+// Table 4: summary of VAX architecture changes.
+func BenchmarkTable4ChangeMatrix(b *testing.B) { benchExperiment(b, "T4") }
+
+// Figure 1: the VAX virtual address space.
+func BenchmarkFigure1AddressSpace(b *testing.B) { benchExperiment(b, "F1") }
+
+// Figure 2: VM and VMM shared address space.
+func BenchmarkFigure2SharedSpace(b *testing.B) { benchExperiment(b, "F2") }
+
+// Figure 3: ring compression.
+func BenchmarkFigure3RingCompression(b *testing.B) { benchExperiment(b, "F3") }
+
+// Section 7.3: the 47-48% mixed workload result.
+func BenchmarkE1MixedWorkload(b *testing.B) { benchExperiment(b, "E1") }
+
+// Section 7.2: the ~80% shadow-fill reduction.
+func BenchmarkE2ShadowCache(b *testing.B) { benchExperiment(b, "E2") }
+
+// Section 4.3.1: fills per context switch and the prefetch ablation.
+func BenchmarkE3FaultsPerSwitch(b *testing.B) { benchExperiment(b, "E3") }
+
+// Section 7.3: MTPR-to-IPL 10-12x emulation cost.
+func BenchmarkE4MtprIPL(b *testing.B) { benchExperiment(b, "E4") }
+
+// Section 4.4.3: start-I/O versus emulated memory-mapped I/O.
+func BenchmarkE5IOTraps(b *testing.B) { benchExperiment(b, "E5") }
+
+// Section 2/5: the efficiency property.
+func BenchmarkE6Efficiency(b *testing.B) { benchExperiment(b, "E6") }
+
+// Section 7.1: ring virtualization schemes.
+func BenchmarkE7RingSchemes(b *testing.B) { benchExperiment(b, "E7") }
+
+// Section 4.4.2: the modify fault versus the rejected read-only-shadow
+// design.
+func BenchmarkE8ModifyFaultAblation(b *testing.B) { benchExperiment(b, "E8") }
+
+// Methodology: conclusions are stable under cost-model perturbation.
+func BenchmarkE9CostSensitivity(b *testing.B) { benchExperiment(b, "E9") }

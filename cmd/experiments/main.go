@@ -1,0 +1,93 @@
+// Command experiments regenerates every table and figure of the paper
+// and every quantitative claim of its evaluation, printing paper-versus-
+// measured comparisons.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run E4    # run one experiment
+//	experiments -list      # list experiment IDs
+//	experiments -md        # emit Markdown (the body of EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment by ID (e.g. T1, F2, E4)")
+	list := flag.Bool("list", false, "list experiments")
+	md := flag.Bool("md", false, "emit Markdown")
+	flag.Parse()
+
+	if *list {
+		for _, s := range exp.All() {
+			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	specs := exp.All()
+	if *runID != "" {
+		s, ok := exp.ByID(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *runID)
+			os.Exit(2)
+		}
+		specs = []exp.Spec{s}
+	}
+
+	failed := 0
+	for _, s := range specs {
+		r, err := s.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+			failed++
+			continue
+		}
+		if *md {
+			printMarkdown(r)
+		} else {
+			fmt.Println(r.Format())
+		}
+		if r.PaperClaim != "" && !r.Match {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+func printMarkdown(r *exp.Result) {
+	fmt.Printf("## %s — %s\n\n", r.ID, r.Title)
+	if len(r.Headers) > 0 {
+		fmt.Printf("| %s |\n", strings.Join(r.Headers, " | "))
+		sep := make([]string, len(r.Headers))
+		for i := range sep {
+			sep[i] = "---"
+		}
+		fmt.Printf("| %s |\n", strings.Join(sep, " | "))
+		for _, row := range r.Rows {
+			fmt.Printf("| %s |\n", strings.Join(row, " | "))
+		}
+		fmt.Println()
+	}
+	for _, n := range r.Notes {
+		fmt.Printf("- _%s_\n", n)
+	}
+	if r.PaperClaim != "" {
+		status := "**holds**"
+		if !r.Match {
+			status = "**does not hold**"
+		}
+		fmt.Printf("\n- paper: %s\n- measured: %s — shape %s\n", r.PaperClaim, r.Measured, status)
+	}
+	fmt.Println()
+}

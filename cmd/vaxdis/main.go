@@ -1,0 +1,77 @@
+// Command vaxdis disassembles VAX machine code: hex bytes given as
+// arguments or assembly of a MiniOS kernel for inspection.
+//
+// Usage:
+//
+//	vaxdis d0 01 50              # disassemble hex bytes
+//	vaxdis -kernel               # disassemble the generated MiniOS kernel
+//	echo 'movl #5, r0' | vaxdis -assemble   # assemble then disassemble
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/vmos"
+	"repro/internal/workload"
+)
+
+func main() {
+	kernel := flag.Bool("kernel", false, "disassemble the generated MiniOS kernel")
+	assemble := flag.Bool("assemble", false, "read assembly from stdin, assemble, and disassemble")
+	base := flag.Uint64("base", 0, "load address for the disassembly")
+	flag.Parse()
+
+	switch {
+	case *kernel:
+		im, err := vmos.Build(vmos.Config{
+			Target:    vmos.TargetVM,
+			Processes: []vmos.Process{workload.Compute(10)},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, line := range asm.DisassembleAll(im.Kernel.Code, im.Kernel.Origin) {
+			fmt.Println(line)
+		}
+	case *assemble:
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog, err := asm.Assemble(string(src), uint32(*base))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, line := range asm.DisassembleAll(prog.Code, prog.Origin) {
+			fmt.Println(line)
+		}
+	default:
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: vaxdis <hex bytes> | -kernel | -assemble")
+			os.Exit(2)
+		}
+		var code []byte
+		for _, arg := range flag.Args() {
+			for _, tok := range strings.Fields(strings.ReplaceAll(arg, ",", " ")) {
+				v, err := strconv.ParseUint(strings.TrimPrefix(tok, "0x"), 16, 8)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad byte %q: %v\n", tok, err)
+					os.Exit(2)
+				}
+				code = append(code, byte(v))
+			}
+		}
+		for _, line := range asm.DisassembleAll(code, uint32(*base)) {
+			fmt.Println(line)
+		}
+	}
+}

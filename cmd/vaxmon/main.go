@@ -1,0 +1,97 @@
+// Command vaxmon is an interactive monitor (debugger) for the simulated
+// VAX: it boots MiniOS — bare or inside a VM — and drops into a command
+// loop with stepping, breakpoints, disassembly and memory inspection.
+//
+// Usage:
+//
+//	vaxmon                  # MiniOS on a bare standard VAX
+//	vaxmon -vm              # MiniOS in a virtual machine under the VMM
+//	vaxmon -workload tp
+//
+// Try: help, dis, step 20, break chmk_h, continue, regs, stat.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/monitor"
+	"repro/internal/vmos"
+	"repro/internal/workload"
+)
+
+func main() {
+	inVM := flag.Bool("vm", false, "run MiniOS inside a virtual machine")
+	wl := flag.String("workload", "mix", "workload: mix, compute, syscall, tp, paging")
+	flag.Parse()
+
+	var procs []vmos.Process
+	switch *wl {
+	case "mix":
+		procs = workload.Mix(5, 3, 8)
+	case "compute":
+		procs = []vmos.Process{workload.Compute(1000)}
+	case "syscall":
+		procs = []vmos.Process{workload.Syscall(100)}
+	case "tp":
+		procs = []vmos.Process{workload.TP(5, 8)}
+	case "paging":
+		procs = []vmos.Process{workload.PageStress(5, true)}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	target := vmos.TargetBare
+	if *inVM {
+		target = vmos.TargetVM
+	}
+	im, err := vmos.Build(vmos.Config{Target: target, Processes: procs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var mon *monitor.Monitor
+	if *inVM {
+		k := core.New(16<<20, core.Config{})
+		if _, err := vmos.BootVM(k, im, 16); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		k.Run(1) // enter the VM so PC/PSL show guest state
+		mon = monitor.New(k.CPU)
+	} else {
+		ma, err := vmos.BootBare(im, cpu.StandardVAX, 16)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mon = monitor.New(ma.CPU)
+	}
+	mon.Symbols = im.Kernel.Symbols
+
+	fmt.Printf("MiniOS monitor — %s, %d process(es). Type help.\n", target, len(procs))
+	fmt.Println(must(mon, "dis"))
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("vax> ")
+	for in.Scan() {
+		out, quit := mon.Execute(in.Text())
+		if quit {
+			return
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+		fmt.Print("vax> ")
+	}
+}
+
+func must(m *monitor.Monitor, cmd string) string {
+	out, _ := m.Execute(cmd)
+	return out
+}

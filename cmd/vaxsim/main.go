@@ -1,0 +1,102 @@
+// Command vaxsim boots MiniOS on a bare simulated VAX (standard or
+// modified architecture) and runs a chosen workload to completion,
+// printing the console output and machine statistics.
+//
+// Usage:
+//
+//	vaxsim [-variant standard|modified] [-workload mix|compute|syscall|tp|paging] [-procs N] [-preempt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/vmos"
+	"repro/internal/workload"
+)
+
+// buildProcesses maps a workload name to a process set.
+func buildProcesses(name string, procs int) ([]vmos.Process, error) {
+	if procs < 1 {
+		procs = 1
+	}
+	out := make([]vmos.Process, 0, procs)
+	for i := 0; i < procs; i++ {
+		switch name {
+		case "mix":
+			return workload.Mix(25, 12, 16), nil
+		case "compute":
+			out = append(out, workload.Compute(5000))
+		case "syscall":
+			out = append(out, workload.Syscall(500))
+		case "tp":
+			out = append(out, workload.TP(10, 16))
+		case "paging":
+			out = append(out, workload.PageStress(10, true))
+		case "calls":
+			out = append(out, workload.CallHeavy(50, 8))
+		default:
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	variant := flag.String("variant", "standard", "processor variant: standard or modified")
+	wl := flag.String("workload", "mix", "workload: mix, compute, syscall, tp, paging, calls")
+	procs := flag.Int("procs", 2, "number of processes (ignored for mix)")
+	preempt := flag.Bool("preempt", true, "preemptive scheduling")
+	maxSteps := flag.Uint64("max-steps", 500_000_000, "step budget")
+	flag.Parse()
+
+	v := cpu.StandardVAX
+	switch *variant {
+	case "standard":
+	case "modified":
+		v = cpu.ModifiedVAX
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	ps, err := buildProcesses(*wl, *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	im, err := vmos.Build(vmos.Config{Target: vmos.TargetBare, Processes: ps, Preempt: *preempt})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ma, err := vmos.BootBare(im, v, 64)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i := range ma.Disk.Image() {
+		ma.Disk.Image()[i] = byte(i)
+	}
+	if !ma.Run(*maxSteps) {
+		fmt.Fprintf(os.Stderr, "did not halt within %d steps (pc=%#x)\n", *maxSteps, ma.CPU.PC())
+		os.Exit(1)
+	}
+
+	fmt.Printf("MiniOS on the %s completed.\n\n", v)
+	if out := ma.Console.Output(); out != "" {
+		fmt.Printf("console: %q\n", out)
+	}
+	fmt.Printf("cycles:            %d\n", ma.CPU.Cycles)
+	fmt.Printf("instructions:      %d\n", ma.CPU.Stats.Instructions)
+	fmt.Printf("system calls:      %d\n", ma.ReadCell("syscalls"))
+	fmt.Printf("context switches:  %d\n", ma.ReadCell("switches"))
+	fmt.Printf("page faults:       %d\n", ma.ReadCell("faults"))
+	fmt.Printf("disk operations:   %d\n", ma.ReadCell("ioops"))
+	fmt.Printf("clock ticks:       %d\n", ma.ReadCell("ticks"))
+	fmt.Printf("exceptions:        %d (interrupts %d)\n",
+		ma.CPU.Stats.Exceptions, ma.CPU.Stats.Interrupts)
+	fmt.Printf("TLB hits/misses:   %d/%d\n", ma.CPU.MMU.Stats.TLBHits, ma.CPU.MMU.Stats.TLBMisses)
+}

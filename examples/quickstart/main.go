@@ -1,0 +1,91 @@
+// Quickstart: assemble a small guest kernel from scratch, run it first
+// on a bare standard VAX, then inside a virtual machine under the
+// ring-compression VMM — and see the same program behave identically
+// while every sensitive instruction is being emulated.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The guest: a pre-mapped kernel that computes 10! in a loop, writes it
+// to memory, reads its own access mode with MOVPSL, and halts. It is
+// assembled at the VAX system-space base.
+const guestSource = `
+start:	movl #1, r2
+	movl #10, r3
+fact:	mull2 r3, r2
+	sobgtr r3, fact
+	movl r2, @#0x80004000  ; publish the result
+	movpsl r4              ; what mode do we think we are in?
+	halt
+`
+
+const (
+	sptPhys = 0x200 // guest system page table (identity map)
+	nPages  = 64
+	memSize = 64 * 1024
+)
+
+// buildImage assembles the guest and builds a VM-physical memory image
+// with an identity-mapped system page table.
+func buildImage() ([]byte, *repro.Program, error) {
+	prog, err := repro.Assemble(guestSource, 0x80001000)
+	if err != nil {
+		return nil, nil, err
+	}
+	img := make([]byte, memSize)
+	for i := uint32(0); i < nPages; i++ {
+		pte := uint32(1)<<31 | uint32(4)<<27 | uint32(1)<<26 | i // valid | UW | modified | pfn
+		binary.LittleEndian.PutUint32(img[sptPhys+4*i:], pte)
+	}
+	copy(img[0x1000:], prog.Code)
+	return img, prog, nil
+}
+
+func main() {
+	img, prog, err := buildImage()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Run inside a virtual machine. ---
+	k := repro.NewVMM(8<<20, repro.Config{})
+	vm, err := k.CreateVM(repro.VMConfig{
+		Name:      "quickstart",
+		MemBytes:  memSize,
+		Image:     img,
+		StartPC:   prog.MustSymbol("start"),
+		PreMapped: true,
+		SBR:       sptPhys,
+		SLR:       nPages,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.Run(100_000)
+
+	halted, msg := vm.Halted()
+	fmt.Printf("VM halted=%t (%s)\n", halted, msg)
+
+	dump := vm.DumpMemory()
+	result := binary.LittleEndian.Uint32(dump[0x4000:])
+	fmt.Printf("guest computed 10! = %d\n", result)
+
+	// The guest believes it is in kernel mode — MOVPSL was merged from
+	// VMPSL in "microcode" — even though it executed in real executive
+	// mode the whole time (ring compression).
+	guestPSL := repro.PSL(k.CPU.R[4])
+	fmt.Printf("guest MOVPSL saw mode: %s\n", guestPSL.Cur())
+	fmt.Printf("sensitive-instruction traps taken by the VMM: %d\n", vm.Stats.VMTraps)
+	fmt.Printf("machine cycles: %d\n", k.CPU.Cycles)
+
+	if result != 3628800 || guestPSL.Cur() != repro.Kernel {
+		log.Fatal("unexpected result")
+	}
+	fmt.Println("OK")
+}

@@ -1,0 +1,97 @@
+// Ring compression demo: a guest walks down through all four virtual
+// access modes with REI, climbs back up with CHMK, and probes the
+// memory-protection blur the paper documents — VM-executive code
+// reading a page the guest protected kernel-only (Section 4.3.1).
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const guestSource = `
+start:	movpsl r1            ; VM kernel
+	pushl #0x01400000    ; PSL image: executive
+	pushl #exec
+	rei
+	.align 4
+exec:	movpsl r2            ; VM executive
+	movl @#0x80004000, r6  ; kernel-only page: the documented blur
+	movl #1, r7
+	pushl #0x02800000
+	pushl #super
+	rei
+	.align 4
+super:	movpsl r3            ; VM supervisor
+	pushl #0x03C00000
+	pushl #user
+	rei
+	.align 4
+user:	movpsl r4            ; VM user
+	chmk #42             ; climb all the way back to the kernel
+	.align 4
+chmk:	movl (sp)+, r5       ; the CHMK code
+	movpsl r8            ; back in VM kernel, previous mode user
+	halt
+	.align 4
+avh:	halt                 ; access violations land here
+	.align 4
+privh:	halt
+`
+
+func main() {
+	prog, err := repro.Assemble(guestSource, 0x80001000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := make([]byte, 64*1024)
+	put := func(at, v uint32) { binary.LittleEndian.PutUint32(img[at:], v) }
+	for i := uint32(0); i < 64; i++ {
+		prot := uint32(4) // UW
+		if i == 32 {
+			prot = 2 // KW: page 32 (va 0x80004000) is kernel-only
+		}
+		put(0x200+4*i, 1<<31|prot<<27|1<<26|i)
+	}
+	copy(img[0x1000:], prog.Code)
+	// Guest SCB vectors (VM-physical page 0).
+	put(0x40, prog.MustSymbol("chmk")) // CHMK
+	put(0x20, prog.MustSymbol("avh"))  // access violation
+	put(0x10, prog.MustSymbol("privh"))
+
+	k := repro.NewVMM(8<<20, repro.Config{})
+	vm, err := k.CreateVM(repro.VMConfig{
+		Name: "rings", MemBytes: 64 * 1024, Image: img,
+		StartPC:   prog.MustSymbol("start"),
+		PreMapped: true, SBR: 0x200, SLR: 64, SCBB: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm.SPs[repro.Kernel] = 0x80008000
+	vm.SPs[repro.Executive] = 0x80007800
+	vm.SPs[repro.Supervisor] = 0x80007400
+	vm.SPs[repro.User] = 0x80007000
+
+	k.Run(100_000)
+	if h, msg := vm.Halted(); !h || msg != "HALT executed in VM kernel mode" {
+		log.Fatalf("guest died: halted=%t %s", h, msg)
+	}
+
+	c := k.CPU
+	fmt.Println("The VM walked through its four access modes:")
+	for i, name := range []string{"kernel", "executive", "supervisor", "user"} {
+		psl := repro.PSL(c.R[1+i])
+		fmt.Printf("  MOVPSL in virtual %-10s -> cur=%s\n", name, psl.Cur())
+	}
+	fmt.Printf("\nCHMK #%d from user trapped to the VMM and was forwarded to the VM's kernel\n", c.R[5])
+	handler := repro.PSL(c.R[8])
+	fmt.Printf("handler PSL: cur=%s prv=%s\n", handler.Cur(), handler.Prv())
+	fmt.Printf("\nthe documented imperfection (Section 4.3.1):\n")
+	fmt.Printf("  VM-executive read a kernel-only (KW) page without a fault: reached=%t\n", c.R[7] == 1)
+	fmt.Printf("\nVMM work: %d CHM traps, %d REI emulations, %d shadow fills\n",
+		vm.Stats.CHMs, vm.Stats.REIs, vm.Stats.ShadowFills)
+}

@@ -1,0 +1,186 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vax"
+)
+
+// Disassembler: the inverse of the assembler, for debugging guests and
+// for the round-trip property tests. It decodes one instruction at a
+// time from a byte slice using the same instruction table the
+// assembler encodes from.
+
+var mnemonics = buildMnemonics()
+
+// buildMnemonics inverts the instruction table, preferring the
+// canonical name when opcodes alias (bcc/bgequ, bcs/blssu).
+func buildMnemonics() map[uint16]struct {
+	name string
+	ops  []opdesc
+} {
+	out := make(map[uint16]struct {
+		name string
+		ops  []opdesc
+	})
+	for name, ins := range instructions {
+		if prev, ok := out[ins.opcode]; ok && prev.name <= name {
+			continue // keep the lexically first alias
+		}
+		out[ins.opcode] = struct {
+			name string
+			ops  []opdesc
+		}{name, ins.ops}
+	}
+	return out
+}
+
+// Disassemble decodes the instruction at code[0:], assuming it is
+// located at address pc, returning its text and encoded length.
+func Disassemble(code []byte, pc uint32) (string, int, error) {
+	if len(code) == 0 {
+		return "", 0, fmt.Errorf("disasm: empty")
+	}
+	op := uint16(code[0])
+	n := 1
+	if code[0] == vax.ExtPrefix {
+		if len(code) < 2 {
+			return "", 0, fmt.Errorf("disasm: truncated extended opcode")
+		}
+		op = 0xFD00 | uint16(code[1])
+		n = 2
+	}
+	ins, ok := mnemonics[op]
+	if !ok {
+		return fmt.Sprintf(".byte %#02x", code[0]), 1, nil
+	}
+	parts := make([]string, 0, len(ins.ops))
+	for _, d := range ins.ops {
+		text, used, err := disasmOperand(code[n:], pc+uint32(n), d)
+		if err != nil {
+			return "", 0, fmt.Errorf("disasm %s: %w", ins.name, err)
+		}
+		n += used
+		parts = append(parts, text)
+	}
+	if len(parts) == 0 {
+		return ins.name, n, nil
+	}
+	return ins.name + " " + strings.Join(parts, ", "), n, nil
+}
+
+var regNames = [16]string{
+	"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
+	"r8", "r9", "r10", "r11", "ap", "fp", "sp", "pc",
+}
+
+func disasmOperand(code []byte, pc uint32, d opdesc) (string, int, error) {
+	need := func(n int) error {
+		if len(code) < n {
+			return fmt.Errorf("truncated operand")
+		}
+		return nil
+	}
+	rdU := func(at, n int) uint32 {
+		var v uint32
+		for i := 0; i < n; i++ {
+			v |= uint32(code[at+i]) << (8 * i)
+		}
+		return v
+	}
+
+	// Branch displacements.
+	if d.acc == accBranchB {
+		if err := need(1); err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("%#x", pc+1+uint32(int32(int8(code[0])))), 1, nil
+	}
+	if d.acc == accBranchW {
+		if err := need(2); err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("%#x", pc+2+uint32(int32(int16(rdU(0, 2))))), 2, nil
+	}
+
+	if err := need(1); err != nil {
+		return "", 0, err
+	}
+	spec := code[0]
+	mode := spec >> 4
+	rn := spec & 0xF
+	switch {
+	case mode < 4:
+		return fmt.Sprintf("#%d", spec&0x3F), 1, nil
+	case mode == 4:
+		base, used, err := disasmOperand(code[1:], pc+1, d)
+		if err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("%s[%s]", base, regNames[rn]), 1 + used, nil
+	case mode == 5:
+		return regNames[rn], 1, nil
+	case mode == 6:
+		return "(" + regNames[rn] + ")", 1, nil
+	case mode == 7:
+		return "-(" + regNames[rn] + ")", 1, nil
+	case mode == 8:
+		if rn == 15 { // immediate
+			if err := need(1 + d.size); err != nil {
+				return "", 0, err
+			}
+			return fmt.Sprintf("#%#x", rdU(1, d.size)), 1 + d.size, nil
+		}
+		return "(" + regNames[rn] + ")+", 1, nil
+	case mode == 9:
+		if rn == 15 { // absolute
+			if err := need(5); err != nil {
+				return "", 0, err
+			}
+			return fmt.Sprintf("@#%#x", rdU(1, 4)), 5, nil
+		}
+		return "@(" + regNames[rn] + ")+", 1, nil
+	default:
+		var disp int32
+		var used int
+		switch mode &^ 1 {
+		case 0xA:
+			if err := need(2); err != nil {
+				return "", 0, err
+			}
+			disp, used = int32(int8(code[1])), 2
+		case 0xC:
+			if err := need(3); err != nil {
+				return "", 0, err
+			}
+			disp, used = int32(int16(rdU(1, 2))), 3
+		default:
+			if err := need(5); err != nil {
+				return "", 0, err
+			}
+			disp, used = int32(rdU(1, 4)), 5
+		}
+		at := ""
+		if mode&1 == 1 {
+			at = "@"
+		}
+		return fmt.Sprintf("%s%d(%s)", at, disp, regNames[rn]), used, nil
+	}
+}
+
+// DisassembleAll renders a whole code region, one instruction per line.
+func DisassembleAll(code []byte, base uint32) []string {
+	var out []string
+	off := 0
+	for off < len(code) {
+		text, n, err := Disassemble(code[off:], base+uint32(off))
+		if err != nil {
+			out = append(out, fmt.Sprintf("%08x: ??? (%v)", base+uint32(off), err))
+			break
+		}
+		out = append(out, fmt.Sprintf("%08x: %s", base+uint32(off), text))
+		off += n
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDisassembleBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"nop", "nop"},
+		{"movl r0, r1", "movl r0, r1"},
+		{"movl #5, r0", "movl #5, r0"},
+		{"movl (r2)+, -(sp)", "movl (r2)+, -(sp)"},
+		{"movl @#0x1234, r1", "movl @#0x1234, r1"},
+		{"movl 4(r2), r3", "movl 4(r2), r3"},
+		{"movl @-4(fp), r3", "movl @-4(fp), r3"},
+		{"chmk #3", "chmk #3"},
+		{"wait", "wait"},
+		{"prober #3, #4, (r0)", "prober #3, #4, (r0)"},
+		{"rei", "rei"},
+		{"calls #2, (r1)", "calls #2, (r1)"},
+	}
+	for _, c := range cases {
+		p := mustAssemble(t, c.src, 0x1000)
+		got, n, err := Disassemble(p.Code, 0x1000)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if n != len(p.Code) {
+			t.Errorf("%q: consumed %d of %d bytes", c.src, n, len(p.Code))
+		}
+		if got != c.want {
+			t.Errorf("%q: disassembled to %q", c.src, got)
+		}
+	}
+}
+
+func TestDisassembleBranchTargets(t *testing.T) {
+	p := mustAssemble(t, "start:\tnop\n\tbrb start", 0x2000)
+	text, _, err := Disassemble(p.Code[1:], 0x2001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "brb 0x2000" {
+		t.Errorf("got %q", text)
+	}
+}
+
+func TestDisassembleUnknownByte(t *testing.T) {
+	text, n, err := Disassemble([]byte{0xCF}, 0)
+	if err != nil || n != 1 || !strings.HasPrefix(text, ".byte") {
+		t.Errorf("got %q %d %v", text, n, err)
+	}
+}
+
+func TestDisassembleTruncated(t *testing.T) {
+	if _, _, err := Disassemble(nil, 0); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, _, err := Disassemble([]byte{0xFD}, 0); err == nil {
+		t.Error("truncated extended opcode should error")
+	}
+	if _, _, err := Disassemble([]byte{0xD0, 0x8F, 0x01}, 0); err == nil {
+		t.Error("truncated immediate should error")
+	}
+}
+
+func TestDisassembleAll(t *testing.T) {
+	p := mustAssemble(t, "start:\tmovl #1, r0\n\tincl r0\n\thalt", 0x400)
+	lines := DisassembleAll(p.Code, 0x400)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "movl") || !strings.Contains(lines[2], "halt") {
+		t.Errorf("lines: %v", lines)
+	}
+}
+
+// TestAssembleDisassembleRoundTrip is the property test: generate
+// random instructions from the mnemonic table with random (valid)
+// operands, assemble, disassemble, re-assemble, and require identical
+// machine code.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+
+	// Mnemonics whose operands the generator can produce.
+	names := make([]string, 0, len(instructions))
+	for name := range instructions {
+		names = append(names, name)
+	}
+	// Deterministic order for the RNG stream.
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+
+	genOperand := func(d opdesc) string {
+		if d.acc == accBranchB || d.acc == accBranchW {
+			return "start" // branch back to the label
+		}
+		for {
+			switch rng.Intn(7) {
+			case 0:
+				if d.acc == accAddr || d.acc == accWrite {
+					continue
+				}
+				return "#5" // short literal
+			case 1:
+				if d.acc == accAddr {
+					continue
+				}
+				return regNames[rng.Intn(13)] // r0..fp (avoid sp/pc quirks)
+			case 2:
+				return "(" + regNames[rng.Intn(12)] + ")"
+			case 3:
+				return "(" + regNames[rng.Intn(12)] + ")+"
+			case 4:
+				return "-(" + regNames[rng.Intn(12)] + ")"
+			case 5:
+				return "@#0x2000"
+			default:
+				return "8(r3)"
+			}
+		}
+	}
+
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		name := names[rng.Intn(len(names))]
+		ins := instructions[name]
+		ops := make([]string, len(ins.ops))
+		for j, d := range ins.ops {
+			ops[j] = genOperand(d)
+		}
+		src := "start:\t" + name
+		if len(ops) > 0 {
+			src += " " + strings.Join(ops, ", ")
+		}
+		p1, err := Assemble(src, 0x1000)
+		if err != nil {
+			t.Fatalf("assemble %q: %v", src, err)
+		}
+		text, n, err := Disassemble(p1.Code, 0x1000)
+		if err != nil {
+			t.Fatalf("disassemble %q (%x): %v", src, p1.Code, err)
+		}
+		if n != len(p1.Code) {
+			t.Fatalf("%q: disassembler consumed %d of %d bytes", src, n, len(p1.Code))
+		}
+		// Re-assemble the disassembly; the encodings must match.
+		p2, err := Assemble("start:\t"+text, 0x1000)
+		if err != nil {
+			t.Fatalf("re-assemble %q (from %q): %v", text, src, err)
+		}
+		if string(p1.Code) != string(p2.Code) {
+			t.Fatalf("round trip changed encoding:\n  src  %q -> %x\n  disa %q -> %x",
+				src, p1.Code, text, p2.Code)
+		}
+	}
+}

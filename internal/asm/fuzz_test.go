@@ -1,0 +1,53 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Robustness: no input text may panic the assembler, and no byte
+// sequence may panic the disassembler. Errors are fine; panics are not.
+
+func TestAssemblerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pieces := []string{
+		"movl", "addl3", "chmk", "brb", ".long", ".org", ".byte", ".ascii",
+		"#", "@#", "@", "(", ")", "+", "-", "r0", "r15", "sp", "pc", "[", "]",
+		"label:", "=", "0x", "start", ",", ";", "\"", "\t", " ", "\n", "99",
+		".align", ".space", "calls", "probevmr", "movc3",
+	}
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic %v on input %q", r, src)
+				}
+			}()
+			_, _ = Assemble(src, uint32(rng.Intn(1<<20)))
+		}()
+	}
+}
+
+func TestDisassemblerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 2000; trial++ {
+		code := make([]byte, rng.Intn(16))
+		rng.Read(code)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic %v on code %x", r, code)
+				}
+			}()
+			_, _, _ = Disassemble(code, uint32(rng.Intn(1<<30)))
+			_ = DisassembleAll(code, 0)
+		}()
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/vax"
+)
+
+// The audit facility. The paper's VMM was a security kernel whose
+// auditing subsystem is described in the companion paper it cites
+// (Seiden & Melanson, "The auditing facility for a VMM security
+// kernel", 1990). This implementation records security-relevant VMM
+// events — VM lifecycle, privilege transitions into the VMM, reflected
+// faults and VM halts — in a bounded ring buffer.
+
+// AuditKind classifies audit events.
+type AuditKind uint8
+
+const (
+	AuditVMCreated AuditKind = iota
+	AuditVMHalted
+	AuditVMTrap        // sensitive instruction emulated
+	AuditPrivFault     // privilege violation inside a VM
+	AuditReflected     // exception forwarded to a VMOS
+	AuditWorldSwitch   // processor moved between VMs
+	AuditNonexistentVM // reference to nonexistent VM-physical memory
+)
+
+func (k AuditKind) String() string {
+	switch k {
+	case AuditVMCreated:
+		return "vm-created"
+	case AuditVMHalted:
+		return "vm-halted"
+	case AuditVMTrap:
+		return "vm-trap"
+	case AuditPrivFault:
+		return "priv-fault"
+	case AuditReflected:
+		return "reflected"
+	case AuditWorldSwitch:
+		return "world-switch"
+	case AuditNonexistentVM:
+		return "nonexistent-memory"
+	}
+	return fmt.Sprintf("audit(%d)", uint8(k))
+}
+
+// AuditEvent is one recorded event.
+type AuditEvent struct {
+	Cycle  uint64
+	VM     int // VM ID, -1 for machine-level events
+	Kind   AuditKind
+	Detail string
+	PC     uint32 // guest PC at the time of the event
+}
+
+func (e AuditEvent) String() string {
+	return fmt.Sprintf("[%d] vm%d %s pc=%#x %s", e.Cycle, e.VM, e.Kind, e.PC, e.Detail)
+}
+
+type auditLog struct {
+	events []AuditEvent
+	next   int
+	filled bool
+}
+
+// EnableAudit turns on auditing with a ring buffer of n events.
+func (k *VMM) EnableAudit(n int) {
+	if n <= 0 {
+		n = 256
+	}
+	k.audit = &auditLog{events: make([]AuditEvent, n)}
+}
+
+// AuditTrail returns the recorded events, oldest first.
+func (k *VMM) AuditTrail() []AuditEvent {
+	if k.audit == nil {
+		return nil
+	}
+	a := k.audit
+	if !a.filled {
+		out := make([]AuditEvent, a.next)
+		copy(out, a.events[:a.next])
+		return out
+	}
+	out := make([]AuditEvent, 0, len(a.events))
+	out = append(out, a.events[a.next:]...)
+	out = append(out, a.events[:a.next]...)
+	return out
+}
+
+// record appends an event if auditing is enabled.
+func (k *VMM) record(vm *VM, kind AuditKind, detail string) {
+	if k.audit == nil {
+		return
+	}
+	id := -1
+	if vm != nil {
+		id = vm.ID
+	}
+	e := AuditEvent{Cycle: k.CPU.Cycles, VM: id, Kind: kind, Detail: detail, PC: k.CPU.PC()}
+	a := k.audit
+	a.events[a.next] = e
+	a.next++
+	if a.next == len(a.events) {
+		a.next = 0
+		a.filled = true
+	}
+}
+
+// auditVMTrap records a sensitive-instruction emulation.
+func (k *VMM) auditVMTrap(vm *VM, info *vax.VMTrapInfo) {
+	if k.audit == nil || info == nil {
+		return
+	}
+	k.record(vm, AuditVMTrap, fmt.Sprintf("opcode %#x", info.Opcode))
+}

@@ -1,0 +1,236 @@
+// Package core implements the paper's primary contribution: a virtual
+// machine monitor for the modified VAX architecture, in the style of the
+// VAX security kernel (Hall & Robinson, ISCA 1991).
+//
+// The VMM attaches to the simulated processor's exception dispatch —
+// exactly where the paper's VMM owns the real machine's kernel-mode SCB
+// vectors — and implements:
+//
+//   - execution ring compression (Section 4.2): CHM, REI and the
+//     privileged sensitive instructions are emulated out of the
+//     VM-emulation trap, with the VM's modes held in VMPSL;
+//   - memory ring compression with shadow page tables (Section 4.3):
+//     null-PTE defaults, on-demand fills that compress protection
+//     codes, optional multi-process shadow-table caching (Section 7.2)
+//     and optional fill prefetching (the rejected experiment of
+//     Section 4.3.1);
+//   - the modify fault (Section 4.4.2);
+//   - virtual I/O by KCALL start-I/O or, as a baseline, by emulated
+//     memory-mapped registers (Section 4.4.3);
+//   - virtual interrupts, a virtual interval timer with VMM-maintained
+//     uptime, the WAIT idle handshake, and scheduling of multiple VMs
+//     (Section 5).
+//
+// Every emulation path charges cycles to the machine from the cost
+// model in internal/cpu/costs.go, so experiments measure the ratio of
+// direct execution to trap-and-emulate work the paper reports on.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/dev"
+	"repro/internal/mem"
+	"repro/internal/vax"
+)
+
+// RingScheme selects the ring virtualization strategy (Section 7.1).
+type RingScheme int
+
+const (
+	// RingCompression is the paper's scheme: virtual kernel and
+	// executive both map to real executive; user and supervisor map to
+	// themselves.
+	RingCompression RingScheme = iota
+	// TrapAll is Goldberg's first scheme: every instruction executed in
+	// the VM's most privileged mode traps to the VMM for emulation.
+	TrapAll
+	// SeparateAddressSpace is the rejected alternative of Section 7.1
+	// in which the VMM runs in its own address space: ring compression
+	// plus an address-space switch (and TLB invalidation) on every VMM
+	// entry and exit.
+	SeparateAddressSpace
+)
+
+func (s RingScheme) String() string {
+	switch s {
+	case TrapAll:
+		return "trap-all (Goldberg scheme 1)"
+	case SeparateAddressSpace:
+		return "separate address space"
+	}
+	return "ring compression"
+}
+
+// Config tunes the VMM; zero values give the paper's production design.
+type Config struct {
+	Scheme RingScheme
+
+	// ShadowCacheSlots is the number of per-process shadow page tables
+	// kept per VM (Section 7.2). 0 or 1 means no caching: a single
+	// table cleared on every address-space change.
+	ShadowCacheSlots int
+
+	// PrefetchGroup is the number of consecutive shadow PTEs filled per
+	// fault (Section 4.3.1's rejected experiment). 0 or 1 means pure
+	// on-demand fill.
+	PrefetchGroup int
+
+	// MMIOEmulatedIO makes virtual disks appear as memory-mapped
+	// controllers whose every register reference traps for emulation,
+	// instead of the KCALL start-I/O interface (Section 4.4.3).
+	MMIOEmulatedIO bool
+
+	// ReadOnlyShadow selects the modify-fault alternative the paper
+	// considered and rejected (Section 4.4.2): instead of the modify
+	// fault, unmodified pages get write-denying shadow protection; the
+	// first write takes an access violation the VMM upgrades, and
+	// PROBEW must trap to the VMM whenever the shadow denies a write.
+	ReadOnlyShadow bool
+
+	// CostScalePercent scales every VMM emulation-path cost (100 = the
+	// calibrated model). The sensitivity experiment sweeps it to show
+	// the paper's qualitative results do not hinge on calibration.
+	CostScalePercent int
+
+	// ClockPeriod is the real interval-timer period in cycles (one
+	// "tick"); TimeSlice is the VM scheduling quantum in ticks;
+	// WaitTimeout is the WAIT handshake timeout in ticks (Section 5:
+	// "WAIT times out after some seconds").
+	ClockPeriod uint32
+	TimeSlice   uint64
+	WaitTimeout uint64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.ShadowCacheSlots < 1 {
+		cfg.ShadowCacheSlots = 1
+	}
+	if cfg.PrefetchGroup < 1 {
+		cfg.PrefetchGroup = 1
+	}
+	if cfg.ClockPeriod == 0 {
+		cfg.ClockPeriod = 5000
+	}
+	if cfg.TimeSlice == 0 {
+		cfg.TimeSlice = 4
+	}
+	if cfg.WaitTimeout == 0 {
+		cfg.WaitTimeout = 16
+	}
+	return cfg
+}
+
+// Stats counts VMM-level events for the experiment harness.
+type Stats struct {
+	VMMEntries     uint64
+	WorldSwitches  uint64
+	VirtualIRQs    uint64
+	ClockTicks     uint64
+	ReflectedTraps uint64 // exceptions forwarded into a VM
+}
+
+// VMM is the virtual machine monitor.
+type VMM struct {
+	CPU   *cpu.CPU
+	Mem   *mem.Memory
+	Clock *dev.Clock
+
+	cfg Config
+	vms []*VM
+	cur int // index of the VM owning the processor, -1 = none
+
+	nextPage uint32 // physical page bump allocator
+
+	audit *auditLog
+
+	Stats Stats
+}
+
+// New builds a VMM over a fresh modified-VAX machine with the given
+// physical memory size.
+func New(memBytes uint32, cfg Config) *VMM {
+	m := mem.New(memBytes)
+	c := cpu.New(m, cpu.ModifiedVAX)
+	k := &VMM{
+		CPU:      c,
+		Mem:      m,
+		Clock:    dev.NewClock(),
+		cfg:      cfg.withDefaults(),
+		cur:      -1,
+		nextPage: 1, // page 0 reserved for the (unused) real SCB
+	}
+	c.Sink = k
+	c.AddDevice(k.Clock)
+	c.TrapAllInVM = k.cfg.Scheme == TrapAll
+	c.ProbeWTrapOnDeny = k.cfg.ReadOnlyShadow
+	k.Clock.Interval(k.cfg.ClockPeriod)
+	// The VMM parks the processor in kernel mode; VMs run with PSL<VM>.
+	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
+	return k
+}
+
+// Config returns the VMM's effective configuration.
+func (k *VMM) Config() Config { return k.cfg }
+
+// VMs returns the created virtual machines.
+func (k *VMM) VMs() []*VM { return k.vms }
+
+// Current returns the VM owning the processor, or nil.
+func (k *VMM) Current() *VM {
+	if k.cur < 0 || k.cur >= len(k.vms) {
+		return nil
+	}
+	return k.vms[k.cur]
+}
+
+// allocPages carves n contiguous physical pages out of real memory.
+func (k *VMM) allocPages(n uint32) (uint32, error) {
+	if k.nextPage+n > k.Mem.Pages() {
+		return 0, fmt.Errorf("vmm: out of physical memory (%d pages requested, %d free)",
+			n, k.Mem.Pages()-k.nextPage)
+	}
+	p := k.nextPage
+	k.nextPage += n
+	for i := uint32(0); i < n; i++ {
+		if err := k.Mem.ZeroPage(p + i); err != nil {
+			return 0, err
+		}
+	}
+	return p, nil
+}
+
+// FreePages reports how many physical pages remain unallocated.
+func (k *VMM) FreePages() uint32 { return k.Mem.Pages() - k.nextPage }
+
+// Run starts (or continues) executing virtual machines for at most
+// maxSteps processor steps (0 = until everything halts).
+func (k *VMM) Run(maxSteps uint64) uint64 {
+	if k.Current() == nil {
+		k.scheduleNext()
+	}
+	return k.CPU.Run(maxSteps)
+}
+
+// compressMode maps a VM access mode to the real mode it executes in
+// (Figure 3): virtual kernel shares real executive with virtual
+// executive; the outer modes map to themselves.
+func compressMode(m vax.Mode) vax.Mode {
+	if m == vax.Kernel {
+		return vax.Executive
+	}
+	return m
+}
+
+// charge adds VMM emulation-path cycles, scaled by the configured cost
+// factor (CostScalePercent). Direct guest execution is never scaled:
+// the factor models only how heavy the monitor's software paths are,
+// which is what the sensitivity experiment varies.
+func (k *VMM) charge(n uint64) {
+	scale := uint64(k.cfg.CostScalePercent)
+	if scale == 0 {
+		scale = 100
+	}
+	k.CPU.AddCycles(n * scale / 100)
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/vax"
+)
+
+// guestFault describes an exception the VMM reflects into the VM
+// through the VM's own SCB.
+type guestFault struct {
+	vec    vax.Vector
+	params []uint32
+}
+
+func avFault(va uint32, write, length bool) *guestFault {
+	p := uint32(0)
+	if write {
+		p |= vax.FaultParamWrite
+	}
+	if length {
+		p |= vax.FaultParamLength
+	}
+	return &guestFault{vec: vax.VecAccessViol, params: []uint32{p, va}}
+}
+
+func avFaultPTE(va uint32, write bool) *guestFault {
+	p := vax.FaultParamPTERef | vax.FaultParamLength
+	if write {
+		p |= vax.FaultParamWrite
+	}
+	return &guestFault{vec: vax.VecAccessViol, params: []uint32{p, va}}
+}
+
+func tnvFaultG(va uint32, write bool) *guestFault {
+	p := uint32(0)
+	if write {
+		p |= vax.FaultParamWrite
+	}
+	return &guestFault{vec: vax.VecTransNotValid, params: []uint32{p, va}}
+}
+
+func tnvFaultPTE(va uint32, write bool) *guestFault {
+	p := vax.FaultParamPTERef
+	if write {
+		p |= vax.FaultParamWrite
+	}
+	return &guestFault{vec: vax.VecTransNotValid, params: []uint32{p, va}}
+}
+
+func rsvdOperandFault() *guestFault {
+	return &guestFault{vec: vax.VecRsvdOperand}
+}
+
+// guestTranslate resolves a guest virtual address to a VM-physical
+// address by walking the VM's own tables, checking the (uncompressed)
+// guest protection for mode.
+func (k *VMM) guestTranslate(vm *VM, va uint32, write bool, mode vax.Mode) (uint32, *guestFault) {
+	if !vm.mapen {
+		return va, nil
+	}
+	gpte, gf := k.guestPTE(vm, va, write)
+	if gf != nil {
+		return 0, gf
+	}
+	if vm.halted {
+		return 0, nil
+	}
+	prot := gpte.Prot()
+	if prot.Reserved() {
+		return 0, avFault(va, write, false)
+	}
+	allowed := prot.CanRead(mode)
+	if write {
+		allowed = prot.CanWrite(mode)
+	}
+	if !allowed {
+		return 0, avFault(va, write, false)
+	}
+	if !gpte.Valid() {
+		return 0, tnvFaultG(va, write)
+	}
+	if write && !gpte.Modified() {
+		// A VMM write on the guest's behalf sets PTE<M>, as hardware
+		// would from the guest's point of view.
+		k.setGuestPTEModify(vm, va)
+	}
+	return gpte.PFN()*vax.PageSize + (va & vax.PageMask), nil
+}
+
+// guestRead reads a guest-virtual longword as the given guest mode.
+func (k *VMM) guestRead(vm *VM, va uint32, mode vax.Mode) (uint32, *guestFault) {
+	pa, gf := k.guestTranslate(vm, va, false, mode)
+	if gf != nil || vm.halted {
+		return 0, gf
+	}
+	v, ok := vm.readPhys(pa)
+	if !ok {
+		k.haltVM(vm, "guest read of nonexistent memory")
+		return 0, nil
+	}
+	return v, nil
+}
+
+// guestWrite writes a guest-virtual longword as the given guest mode.
+func (k *VMM) guestWrite(vm *VM, va uint32, v uint32, mode vax.Mode) *guestFault {
+	pa, gf := k.guestTranslate(vm, va, true, mode)
+	if gf != nil || vm.halted {
+		return gf
+	}
+	if !vm.writePhys(pa, v) {
+		k.haltVM(vm, "guest write of nonexistent memory")
+	}
+	return nil
+}
+
+// deliverToVM transfers control to the VM's handler for vec, pushing
+// params, pc and the VM's composite PSL on the stack the VM's SCB entry
+// selects — the software half of forwarding CHM exceptions, reflected
+// faults and virtual interrupts (Sections 4.2.2, 4.2.3, 5).
+//
+// newMode is the guest mode the handler runs in (kernel for everything
+// but CHM); newIPL, when non-negative, raises the guest IPL (interrupt
+// delivery).
+func (k *VMM) deliverToVM(vm *VM, vec vax.Vector, params []uint32, pc uint32,
+	newMode vax.Mode, newIPL int) {
+	c := k.CPU
+	scbLong, ok := vm.readPhys(vm.scbb + uint32(vec))
+	if !ok {
+		k.haltVM(vm, "VM SCB outside VM memory")
+		return
+	}
+	handler := scbLong &^ 3
+	useIS := scbLong&1 == 1 && newMode == vax.Kernel
+	if handler == 0 {
+		k.haltVM(vm, "VM has no handler for "+vec.String())
+		return
+	}
+
+	oldPSL := c.GuestPSL()
+	k.saveGuestSP(vm)
+
+	newPSL := vax.PSL(0).WithCur(newMode).WithPrv(oldPSL.Cur()).WithIPL(oldPSL.IPL())
+	if newIPL >= 0 {
+		newPSL = newPSL.WithIPL(uint8(newIPL))
+	}
+	sp := vm.SPs[newMode]
+	if useIS {
+		sp = vm.ISP
+		newPSL = vax.PSL(uint32(newPSL) | vax.PSLIS)
+	}
+
+	push := func(v uint32) bool {
+		sp -= 4
+		if gf := k.guestWrite(vm, sp, v, newMode); gf != nil {
+			k.haltVM(vm, "VM stack not valid during exception delivery")
+			return false
+		}
+		return !vm.halted
+	}
+	if !push(uint32(oldPSL)) || !push(pc) {
+		return
+	}
+	for i := len(params) - 1; i >= 0; i-- {
+		if !push(params[i]) {
+			return
+		}
+	}
+
+	// Install the new guest context.
+	c.VMPSL = newPSL
+	real := vax.PSL(0).
+		WithCur(compressMode(newPSL.Cur())).
+		WithPrv(compressMode(newPSL.Prv())).
+		WithVM(true)
+	c.SetPSL(real)
+	c.SetSP(sp)
+	c.SetPC(handler)
+	k.Stats.ReflectedTraps++
+	k.charge(cpu.CostVMMInterrupt)
+}
+
+// reflect forwards a guest fault into the VM at the current PC.
+func (k *VMM) reflect(vm *VM, gf *guestFault) {
+	if gf == nil || vm.halted {
+		return
+	}
+	vm.Stats.ReflectedFaults++
+	k.record(vm, AuditReflected, gf.vec.String())
+	k.deliverToVM(vm, gf.vec, gf.params, k.CPU.PC(), vax.Kernel, -1)
+}
+
+// deliverPendingIRQs delivers the highest pending virtual interrupt to
+// the (current) VM if its IPL admits it. One delivery is enough: the
+// guest's REI path re-enters the VMM, which scans again.
+func (k *VMM) deliverPendingIRQs(vm *VM) {
+	if vm.halted || k.cur != vm.ID {
+		return
+	}
+	level := vm.pendingAbove(k.CPU.VMPSL.IPL())
+	if level == 0 {
+		return
+	}
+	var vec vax.Vector
+	if vm.pendingIRQ[level] != 0 {
+		vec = vm.pendingIRQ[level]
+		vm.pendingIRQ[level] = 0
+	} else {
+		vec = vax.SoftwareVector(level)
+		vm.sisr &^= 1 << level
+	}
+	vm.Stats.VirtualIRQs++
+	k.Stats.VirtualIRQs++
+	k.deliverToVM(vm, vec, nil, k.CPU.PC(), vax.Kernel, int(level))
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/cpu"
+	"repro/internal/vax"
+)
+
+// Virtual I/O. The production design is the explicit start-I/O
+// interface of Section 4.4.3: the VMOS writes the KCALL register with a
+// function code in R0 and arguments in R1..R3; the VMM performs the
+// whole operation in one trap and posts a virtual completion interrupt.
+// The baseline alternative — emulating a memory-mapped controller
+// register by register — is implemented in emulateMMIO below.
+
+// KCALL function codes (the VM/VMM communication protocol; Section 5
+// footnote 11: the same mechanism serves other system-management
+// purposes, here uptime registration).
+const (
+	KCallConsolePut  = 1 // R1 = character
+	KCallConsoleGet  = 2 // result: R1 = character (0 if none)
+	KCallDiskRead    = 3 // R1 = block, R2 = VM-physical buffer
+	KCallDiskWrite   = 4 // R1 = block, R2 = VM-physical buffer
+	KCallUptime      = 5 // result: R1 = ticks
+	KCallSetUptime   = 6 // R1 = VM-physical uptime cell (0 disables)
+	KCallStatusOK    = 0
+	KCallStatusError = 1
+)
+
+// kcall services one start-I/O request. Results return in the VM's R0
+// (status) and R1.
+func (k *VMM) kcall(vm *VM, _ uint32) {
+	c := k.CPU
+	fn := c.R[0]
+	status := uint32(KCallStatusOK)
+	switch fn {
+	case KCallConsolePut:
+		vm.cons.Put(byte(c.R[1]))
+	case KCallConsoleGet:
+		c.R[1] = vm.cons.Get()
+	case KCallDiskRead, KCallDiskWrite:
+		block, buf := c.R[1], c.R[2]
+		host, ok := vm.hostAddr(buf, vax.PageSize)
+		if !ok {
+			k.haltVM(vm, "KCALL disk buffer outside VM memory")
+			return
+		}
+		var err error
+		if fn == KCallDiskRead {
+			data := make([]byte, vax.PageSize)
+			if err = vm.disk.readBlock(block, data); err == nil {
+				err = k.Mem.StoreBytes(host, data)
+			}
+		} else {
+			var data []byte
+			if data, err = k.Mem.LoadBytes(host, vax.PageSize); err == nil {
+				err = vm.disk.writeBlock(block, data)
+			}
+		}
+		if err != nil {
+			status = KCallStatusError
+		} else {
+			// Completion interrupt, deliverable when the VM's IPL
+			// allows.
+			vm.postIRQ(vax.IPLDisk, vax.VecDisk)
+		}
+	case KCallUptime:
+		c.R[1] = uint32(vm.ticks)
+	case KCallSetUptime:
+		vm.uptime = c.R[1]
+	default:
+		status = KCallStatusError
+	}
+	c.R[0] = status
+}
+
+// --- virtual disk ---
+
+// vDisk is a per-VM virtual disk. Under KCALL I/O only the block
+// methods are used; under MMIO emulation the VMM also models its
+// controller registers (same layout as dev.Disk).
+type vDisk struct {
+	image []byte
+
+	// Controller registers for the MMIO-emulation baseline.
+	csr, block, addr, count, stat uint32
+
+	Reads, Writes uint64
+}
+
+func newVDisk(blocks int) *vDisk {
+	return &vDisk{image: make([]byte, blocks*vax.PageSize), csr: devCSRReady}
+}
+
+// Image exposes the disk image for loading test data.
+func (d *vDisk) Image() []byte { return d.image }
+
+func (d *vDisk) reset() {
+	d.csr, d.block, d.addr, d.count, d.stat = devCSRReady, 0, 0, 0, 0
+}
+
+func (d *vDisk) readBlock(block uint32, buf []byte) error {
+	off := int(block) * vax.PageSize
+	if off < 0 || off+len(buf) > len(d.image) {
+		return errOutOfRange
+	}
+	d.Reads++
+	copy(buf, d.image[off:])
+	return nil
+}
+
+func (d *vDisk) writeBlock(block uint32, buf []byte) error {
+	off := int(block) * vax.PageSize
+	if off < 0 || off+len(buf) > len(d.image) {
+		return errOutOfRange
+	}
+	d.Writes++
+	copy(d.image[off:], buf)
+	return nil
+}
+
+type rangeErr struct{}
+
+func (rangeErr) Error() string { return "vdisk: block out of range" }
+
+var errOutOfRange = rangeErr{}
+
+// Virtual controller register offsets mirror dev.Disk.
+const (
+	devRegCSR   = 0x00
+	devRegBlock = 0x04
+	devRegAddr  = 0x08
+	devRegCount = 0x0C
+	devRegStat  = 0x10
+
+	devCSRGo    uint32 = 1 << 0
+	devCSRFunc  uint32 = 3 << 1
+	devCSRIE    uint32 = 1 << 6
+	devCSRReady uint32 = 1 << 7
+
+	devFuncRead  uint32 = 1 << 1
+	devFuncWrite uint32 = 2 << 1
+)
+
+// regRead/regWrite model the controller for the MMIO baseline. GO
+// performs the transfer immediately (the trap itself already models
+// the latency) and posts a completion interrupt.
+func (k *VMM) diskRegRead(vm *VM, off uint32) uint32 {
+	d := vm.disk
+	switch off &^ 3 {
+	case devRegCSR:
+		return d.csr
+	case devRegBlock:
+		return d.block
+	case devRegAddr:
+		return d.addr
+	case devRegCount:
+		return d.count
+	case devRegStat:
+		return d.stat
+	}
+	return 0
+}
+
+func (k *VMM) diskRegWrite(vm *VM, off, v uint32) {
+	d := vm.disk
+	switch off &^ 3 {
+	case devRegCSR:
+		d.csr = d.csr&^devCSRIE | v&devCSRIE
+		if v&devCSRGo == 0 {
+			return
+		}
+		d.stat = KCallStatusError
+		host, ok := vm.hostAddr(d.addr, d.count)
+		if ok && d.count <= vax.PageSize {
+			buf := make([]byte, d.count)
+			switch v & devCSRFunc {
+			case devFuncRead:
+				if d.readBlock(d.block, buf[:min32len(buf, d)]) == nil {
+					if k.Mem.StoreBytes(host, buf) == nil {
+						d.stat = KCallStatusOK
+					}
+				}
+			case devFuncWrite:
+				if data, err := k.Mem.LoadBytes(host, d.count); err == nil {
+					if d.writeBlock(d.block, data) == nil {
+						d.stat = KCallStatusOK
+					}
+				}
+			}
+		}
+		if d.csr&devCSRIE != 0 {
+			vm.postIRQ(vax.IPLDisk, vax.VecDisk)
+		}
+	case devRegBlock:
+		d.block = v
+	case devRegAddr:
+		d.addr = v
+	case devRegCount:
+		d.count = v
+	}
+}
+
+func min32len(buf []byte, d *vDisk) int {
+	if len(buf) > len(d.image) {
+		return len(d.image)
+	}
+	return len(buf)
+}
+
+// --- MMIO instruction emulation ---
+
+// emulateMMIO emulates one guest instruction that references the
+// virtual disk controller's register window. This is the expensive
+// path the paper measured against (Section 4.4.3): the VMM must parse
+// the instruction stream itself — precisely the work the VM-emulation
+// trap was designed to avoid — so only the MOVL forms a device driver
+// uses are recognized.
+func (k *VMM) emulateMMIO(vm *VM, faultVA uint32, gpte vax.PTE) {
+	c := k.CPU
+	vm.Stats.MMIOEmuls++
+	k.charge(cpu.CostVMMMMIOEmul)
+	pc := c.PC()
+	mode := c.VMPSL.Cur()
+
+	readByte := func(at uint32) (byte, bool) {
+		pa, gf := k.guestTranslate(vm, at, false, mode)
+		if gf != nil || vm.halted {
+			return 0, false
+		}
+		host, ok := vm.hostAddr(pa, 1)
+		if !ok {
+			return 0, false
+		}
+		b, err := k.Mem.LoadByte(host)
+		return b, err == nil
+	}
+	readLong := func(at uint32) (uint32, bool) {
+		var v uint32
+		for i := uint32(0); i < 4; i++ {
+			b, ok := readByte(at + i)
+			if !ok {
+				return 0, false
+			}
+			v |= uint32(b) << (8 * i)
+		}
+		return v, true
+	}
+
+	fail := func(msg string) { k.haltVM(vm, "MMIO emulation: "+msg) }
+
+	op, ok := readByte(pc)
+	if !ok || op != byte(vax.OpMOVL) {
+		fail("unsupported instruction")
+		return
+	}
+	// Decode two operand specifiers, supporting registers, short
+	// literals, and absolute (@#) addresses.
+	type opnd struct {
+		isReg bool
+		reg   int
+		isLit bool
+		lit   uint32
+		isAbs bool
+		abs   uint32
+	}
+	at := pc + 1
+	decode := func() (opnd, bool) {
+		spec, ok := readByte(at)
+		if !ok {
+			return opnd{}, false
+		}
+		at++
+		switch {
+		case spec < 0x40:
+			return opnd{isLit: true, lit: uint32(spec)}, true
+		case spec>>4 == 5:
+			return opnd{isReg: true, reg: int(spec & 0xF)}, true
+		case spec == 0x8F:
+			v, ok := readLong(at)
+			at += 4
+			return opnd{isLit: true, lit: v}, ok
+		case spec == 0x9F:
+			v, ok := readLong(at)
+			at += 4
+			return opnd{isAbs: true, abs: v}, ok
+		}
+		return opnd{}, false
+	}
+	src, ok1 := decode()
+	dst, ok2 := decode()
+	if !ok1 || !ok2 {
+		fail("unsupported operand")
+		return
+	}
+
+	devOff := func(va uint32) (uint32, bool) {
+		pa, gf := k.guestTranslate(vm, va, false, mode)
+		if gf != nil || vm.halted {
+			return 0, false
+		}
+		if pa >= VMDiskBase && pa < VMDiskBase+vax.PageSize {
+			return pa - VMDiskBase, true
+		}
+		return 0, false
+	}
+
+	var val uint32
+	switch {
+	case src.isLit:
+		val = src.lit
+	case src.isReg:
+		val = c.R[src.reg]
+	case src.isAbs:
+		if off, isDev := devOff(src.abs); isDev {
+			val = k.diskRegRead(vm, off)
+		} else {
+			fail("source not a device register")
+			return
+		}
+	}
+	switch {
+	case dst.isReg:
+		c.R[dst.reg] = val
+	case dst.isAbs:
+		if off, isDev := devOff(dst.abs); isDev {
+			k.diskRegWrite(vm, off, val)
+		} else {
+			fail("destination not a device register")
+			return
+		}
+	default:
+		fail("unsupported destination")
+		return
+	}
+	if vm.halted {
+		return
+	}
+	c.SetPC(at)
+	k.resumeVM(vm)
+	k.deliverPendingIRQs(vm)
+}
+
+// --- virtual console ---
+
+// vConsole is the per-VM console, reached through the console IPRs or
+// the KCALL console functions.
+type vConsole struct {
+	out  bytes.Buffer
+	in   []byte
+	rxIE bool
+	txIE bool
+}
+
+func (t *vConsole) Output() string { return t.out.String() }
+func (t *vConsole) Feed(s string)  { t.in = append(t.in, s...) }
+func (t *vConsole) Put(b byte)     { t.out.WriteByte(b) }
+
+func (t *vConsole) Get() uint32 {
+	if len(t.in) == 0 {
+		return 0
+	}
+	b := t.in[0]
+	t.in = t.in[1:]
+	return uint32(b)
+}
+
+func (t *vConsole) RXCS() uint32 {
+	var v uint32
+	if len(t.in) > 0 {
+		v |= vax.ConsoleReady
+	}
+	if t.rxIE {
+		v |= vax.ConsoleIE
+	}
+	return v
+}
+
+func (t *vConsole) SetCSR(reg vax.IPR, v uint32) {
+	ie := v&vax.ConsoleIE != 0
+	if reg == vax.IPRRXCS {
+		t.rxIE = ie
+	} else {
+		t.txIE = ie
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vax"
+)
+
+// TestGuestIPRRoundTrips drives MTPR/MFPR through the VMM for every
+// virtualized register a guest kernel touches.
+func TestGuestIPRRoundTrips(t *testing.T) {
+	k, vm, _ := bootVM(t, Config{}, `
+start:	mtpr #0x4000, #0     ; KSP (current mode: live SP is NOT this)
+	mtpr #0x80007000, #1 ; ESP
+	mtpr #0x80006800, #2 ; SSP
+	mtpr #0x80006400, #3 ; USP
+	mtpr #0x80006000, #4 ; ISP
+	mtpr #0x600, #16     ; PCBB
+	mtpr #0x7, #21       ; SISR (bit 0 masked off)
+	mtpr #2, #19         ; ASTLVL
+	mtpr #24, #11        ; P1LR
+	mfpr #1, r1          ; ESP
+	mfpr #3, r2          ; USP
+	mfpr #4, r3          ; ISP
+	mfpr #16, r4         ; PCBB
+	mfpr #21, r5         ; SISR
+	mfpr #19, r6         ; ASTLVL
+	mfpr #11, r7         ; P1LR
+	mfpr #9, r8          ; P0LR
+	mfpr #10, r9         ; P1BR
+	mfpr #24, r10        ; ICCS
+	mfpr #27, r11        ; TODR (virtual ticks)
+	halt
+`, nil)
+	runVM(t, k, vm, 100000)
+	c := k.CPU
+	checks := []struct {
+		reg  int
+		want uint32
+		name string
+	}{
+		{1, 0x80007000, "ESP"}, {2, 0x80006400, "USP"}, {3, 0x80006000, "ISP"},
+		{4, 0x600, "PCBB"}, {5, 0x6, "SISR"}, {6, 2, "ASTLVL"}, {7, 24, "P1LR"},
+	}
+	for _, ck := range checks {
+		if c.R[ck.reg] != ck.want {
+			t.Errorf("%s = %#x, want %#x", ck.name, c.R[ck.reg], ck.want)
+		}
+	}
+	// MTPR to the current-mode stack pointer changed the live SP before
+	// the guest pushed anything; the VM must still be in kernel mode
+	// with the replaced SP lineage (hard to observe after HALT; the
+	// stats confirm the paths ran).
+	if vm.Stats.MTPROther != 9 {
+		t.Errorf("MTPROther = %d", vm.Stats.MTPROther)
+	}
+	if vm.Stats.MFPRs != 11 {
+		t.Errorf("MFPRs = %d", vm.Stats.MFPRs)
+	}
+}
+
+// TestGuestUnknownIPRReflected: MTPR/MFPR to a nonexistent register in a
+// VM reflects a reserved operand fault to the VMOS.
+func TestGuestUnknownIPRReflected(t *testing.T) {
+	k, vm, _ := bootVM(t, Config{}, `
+start:	mtpr #1, #150        ; no such register
+	halt
+	.align 4
+rsvd:	movl #0x5A, r9
+	halt
+`, map[vax.Vector]string{vax.VecRsvdOperand: "rsvd"})
+	runVM(t, k, vm, 100000)
+	if k.CPU.R[9] != 0x5A {
+		t.Error("reserved operand fault not reflected")
+	}
+	_ = vm
+}
+
+// TestGuestIOReset clears the virtual devices.
+func TestGuestIOReset(t *testing.T) {
+	k, vm, _ := bootVM(t, Config{}, `
+start:	movl #1, r0
+	movl #65, r1
+	mtpr #0, #201        ; console 'A'
+	mtpr #0, #202        ; IORESET
+	movl #1, r0
+	movl #66, r1
+	mtpr #0, #201        ; console 'B' after reset
+	halt
+`, nil)
+	runVM(t, k, vm, 100000)
+	if got := vm.ConsoleOutput(); got != "B" {
+		t.Errorf("console after IORESET = %q", got)
+	}
+}
+
+// TestKCALLErrors: bad function codes and out-of-range buffers.
+func TestKCALLErrors(t *testing.T) {
+	k, vm, _ := bootVM(t, Config{}, `
+start:	movl #99, r0         ; unknown KCALL function
+	mtpr #0, #201
+	movl r0, r5          ; expect error status
+	movl #3, r0          ; disk read with out-of-range block
+	movl #9999, r1
+	movl #0x5000, r2
+	mtpr #0, #201
+	movl r0, r6
+	halt
+`, nil)
+	runVM(t, k, vm, 100000)
+	if k.CPU.R[5] != KCallStatusError || k.CPU.R[6] != KCallStatusError {
+		t.Errorf("error statuses: %d %d", k.CPU.R[5], k.CPU.R[6])
+	}
+	_ = vm
+}
+
+// TestKCALLBufferOutsideMemoryHaltsVM: the VMM refuses to DMA outside
+// the VM (resource control).
+func TestKCALLBufferOutsideMemoryHaltsVM(t *testing.T) {
+	k, vm, _ := bootVM(t, Config{}, `
+start:	movl #3, r0
+	movl #0, r1
+	movl #0x00FFFF00, r2 ; buffer far beyond VM memory
+	mtpr #0, #201
+	halt
+`, nil)
+	k.Run(100000)
+	if h, msg := vm.Halted(); !h || !strings.Contains(msg, "outside VM memory") {
+		t.Errorf("halted=%t msg=%q", h, msg)
+	}
+}
+
+// TestBadPCBHaltsVM: LDPCTX with a PCB outside VM memory halts the VM.
+func TestBadPCBHaltsVM(t *testing.T) {
+	k, vm, _ := bootVM(t, Config{}, `
+start:	mtpr #0x00FFFF00, #16
+	ldpctx
+	halt
+`, nil)
+	k.Run(100000)
+	if h, msg := vm.Halted(); !h || !strings.Contains(msg, "PCB") {
+		t.Errorf("halted=%t msg=%q", h, msg)
+	}
+}
+
+// TestConfigAccessors covers the trivial accessors.
+func TestConfigAccessors(t *testing.T) {
+	k := New(8<<20, Config{ShadowCacheSlots: 3})
+	if k.Config().ShadowCacheSlots != 3 {
+		t.Error("Config not preserved")
+	}
+	if k.FreePages() == 0 {
+		t.Error("no free pages on a fresh monitor")
+	}
+	for _, s := range []RingScheme{RingCompression, TrapAll, SeparateAddressSpace} {
+		if s.String() == "" {
+			t.Error("empty scheme name")
+		}
+	}
+	vm, err := k.CreateVM(VMConfig{MemBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Monitor() != k {
+		t.Error("Monitor() mismatch")
+	}
+	if vm.SLimit() == 0 || len(vm.SharedSpaceLayout()) == 0 {
+		t.Error("layout accessors broken")
+	}
+}

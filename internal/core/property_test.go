@@ -1,0 +1,235 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	asmPkg "repro/internal/asm"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/vax"
+)
+
+type progT = asmPkg.Program
+
+// TestGuestWalkMatchesHardwareWalk is the equivalence property behind
+// shadow paging: the VMM's software walk of a guest's page tables
+// (guestTranslate) must agree, access for access, with what real VAX
+// memory-management hardware would decide given the same tables.
+//
+// For each trial, random guest system page tables are generated; every
+// (page, mode, access) combination is then checked against a real
+// standard-VAX MMU walking the identical tables.
+func TestGuestWalkMatchesHardwareWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const trials = 30
+
+	for trial := 0; trial < trials; trial++ {
+		// Random guest SPT over 24 pages.
+		img := make([]byte, gMemSize)
+		for i := uint32(0); i < 24; i++ {
+			pte := vax.NewPTE(rng.Intn(4) > 0, vax.Protection(rng.Intn(16)),
+				rng.Intn(2) == 0, uint32(rng.Intn(64)))
+			binary.LittleEndian.PutUint32(img[gSPT+4*i:], uint32(pte))
+		}
+
+		// The VMM side.
+		k := New(8<<20, Config{})
+		vm, err := k.CreateVM(VMConfig{
+			MemBytes: gMemSize, Image: img,
+			PreMapped: true, SBR: gSPT, SLR: 24, SCBB: gSCB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The hardware side: a plain MMU over a copy of the same image.
+		hwMem := mem.New(gMemSize)
+		if err := hwMem.StoreBytes(0, img); err != nil {
+			t.Fatal(err)
+		}
+		hw := mmu.New(hwMem)
+		hw.Enabled = true
+		hw.SBR = gSPT
+		hw.SLR = 24
+
+		for page := uint32(0); page < 26; page++ { // includes out-of-length pages
+			for mode := vax.Kernel; mode <= vax.User; mode++ {
+				for _, write := range []bool{false, true} {
+					va := vax.SystemBase + page*vax.PageSize + uint32(rng.Intn(vax.PageSize))
+					acc := mmu.Read
+					if write {
+						acc = mmu.Write
+					}
+					hwPA, hwErr := hw.Translate(va, acc, mode)
+					swPA, gf := k.guestTranslate(vm, va, write, mode)
+					if vm.halted {
+						t.Fatalf("trial %d: VM halted during walk", trial)
+					}
+
+					switch {
+					case hwErr == nil && gf == nil:
+						if hwPA != swPA {
+							t.Fatalf("trial %d va=%#x mode=%s write=%t: pa %#x vs %#x",
+								trial, va, mode, write, hwPA, swPA)
+						}
+					case hwErr != nil && gf != nil:
+						hwExc, ok := hwErr.(*vax.Exception)
+						if !ok {
+							t.Fatalf("trial %d: hardware bus error: %v", trial, hwErr)
+						}
+						if hwExc.Vector != gf.vec {
+							t.Fatalf("trial %d va=%#x mode=%s write=%t: fault %s vs %s",
+								trial, va, mode, write, hwExc.Vector, gf.vec)
+						}
+					default:
+						t.Fatalf("trial %d va=%#x mode=%s write=%t: hw=%v sw=%v",
+							trial, va, mode, write, hwErr, gf)
+					}
+					// Hardware M-bit setting and the VMM's guest-PTE
+					// update must leave the two copies of the tables
+					// identical.
+					hwPTE, _ := hwMem.LoadLong(gSPT + 4*page)
+					swPTE, _ := vm.readPhys(gSPT + 4*page)
+					if page < 24 && hwPTE != swPTE {
+						t.Fatalf("trial %d page %d: PTE diverged %#x vs %#x",
+							trial, page, hwPTE, swPTE)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVMCannotTouchOutsideItsMemory: whatever page tables a guest
+// builds, no reference it makes can reach real memory outside its
+// allocation — the VMM halts it instead (resource control, Section 2).
+func TestVMCannotTouchOutsideItsMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		img := make([]byte, gMemSize)
+		// SPT whose PFNs point far beyond the VM's memory.
+		for i := uint32(0); i < gSPTLen; i++ {
+			pfn := uint32(rng.Intn(1 << 20))
+			binary.LittleEndian.PutUint32(img[gSPT+4*i:],
+				uint32(vax.NewPTE(true, vax.ProtUW, true, pfn)))
+		}
+		// Keep the code page mapped correctly so the guest can start.
+		for i := uint32(0); i < 16; i++ {
+			binary.LittleEndian.PutUint32(img[gSPT+4*(8+i):],
+				uint32(vax.NewPTE(true, vax.ProtUW, true, 8+i)))
+		}
+		prog := `
+start:	movl #0x80000000, r1
+loop:	movl (r1), r2        ; scan S space
+	addl2 #512, r1
+	brb loop
+`
+		k := New(8<<20, Config{})
+		// A sentinel VM after the target so out-of-range writes would land
+		// in its memory if containment failed.
+		vm, err := k.CreateVM(VMConfig{MemBytes: gMemSize, Image: img,
+			StartPC: 0x80001000, PreMapped: true, SBR: gSPT, SLR: gSPTLen, SCBB: gSCB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim, err := k.CreateVM(VMConfig{MemBytes: gMemSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fill the victim's memory with a sentinel pattern.
+		sentinel := make([]byte, victim.MemSize)
+		for i := range sentinel {
+			sentinel[i] = 0xA5
+		}
+		if err := k.Mem.StoreBytes(victim.MemBase, sentinel); err != nil {
+			t.Fatal(err)
+		}
+		// Assemble the scanning guest into the image the VM already has.
+		p, err := asmAssembleAt(prog, vax.SystemBase+gCode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, _ := vm.hostAddr(gCode, uint32(len(p.Code)))
+		if err := k.Mem.StoreBytes(host, p.Code); err != nil {
+			t.Fatal(err)
+		}
+
+		k.Run(1_000_000)
+		if h, _ := vm.Halted(); !h {
+			t.Fatalf("trial %d: scanner still running", trial)
+		}
+		dump := victim.DumpMemory()
+		for i, b := range dump {
+			if b != 0xA5 {
+				t.Fatalf("trial %d: victim memory modified at %#x", trial, i)
+			}
+		}
+	}
+}
+
+func asmAssembleAt(src string, origin uint32) (*progT, error) {
+	return asmPkg.Assemble(src, origin)
+}
+
+// TestAuditTrail exercises the audit facility end to end.
+func TestAuditTrail(t *testing.T) {
+	k, vm, _ := bootVM(t, Config{}, `
+start:	mtpr #5, #18
+	pushl #0x03C00000
+	pushl #ucode
+	rei
+	.align 4
+ucode:	mtpr #1, #18         ; privilege violation from VM user
+	halt
+	.align 4
+privh:	halt
+`, map[vax.Vector]string{vax.VecPrivInstr: "privh"})
+	k.EnableAudit(64)
+	// Re-create events after enabling (creation happened before).
+	runVM(t, k, vm, 100000)
+	trail := k.AuditTrail()
+	if len(trail) == 0 {
+		t.Fatal("empty audit trail")
+	}
+	var kinds = map[AuditKind]int{}
+	for _, e := range trail {
+		kinds[e.Kind]++
+		if e.String() == "" {
+			t.Error("empty event string")
+		}
+	}
+	if kinds[AuditVMTrap] == 0 {
+		t.Error("no VM traps audited")
+	}
+	if kinds[AuditPrivFault] == 0 {
+		t.Error("privilege fault not audited")
+	}
+	if kinds[AuditReflected] == 0 {
+		t.Error("reflected fault not audited")
+	}
+	if kinds[AuditVMHalted] == 0 {
+		t.Error("VM halt not audited")
+	}
+}
+
+func TestAuditRingBufferWraps(t *testing.T) {
+	k := New(8<<20, Config{})
+	k.EnableAudit(4)
+	for i := 0; i < 10; i++ {
+		k.record(nil, AuditWorldSwitch, "")
+	}
+	trail := k.AuditTrail()
+	if len(trail) != 4 {
+		t.Fatalf("trail length %d, want 4", len(trail))
+	}
+	if k.AuditTrail()[0].VM != -1 {
+		t.Error("machine-level event should have VM -1")
+	}
+	// Disabled by default.
+	k2 := New(8<<20, Config{})
+	if k2.AuditTrail() != nil {
+		t.Error("audit trail without EnableAudit")
+	}
+}

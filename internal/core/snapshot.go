@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/vax"
+)
+
+// VM snapshot and restore. A suspended VM's complete state — virtual
+// processor, virtualized registers, pending interrupts, memory and disk
+// — round-trips through an opaque byte image, so a VM can be moved
+// between monitors or checkpointed mid-run. Shadow tables are not
+// saved: they are caches, rebuilt on demand after restore exactly as
+// after a context switch.
+
+const snapshotMagic = 0x56415853 // "VAXS"
+
+type snapshotHeader struct {
+	Magic   uint32
+	Version uint32
+	MemSize uint32
+	DiskLen uint32
+
+	Regs   [14]uint32
+	PC     uint32
+	PSLLow uint32
+	VMPSL  uint32
+	SPs    [4]uint32
+	ISP    uint32
+
+	SCBB, PCBB             uint32
+	P0BR, P0LR, P1BR, P1LR uint32
+	SBR, SLR               uint32
+	MapEn                  uint32
+	SISR                   uint32
+	ASTLvl                 uint32
+
+	ClockOn, ClockIE uint32
+	Ticks            uint64
+	Uptime           uint32
+
+	PendingIRQ [32]uint32
+
+	Waiting      uint32
+	WaitDeadline uint64
+}
+
+// Snapshot serializes the VM. The VM must not be running on the
+// processor (it is suspended first if it is current).
+func (k *VMM) Snapshot(vm *VM) ([]byte, error) {
+	if vm.halted {
+		return nil, fmt.Errorf("vmm: cannot snapshot a halted VM (%s)", vm.haltMsg)
+	}
+	if k.cur == vm.ID {
+		k.suspend(vm)
+	}
+	h := snapshotHeader{
+		Magic:   snapshotMagic,
+		Version: 1,
+		MemSize: vm.MemSize,
+		DiskLen: uint32(len(vm.disk.image)),
+		Regs:    vm.regs,
+		PC:      vm.pc,
+		PSLLow:  vm.pslLow,
+		VMPSL:   uint32(vm.vmpsl),
+		SPs:     vm.SPs,
+		ISP:     vm.ISP,
+		SCBB:    vm.scbb, PCBB: vm.pcbb,
+		P0BR: vm.p0br, P0LR: vm.p0lr, P1BR: vm.p1br, P1LR: vm.p1lr,
+		SBR: vm.sbr, SLR: vm.slr,
+		SISR: vm.sisr, ASTLvl: vm.astlvl,
+		Ticks: vm.ticks, Uptime: vm.uptime,
+		WaitDeadline: vm.waitDeadline,
+	}
+	if vm.mapen {
+		h.MapEn = 1
+	}
+	if vm.clockOn {
+		h.ClockOn = 1
+	}
+	if vm.clockIE {
+		h.ClockIE = 1
+	}
+	if vm.waiting {
+		h.Waiting = 1
+	}
+	for i, v := range vm.pendingIRQ {
+		h.PendingIRQ[i] = uint32(v)
+	}
+
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	mem := vm.DumpMemory()
+	if mem == nil {
+		return nil, fmt.Errorf("vmm: memory dump failed")
+	}
+	buf.Write(mem)
+	buf.Write(vm.disk.image)
+	return buf.Bytes(), nil
+}
+
+// Restore creates a new VM in this monitor from a snapshot image.
+func (k *VMM) Restore(name string, image []byte) (*VM, error) {
+	r := bytes.NewReader(image)
+	var h snapshotHeader
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("vmm: bad snapshot: %w", err)
+	}
+	if h.Magic != snapshotMagic || h.Version != 1 {
+		return nil, fmt.Errorf("vmm: not a version-1 VM snapshot")
+	}
+	memory := make([]byte, h.MemSize)
+	if _, err := io.ReadFull(r, memory); err != nil {
+		return nil, fmt.Errorf("vmm: truncated snapshot memory: %w", err)
+	}
+	diskImg := make([]byte, h.DiskLen)
+	if h.DiskLen > 0 {
+		if _, err := io.ReadFull(r, diskImg); err != nil {
+			return nil, fmt.Errorf("vmm: truncated snapshot disk: %w", err)
+		}
+	}
+
+	vm, err := k.CreateVM(VMConfig{
+		Name:       name,
+		MemBytes:   h.MemSize,
+		Image:      memory,
+		DiskBlocks: int(h.DiskLen) / vax.PageSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	copy(vm.disk.image, diskImg)
+
+	vm.regs = h.Regs
+	vm.pc = h.PC
+	vm.pslLow = h.PSLLow
+	vm.vmpsl = vax.PSL(h.VMPSL)
+	vm.SPs = h.SPs
+	vm.ISP = h.ISP
+	vm.scbb, vm.pcbb = h.SCBB, h.PCBB
+	vm.p0br, vm.p0lr, vm.p1br, vm.p1lr = h.P0BR, h.P0LR, h.P1BR, h.P1LR
+	vm.sbr, vm.slr = h.SBR, h.SLR
+	vm.mapen = h.MapEn == 1
+	vm.sisr = h.SISR
+	vm.astlvl = h.ASTLvl
+	vm.clockOn, vm.clockIE = h.ClockOn == 1, h.ClockIE == 1
+	vm.ticks = h.Ticks
+	vm.uptime = h.Uptime
+	for i := range vm.pendingIRQ {
+		vm.pendingIRQ[i] = vax.Vector(h.PendingIRQ[i])
+	}
+	vm.waiting = h.Waiting == 1
+	vm.waitDeadline = h.WaitDeadline
+
+	// Rebuild the derived shadow state for the restored mapping: the
+	// process slot for the VM's current P0 base, plus the TLB flush a
+	// world switch performs anyway.
+	if vm.mapen && vm.p0br != 0 {
+		if err := vm.shadow.switchProcess(k, vm.p0br); err != nil {
+			return nil, err
+		}
+		// switchProcess counts as a context switch; a restore is not.
+		vm.Stats.ContextSwitches--
+		vm.Stats.CacheMisses--
+	}
+	k.record(vm, AuditVMCreated, "restored from snapshot")
+	return vm, nil
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/vax"
+)
+
+// HandleException implements cpu.ExceptionSink: the VMM owns every
+// event the real machine's kernel vectors would receive. Returning true
+// consumes the event; the CPU continues from whatever state the VMM
+// established.
+func (k *VMM) HandleException(c *cpu.CPU, e *vax.Exception) bool {
+	k.Stats.VMMEntries++
+	k.enterVMM()
+	defer k.exitVMM()
+
+	if e.Kind == vax.Interrupt {
+		k.handleRealInterrupt(e)
+		return true
+	}
+	vm := k.Current()
+	if !e.FromVM || vm == nil {
+		// A synchronous exception with no VM on the processor: the VMM
+		// itself is host code and takes none, so this is a machine
+		// error.
+		c.Halt(cpu.HaltDoubleError)
+		return true
+	}
+
+	switch e.Vector {
+	case vax.VecVMEmulation:
+		vm.Stats.VMTraps++
+		k.auditVMTrap(vm, e.VMInfo)
+		k.emulate(vm, e.VMInfo)
+	case vax.VecTransNotValid:
+		k.handleTNV(vm, e)
+	case vax.VecAccessViol:
+		if k.cfg.ReadOnlyShadow && e.Params[0]&vax.FaultParamWrite != 0 &&
+			k.tryROShadowUpgrade(vm, e.Params[1]) {
+			k.resumeVM(vm)
+			return true
+		}
+		k.resumeVM(vm)
+		k.reflect(vm, &guestFault{vec: vax.VecAccessViol, params: e.Params})
+	case vax.VecModifyFault:
+		k.handleModifyFault(vm, e)
+	case vax.VecMachineCheck:
+		// Section 5, "Hardware errors": the only error visible to the
+		// VMOS is a reference to nonexistent memory; the VMM responds
+		// by halting the VM.
+		k.haltVM(vm, fmt.Sprintf("machine check at pc=%#x", c.PC()))
+	case vax.VecKernelStkInv:
+		k.haltVM(vm, "kernel stack not valid")
+	default:
+		// Everything else (privileged instruction, reserved operand,
+		// reserved addressing, arithmetic, breakpoint, CHM-less traps)
+		// belongs to the VM's own operating system.
+		if e.Vector == vax.VecPrivInstr {
+			k.record(vm, AuditPrivFault, "")
+		}
+		k.resumeVM(vm)
+		k.reflect(vm, &guestFault{vec: e.Vector, params: e.Params})
+	}
+	return true
+}
+
+// enterVMM charges the VMM entry cost; under the separate-address-space
+// scheme every crossing also pays an address-space switch and TLB flush
+// (Section 7.1).
+func (k *VMM) enterVMM() {
+	k.charge(cpu.CostVMMDispatch)
+	if k.cfg.Scheme == SeparateAddressSpace {
+		k.charge(cpu.CostVMMAddrSpaceSwitch)
+		k.CPU.MMU.TBIA()
+	}
+}
+
+func (k *VMM) exitVMM() {
+	if k.cfg.Scheme == SeparateAddressSpace {
+		k.charge(cpu.CostVMMAddrSpaceSwitch)
+		k.CPU.MMU.TBIA()
+	}
+}
+
+// resumeVM re-enters VM mode on the current PSL (used after handlers
+// that didn't change the guest context themselves).
+func (k *VMM) resumeVM(vm *VM) {
+	if vm.halted || k.cur != vm.ID {
+		return
+	}
+	k.CPU.SetPSL(k.CPU.PSL().WithVM(true))
+}
+
+// handleTNV services a translation-not-valid fault taken while a VM was
+// executing: a shadow PTE is still the null PTE. Either the VM's page
+// is valid — fill the shadow and retry — or the fault belongs to the
+// VM's operating system.
+func (k *VMM) handleTNV(vm *VM, e *vax.Exception) {
+	va := e.Params[1]
+	write := e.Params[0]&vax.FaultParamWrite != 0
+
+	if k.cfg.MMIOEmulatedIO && vm.mapen {
+		if gpte, gf := k.guestPTE(vm, va, write); gf == nil && !vm.halted &&
+			gpte.Valid() && isDeviceFrame(gpte.PFN()) {
+			k.emulateMMIO(vm, va, gpte)
+			return
+		}
+	}
+	if !vm.mapen {
+		// With guest mapping off the identity map covers all of the
+		// VM's memory; a miss is a nonexistent-memory reference.
+		k.haltVM(vm, fmt.Sprintf("unmapped reference to %#x with memory management off", va))
+		return
+	}
+	gf := k.fillShadow(vm, va, write)
+	if vm.halted {
+		return
+	}
+	if gf != nil {
+		k.resumeVM(vm)
+		k.reflect(vm, gf)
+		return
+	}
+	// Shadow filled: resume the VM; the faulting instruction retries.
+	k.resumeVM(vm)
+}
+
+// tryROShadowUpgrade resolves a write access violation under the
+// read-only-shadow scheme: if the VM's own page table permits the
+// write, mark the page modified there and refill the shadow with its
+// full (writable) protection. Returns false when the violation is
+// genuine and belongs to the VMOS.
+func (k *VMM) tryROShadowUpgrade(vm *VM, va uint32) bool {
+	if !vm.mapen {
+		return false
+	}
+	gpte, gf := k.guestPTE(vm, va, true)
+	if gf != nil || vm.halted {
+		return false
+	}
+	if !gpte.Valid() || gpte.Prot().Reserved() {
+		return false
+	}
+	if !gpte.Prot().Compress().CanWrite(compressMode(k.CPU.VMPSL.Cur())) {
+		return false
+	}
+	vm.Stats.ROWriteFaults++
+	k.charge(cpu.CostVMMModifyFault + cpu.CostVMMShadowFill)
+	k.setGuestPTEModify(vm, va)
+	if slot, ok := vm.shadow.shadowSlot(va); ok {
+		spte := vax.NewPTE(true, gpte.Prot().Compress(), true,
+			vm.MemBase/vax.PageSize+gpte.PFN())
+		_ = k.Mem.StoreLong(slot, uint32(spte))
+	}
+	k.CPU.MMU.TBIS(va)
+	return true
+}
+
+// handleModifyFault services the modify fault of Section 4.4.2: set
+// PTE<M> in the shadow page table and in the VM's page table, then
+// retry the write.
+func (k *VMM) handleModifyFault(vm *VM, e *vax.Exception) {
+	va := e.Params[1]
+	vm.Stats.ModifyFaults++
+	k.charge(cpu.CostVMMModifyFault)
+	if slot, ok := vm.shadow.shadowSlot(va); ok {
+		if v, err := k.Mem.LoadLong(slot); err == nil {
+			_ = k.Mem.StoreLong(slot, uint32(vax.PTE(v).WithModify(true)))
+		}
+	}
+	if vm.mapen {
+		k.setGuestPTEModify(vm, va)
+	}
+	k.CPU.MMU.TBIS(va)
+	k.resumeVM(vm)
+}
+
+// handleRealInterrupt services interrupts on the real machine — in this
+// system only the interval clock, which drives virtual timer delivery,
+// uptime maintenance, WAIT timeouts and time slicing.
+func (k *VMM) handleRealInterrupt(e *vax.Exception) {
+	c := k.CPU
+	if e.Vector != vax.VecClock {
+		return // no other real devices interrupt in this configuration
+	}
+	// Acknowledge the interval timer.
+	_ = c.WriteIPR(vax.IPRICCS, vax.ICCSInt|vax.ICCSRun|vax.ICCSIE)
+	k.Stats.ClockTicks++
+
+	cur := k.Current()
+	if cur != nil && !cur.halted {
+		// Timer interrupts are delivered only while the VM is actually
+		// running (Section 5, "Time") ...
+		cur.ticks++
+		if cur.clockOn && cur.clockIE {
+			cur.postIRQ(vax.IPLClock, vax.VecClock)
+		}
+	}
+	// ... which is precisely why counting them is not a clock: "the VMM
+	// maintains system up time and stores it into the VMOS's memory.
+	// Therefore the VMOS code should read this time rather than
+	// computing it." The cell carries real uptime for every VM,
+	// running, waiting or preempted.
+	for _, vm := range k.vms {
+		if !vm.halted && vm.uptime != 0 {
+			vm.writePhys(vm.uptime, uint32(k.Stats.ClockTicks))
+		}
+	}
+	// Wake WAITing VMs whose timeout expired or that have work.
+	for _, vm := range k.vms {
+		if vm.waiting && (k.Stats.ClockTicks >= vm.waitDeadline || vm.pendingAbove(0) > 0) {
+			vm.waiting = false
+		}
+	}
+
+	switch {
+	case cur == nil || cur.halted:
+		k.scheduleNext()
+	case k.cfg.TimeSlice > 0 && k.Stats.ClockTicks%k.cfg.TimeSlice == 0:
+		k.scheduleNext()
+	default:
+		k.resumeVM(cur)
+		k.deliverPendingIRQs(cur)
+	}
+}

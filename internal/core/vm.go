@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/vax"
+)
+
+// Virtual machine geometry. The VM's S space is limited to
+// VMSLimitPTEs pages (Section 5, "Virtual memory limits": the VMM may
+// set a smaller limit than the architectural 1 GB); process P0 spaces
+// are limited to ProcTablePTEs pages.
+const (
+	VMSLimitPTEs  = 4096 // 2 MB of VM S space
+	ProcTablePTEs = 2048 // 1 MB of P0 space per process
+	P1TablePTEs   = 512  // 256 KB of P1 space
+
+	procSlotPages = ProcTablePTEs * 4 / vax.PageSize // pages per shadow P0 table
+	p1TablePages  = P1TablePTEs * 4 / vax.PageSize
+)
+
+// VMDiskBase is the VM-physical address of the virtual disk controller
+// window under MMIO-emulated I/O (beyond any VM's RAM).
+const VMDiskBase uint32 = 0x00F00000
+
+// nullPTE is the default shadow PTE of Section 4.3.1: invalid, but with
+// a protection code permitting read and write from all modes, so the
+// hardware protection check passes and the reference faults to the VMM
+// as translation-not-valid.
+var nullPTE = vax.NewPTE(false, vax.ProtUW, false, 0)
+
+// VMStats counts per-VM events used throughout the evaluation.
+type VMStats struct {
+	VMTraps         uint64 // VM-emulation traps
+	CHMs            uint64
+	REIs            uint64
+	MTPRIPL         uint64
+	MTPROther       uint64
+	MFPRs           uint64
+	ContextSwitches uint64 // guest address-space changes (LDPCTX / MTPR P0BR)
+	ShadowFills     uint64 // demand shadow PTE fills
+	PrefetchFills   uint64 // additional PTEs filled by prefetch groups
+	ShadowClears    uint64 // shadow tables reset to null PTEs
+	CacheHits       uint64 // process shadow table found in cache
+	CacheMisses     uint64
+	ModifyFaults    uint64
+	ROWriteFaults   uint64 // write upgrades under the read-only-shadow scheme
+	ReflectedFaults uint64 // faults forwarded to the VMOS
+	VirtualIRQs     uint64
+	KCALLs          uint64
+	MMIOEmuls       uint64 // emulated memory-mapped register references
+	Waits           uint64
+	ProbeFills      uint64 // PROBE instructions completed by the VMM
+	TrapAllSteps    uint64 // instructions emulated under the trap-all scheme
+}
+
+// VMConfig describes a virtual machine to create.
+type VMConfig struct {
+	Name     string
+	MemBytes uint32 // VM-physical memory, contiguous from 0
+	// Image is loaded at VM-physical address LoadAt; StartPC is the
+	// initial guest PC (mapping off).
+	Image   []byte
+	LoadAt  uint32
+	StartPC uint32
+	// DiskBlocks sizes the VM's virtual disk (512-byte blocks).
+	DiskBlocks int
+
+	// PreMapped starts the VM with memory management already enabled —
+	// the state a boot loader would leave — using the given VM-physical
+	// system page table and SCB.
+	PreMapped bool
+	SBR, SLR  uint32
+	SCBB      uint32
+}
+
+// VM is one virtual VAX processor plus its memory and devices.
+type VM struct {
+	ID   int
+	Name string
+
+	MemBase uint32 // real physical base of the VM's memory
+	MemSize uint32 // bytes
+
+	// Virtual processor state (live in the CPU while running).
+	regs   [14]uint32 // R0..R13 when suspended
+	pc     uint32
+	pslLow uint32  // condition codes / trap enables when suspended
+	vmpsl  vax.PSL // VM modes/IPL when suspended
+	SPs    [4]uint32
+	ISP    uint32
+
+	// Virtualized processor registers (all in VM terms).
+	scbb, pcbb             uint32
+	p0br, p0lr, p1br, p1lr uint32
+	sbr, slr               uint32
+	mapen                  bool
+	sisr                   uint32
+	astlvl                 uint32
+
+	// Virtual interval clock.
+	clockOn bool
+	clockIE bool
+	ticks   uint64 // virtual uptime in ticks (advances only while running)
+	uptime  uint32 // VM-physical address of the uptime cell, 0 = unset
+
+	pendingIRQ [32]vax.Vector // virtual device interrupts by level
+
+	waiting      bool
+	waitDeadline uint64 // real tick count at which WAIT times out
+	halted       bool
+	haltMsg      string
+
+	shadow *shadowSpace
+	disk   *vDisk
+	cons   vConsole
+
+	Stats VMStats
+
+	k *VMM
+}
+
+// CreateVM allocates and initializes a virtual machine.
+func (k *VMM) CreateVM(cfg VMConfig) (*VM, error) {
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 1 << 20
+	}
+	pages := (cfg.MemBytes + vax.PageSize - 1) / vax.PageSize
+	base, err := k.allocPages(pages)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{
+		ID:      len(k.vms),
+		Name:    cfg.Name,
+		MemBase: base * vax.PageSize,
+		MemSize: pages * vax.PageSize,
+		k:       k,
+	}
+	if vm.Name == "" {
+		vm.Name = fmt.Sprintf("vm%d", vm.ID)
+	}
+	if vm.shadow, err = k.newShadowSpace(vm); err != nil {
+		return nil, err
+	}
+	if len(cfg.Image) > 0 {
+		host, ok := vm.hostAddr(cfg.LoadAt, uint32(len(cfg.Image)))
+		if !ok {
+			return nil, fmt.Errorf("vmm: image does not fit in VM memory")
+		}
+		if err := k.Mem.StoreBytes(host, cfg.Image); err != nil {
+			return nil, err
+		}
+	}
+	blocks := cfg.DiskBlocks
+	if blocks == 0 {
+		blocks = 64
+	}
+	vm.disk = newVDisk(blocks)
+	// Power-up state: VM kernel mode, mapping off, PC at the image start.
+	vm.vmpsl = vax.PSL(0).WithCur(vax.Kernel).WithPrv(vax.Kernel)
+	vm.pc = cfg.StartPC
+	if cfg.PreMapped {
+		vm.mapen = true
+		vm.sbr = cfg.SBR
+		vm.slr = min32(cfg.SLR, VMSLimitPTEs)
+		vm.scbb = cfg.SCBB
+	}
+	k.vms = append(k.vms, vm)
+	k.record(vm, AuditVMCreated, fmt.Sprintf("%d KB at real base %#x", vm.MemSize/1024, vm.MemBase))
+	return vm, nil
+}
+
+// hostAddr bounds-checks a VM-physical range and returns its real
+// physical address.
+func (vm *VM) hostAddr(vmPhys, n uint32) (uint32, bool) {
+	if vmPhys > vm.MemSize || n > vm.MemSize-vmPhys {
+		return 0, false
+	}
+	return vm.MemBase + vmPhys, true
+}
+
+// readPhys reads a longword of VM-physical memory.
+func (vm *VM) readPhys(vmPhys uint32) (uint32, bool) {
+	host, ok := vm.hostAddr(vmPhys, 4)
+	if !ok {
+		return 0, false
+	}
+	v, err := vm.k.Mem.LoadLong(host)
+	return v, err == nil
+}
+
+// writePhys writes a longword of VM-physical memory.
+func (vm *VM) writePhys(vmPhys, v uint32) bool {
+	host, ok := vm.hostAddr(vmPhys, 4)
+	if !ok {
+		return false
+	}
+	return vm.k.Mem.StoreLong(host, v) == nil
+}
+
+// Halted reports whether the VM has stopped, with the reason.
+func (vm *VM) Halted() (bool, string) { return vm.halted, vm.haltMsg }
+
+// DumpMemory copies out the VM's physical memory (for post-run
+// inspection by tests and the experiment harness).
+func (vm *VM) DumpMemory() []byte {
+	b, err := vm.k.Mem.LoadBytes(vm.MemBase, vm.MemSize)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Stats of the VMM that owns this VM (convenience for harness code).
+func (vm *VM) Monitor() *VMM { return vm.k }
+
+// ConsoleOutput returns everything the VM wrote to its console.
+func (vm *VM) ConsoleOutput() string { return vm.cons.Output() }
+
+// FeedConsole queues console input for the VM.
+func (vm *VM) FeedConsole(s string) { vm.cons.Feed(s) }
+
+// Disk returns the VM's virtual disk.
+func (vm *VM) Disk() *vDisk { return vm.disk }
+
+// Ticks returns the VM's virtual uptime in clock ticks.
+func (vm *VM) Ticks() uint64 { return vm.ticks }
+
+// runnable reports whether the VM can use the processor now.
+func (vm *VM) runnable() bool {
+	if vm.halted {
+		return false
+	}
+	if vm.waiting {
+		return vm.pendingAbove(0) > 0
+	}
+	return true
+}
+
+// pendingAbove returns the highest pending virtual interrupt level
+// above ipl (including virtual software interrupts), or 0.
+func (vm *VM) pendingAbove(ipl uint8) uint8 {
+	for l := uint8(31); l > ipl; l-- {
+		if vm.pendingIRQ[l] != 0 {
+			return l
+		}
+		if l <= vax.IPLSoftwareMax && vm.sisr&(1<<l) != 0 {
+			return l
+		}
+	}
+	return 0
+}
+
+// postIRQ records a pending virtual interrupt for the VM.
+func (vm *VM) postIRQ(level uint8, vec vax.Vector) {
+	if level < 32 {
+		vm.pendingIRQ[level] = vec
+	}
+}
+
+// --- suspend / resume (world switch) ---
+
+// suspend captures the running VM's processor state from the CPU.
+// The caller guarantees vm is the current VM and the CPU is stopped at
+// a resumable guest PC.
+func (k *VMM) suspend(vm *VM) {
+	c := k.CPU
+	copy(vm.regs[:], c.R[:14])
+	vm.pc = c.PC()
+	vm.pslLow = uint32(c.PSL()) & 0xFF
+	vm.vmpsl = c.VMPSL
+	k.saveGuestSP(vm)
+	k.cur = -1
+}
+
+// resume loads a VM's state into the CPU and continues guest execution.
+func (k *VMM) resume(vm *VM) {
+	c := k.CPU
+	k.cur = vm.ID
+	copy(c.R[:14], vm.regs[:])
+	c.VMPSL = vm.vmpsl
+	real := vax.PSL(vm.pslLow).
+		WithCur(compressMode(vm.vmpsl.Cur())).
+		WithPrv(compressMode(vm.vmpsl.Prv())).
+		WithVM(true)
+	c.SetPSL(real)
+	c.SetSP(k.guestSP(vm))
+	c.SetPC(vm.pc)
+	vm.shadow.activate(c)
+	c.MMU.TBIA()
+}
+
+// saveGuestSP stores the live stack pointer into the slot for the VM's
+// current mode (or its interrupt stack). The authoritative mode is the
+// processor's live VMPSL — vm.vmpsl is only a snapshot taken at
+// suspend time (suspend refreshes it before calling here).
+func (k *VMM) saveGuestSP(vm *VM) {
+	sp := k.CPU.SP()
+	if k.CPU.VMPSL.IS() {
+		vm.ISP = sp
+		return
+	}
+	vm.SPs[k.CPU.VMPSL.Cur()] = sp
+}
+
+// guestSP returns the stack pointer for the VM's current mode (per the
+// live VMPSL; resume loads VMPSL before calling here).
+func (k *VMM) guestSP(vm *VM) uint32 {
+	if k.CPU.VMPSL.IS() {
+		return vm.ISP
+	}
+	return vm.SPs[k.CPU.VMPSL.Cur()]
+}
+
+// haltVM stops a VM permanently — the response to HALT in VM-kernel
+// mode and to references to nonexistent memory ("we respond by halting
+// the VM, because touching non-existent memory can be a symptom of a
+// security attack", Section 5).
+func (k *VMM) haltVM(vm *VM, msg string) {
+	vm.halted = true
+	vm.haltMsg = msg
+	k.record(vm, AuditVMHalted, msg)
+	if k.cur == vm.ID {
+		k.suspend(vm)
+		vm.halted = true // suspend does not clear it; keep explicit
+	}
+	k.scheduleNext()
+}
+
+// scheduleNext picks the next runnable VM (round robin from the current
+// position) and resumes it; with none runnable the machine idles in
+// WAIT until a clock tick, or halts when every VM has halted.
+func (k *VMM) scheduleNext() {
+	if cur := k.Current(); cur != nil {
+		k.suspend(cur)
+	}
+	n := len(k.vms)
+	if n == 0 {
+		k.CPU.Halt(cpu.HaltInstruction)
+		return
+	}
+	start := k.cur
+	if start < 0 {
+		start = n - 1
+	}
+	allHalted := true
+	for i := 1; i <= n; i++ {
+		vm := k.vms[(start+i)%n]
+		if vm.halted {
+			continue
+		}
+		allHalted = false
+		if vm.runnable() {
+			if vm.waiting {
+				vm.waiting = false
+			}
+			k.Stats.WorldSwitches++
+			k.charge(cpu.CostVMMWorldSwitch)
+			k.record(vm, AuditWorldSwitch, "")
+			k.resume(vm)
+			k.deliverPendingIRQs(vm)
+			return
+		}
+	}
+	if allHalted {
+		k.CPU.Halt(cpu.HaltInstruction)
+		return
+	}
+	// Everything is waiting: idle until the next real clock tick.
+	k.CPU.SetPSL(k.CPU.PSL().WithVM(false))
+	k.CPU.SetWaiting(true)
+}

@@ -1,0 +1,178 @@
+package cpu
+
+import "repro/internal/vax"
+
+// The VAX procedure call standard: CALLS builds a call frame on the
+// stack (saving the registers named by the procedure's entry mask) and
+// RET unwinds it. This simplified implementation keeps the
+// architectural frame layout:
+//
+//	FP -> 0(FP)  condition handler (always 0 here)
+//	      4(FP)  mask<31>=S flag, <27:16>=register save mask, <15:5>=saved PSW
+//	      8(FP)  saved AP
+//	     12(FP)  saved FP
+//	     16(FP)  saved PC
+//	     20(FP)  saved registers, lowest numbered first
+//
+// CALLG is the register-argument variant; only CALLS (stack arguments)
+// is implemented, which is what MiniOS and the examples use.
+
+const (
+	callSFlag    = 1 << 29
+	callMaskBits = 0x0FFF
+)
+
+func (c *CPU) execCALLS() error {
+	nOp, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	dstOp, err := c.decodeOperand(1, true)
+	if err != nil {
+		return err
+	}
+	n, err := c.readOp(nOp)
+	if err != nil {
+		return err
+	}
+	dst := dstOp.addr
+
+	// Push the argument count; AP will point here.
+	if err := c.Push(n); err != nil {
+		return err
+	}
+	argBase := c.SP()
+
+	mask, err := c.LoadVirt(dst, 2, c.psl.Cur())
+	if err != nil {
+		return err
+	}
+	if mask&0xF000 != 0 {
+		// Entry mask bits 12-13 are reserved; 14-15 enable traps we do
+		// not model as maskable here.
+		return rsvdOperand()
+	}
+	// Save registers R11..R0 named in the mask, highest first so they
+	// pop back lowest-first.
+	for r := 11; r >= 0; r-- {
+		if mask&(1<<r) != 0 {
+			if err := c.Push(c.R[r]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.Push(c.R[RegPC]); err != nil {
+		return err
+	}
+	if err := c.Push(c.R[RegFP]); err != nil {
+		return err
+	}
+	if err := c.Push(c.R[RegAP]); err != nil {
+		return err
+	}
+	status := callSFlag | (mask&callMaskBits)<<16 | uint32(c.psl)&0xFFE0
+	if err := c.Push(status); err != nil {
+		return err
+	}
+	if err := c.Push(0); err != nil { // condition handler
+		return err
+	}
+	c.R[RegFP] = c.SP()
+	c.R[RegAP] = argBase
+	c.R[RegPC] = dst + 2 // skip the entry mask
+	// The call clears the condition codes.
+	c.setNZVC(false, false, false, false)
+	c.Cycles += CostCall
+	return nil
+}
+
+func (c *CPU) execRET() error {
+	fp := c.R[RegFP]
+	rd := func(off uint32) (uint32, error) {
+		return c.LoadVirt(fp+off, 4, c.psl.Cur())
+	}
+	status, err := rd(4)
+	if err != nil {
+		return err
+	}
+	savedAP, err := rd(8)
+	if err != nil {
+		return err
+	}
+	savedFP, err := rd(12)
+	if err != nil {
+		return err
+	}
+	savedPC, err := rd(16)
+	if err != nil {
+		return err
+	}
+	mask := status >> 16 & callMaskBits
+	sp := fp + 20
+	for r := 0; r <= 11; r++ {
+		if mask&(1<<r) != 0 {
+			v, err := c.LoadVirt(sp, 4, c.psl.Cur())
+			if err != nil {
+				return err
+			}
+			c.R[r] = v
+			sp += 4
+		}
+	}
+	if status&callSFlag != 0 {
+		// CALLS frame: remove the argument list.
+		n, err := c.LoadVirt(sp, 4, c.psl.Cur())
+		if err != nil {
+			return err
+		}
+		sp += 4 + 4*(n&0xFF)
+	}
+	c.R[RegAP] = savedAP
+	c.R[RegFP] = savedFP
+	c.R[RegPC] = savedPC
+	c.SetSP(sp)
+	// Restore the saved PSW bits (condition codes and trap enables).
+	c.psl = vax.PSL(uint32(c.psl)&^uint32(0xFFE0|vax.PSLCC) | status&0xFFEF)
+	c.Cycles += CostCall
+	return nil
+}
+
+// execBB handles BBS/BBC: branch on bit set/clear. The base operand is
+// a byte address (or register) and the position selects a bit within
+// the addressed field.
+func (c *CPU) execBB(set bool) error {
+	posOp, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	pos, err := c.readOp(posOp)
+	if err != nil {
+		return err
+	}
+	spec, err := c.fetchByte()
+	if err != nil {
+		return err
+	}
+	// Re-decode the base operand by hand: register or addressable.
+	var bit uint32
+	if spec>>4 == 5 { // register
+		if pos > 31 {
+			return rsvdOperand()
+		}
+		bit = c.R[spec&0xF] >> pos & 1
+	} else {
+		// Push the specifier back by rewinding PC and using the normal
+		// decoder in address context.
+		c.R[RegPC]--
+		baseOp, err := c.decodeOperand(1, true)
+		if err != nil {
+			return err
+		}
+		b, err := c.LoadVirt(baseOp.addr+pos/8, 1, c.psl.Cur())
+		if err != nil {
+			return err
+		}
+		bit = b >> (pos % 8) & 1
+	}
+	return c.branchIf((bit == 1) == set)
+}

@@ -1,0 +1,157 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/vax"
+)
+
+func TestCALLSAndRET(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	movl #0x111, r2      ; clobbered by the callee, restored by RET
+	movl #0x222, r3
+	pushl #30
+	pushl #12
+	calls #2, sum        ; sum(12, 30)
+	halt
+
+	.align 4
+sum:	.word 0x000C         ; entry mask: save r2, r3
+	movl 4(ap), r2       ; first argument
+	movl 8(ap), r3       ; second
+	addl3 r2, r3, r0
+	ret
+`)
+	ma.run(t, 1000)
+	c := ma.c
+	if c.R[0] != 42 {
+		t.Errorf("sum = %d, want 42", c.R[0])
+	}
+	if c.R[2] != 0x111 || c.R[3] != 0x222 {
+		t.Errorf("saved registers not restored: r2=%#x r3=%#x", c.R[2], c.R[3])
+	}
+	// RET removed the frame and the CALLS argument list.
+	if c.SP() != testKSP {
+		t.Errorf("stack imbalance: sp=%#x want %#x", c.SP(), testKSP)
+	}
+}
+
+func TestCALLSNested(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	pushl #5
+	calls #1, fact       ; 5!
+	halt
+
+	.align 4
+fact:	.word 0x0004         ; save r2
+	movl 4(ap), r2
+	cmpl r2, #1
+	bgtr recurse
+	movl #1, r0
+	ret
+recurse:
+	subl3 #1, r2, r0
+	pushl r0
+	calls #1, fact
+	mull2 r2, r0         ; n * fact(n-1)
+	ret
+`)
+	ma.run(t, 10000)
+	if ma.c.R[0] != 120 {
+		t.Errorf("5! = %d, want 120", ma.c.R[0])
+	}
+	if ma.c.SP() != testKSP {
+		t.Errorf("stack imbalance after recursion: %#x", ma.c.SP())
+	}
+}
+
+func TestCALLSFrameLayout(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	calls #0, probe
+	halt
+
+	.align 4
+probe:	.word 0              ; entry mask: nothing saved
+	movl 4(fp), r6       ; status word
+	movl 16(fp), r7      ; saved PC
+	movl fp, r8
+	movl ap, r9
+	ret
+`)
+	ma.run(t, 1000)
+	c := ma.c
+	status := c.R[6]
+	if status&(1<<29) == 0 {
+		t.Error("S flag not set in CALLS frame")
+	}
+	if mask := status >> 16 & 0xFFF; mask != 0 {
+		t.Errorf("mask = %#x, want 0", mask)
+	}
+	// Saved PC points at the instruction after the CALLS.
+	retPC := c.R[7]
+	if retPC <= testOrigin || retPC >= ma.prog.End() {
+		t.Errorf("saved PC %#x out of range", retPC)
+	}
+	// AP points at the pushed argument count (0 here).
+	n, _ := ma.m.LoadLong(c.R[9])
+	if n != 0 {
+		t.Errorf("argument count at AP = %d", n)
+	}
+}
+
+func TestCALLSBadEntryMask(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	calls #0, bad
+	halt
+	.align 4
+bad:	.word 0xF000         ; reserved mask bits
+	ret
+	.align 4
+rsvd:	movl #0x66, r9
+	halt
+`)
+	ma.setVector(t, vax.VecRsvdOperand, "rsvd")
+	ma.run(t, 1000)
+	if ma.c.R[9] != 0x66 {
+		t.Error("reserved entry mask not faulted")
+	}
+}
+
+func TestBitBranches(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	movl #0b0, r10
+	movl #4, r0          ; bit 2 set
+	bbs #2, r0, b1
+	brb fail
+b1:	bbc #1, r0, b2
+	brb fail
+b2:	moval flags, r1
+	bbs #11, (r1), b3    ; bit 11 of the field at flags: byte 1 bit 3
+	brb fail
+b3:	bbc #12, (r1), b4
+	brb fail
+b4:	movl #1, r10
+	halt
+fail:	halt
+flags:	.byte 0x00, 0x08     ; bit 11 set (byte 1, bit 3)
+`)
+	ma.run(t, 1000)
+	if ma.c.R[10] != 1 {
+		t.Error("bit branches misbehaved")
+	}
+}
+
+func TestBBSRegisterOutOfRange(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	bbs #40, r0, nope
+nope:	halt
+	.align 4
+rsvd:	movl #0x55, r9
+	halt
+`)
+	ma.setVector(t, vax.VecRsvdOperand, "rsvd")
+	ma.run(t, 1000)
+	if ma.c.R[9] != 0x55 {
+		t.Error("bit position > 31 on a register must fault")
+	}
+}

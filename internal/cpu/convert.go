@@ -1,0 +1,99 @@
+package cpu
+
+import "repro/internal/vax"
+
+// Integer convert and add-compare-branch instructions.
+
+// execCVT implements the integer convert family: sign-extend on
+// widening, truncate with overflow detection on narrowing.
+func (c *CPU) execCVT(op uint16) error {
+	var srcSize, dstSize int
+	switch op {
+	case vax.OpCVTBL:
+		srcSize, dstSize = 1, 4
+	case vax.OpCVTBW:
+		srcSize, dstSize = 1, 2
+	case vax.OpCVTWL:
+		srcSize, dstSize = 2, 4
+	case vax.OpCVTWB:
+		srcSize, dstSize = 2, 1
+	case vax.OpCVTLB:
+		srcSize, dstSize = 4, 1
+	default: // CVTLW
+		srcSize, dstSize = 4, 2
+	}
+	src, err := c.decodeOperand(srcSize, false)
+	if err != nil {
+		return err
+	}
+	dst, err := c.decodeOperand(dstSize, false)
+	if err != nil {
+		return err
+	}
+	v, err := c.readOp(src)
+	if err != nil {
+		return err
+	}
+	s := signExt(v, srcSize)
+	r := uint32(s)
+	ovf := false
+	switch dstSize {
+	case 1:
+		ovf = s < -128 || s > 127
+	case 2:
+		ovf = s < -32768 || s > 32767
+	}
+	if err := c.writeOp(dst, r); err != nil {
+		return err
+	}
+	c.setNZVC(signExt(r, dstSize) < 0, signExt(r, dstSize) == 0, ovf, false)
+	return nil
+}
+
+// execACBL implements add-compare-branch: index += add; branch (word
+// displacement) while the index has not passed limit, in the direction
+// of add's sign.
+func (c *CPU) execACBL() error {
+	limitOp, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	addOp, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	idxOp, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	limit, err := c.readOp(limitOp)
+	if err != nil {
+		return err
+	}
+	add, err := c.readOp(addOp)
+	if err != nil {
+		return err
+	}
+	idx, err := c.readOp(idxOp)
+	if err != nil {
+		return err
+	}
+	r := idx + add
+	if err := c.writeOp(idxOp, r); err != nil {
+		return err
+	}
+	ovf := (add^r)&(idx^r)&0x80000000 != 0
+	c.setNZVC(int32(r) < 0, r == 0, ovf, c.cc(vax.PSLC))
+	d, err := c.fetchWord()
+	if err != nil {
+		return err
+	}
+	taken := int32(r) <= int32(limit)
+	if int32(add) < 0 {
+		taken = int32(r) >= int32(limit)
+	}
+	if taken {
+		c.R[RegPC] += uint32(int32(int16(d)))
+	}
+	return nil
+}

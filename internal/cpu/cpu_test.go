@@ -1,0 +1,367 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/mem"
+	"repro/internal/vax"
+)
+
+// machine is a small bare test machine: 256 KB physical memory, SCB at
+// physical 0, code loaded at its assembly origin, kernel mode, mapping
+// off.
+type machine struct {
+	c    *CPU
+	m    *mem.Memory
+	prog *asm.Program
+}
+
+const (
+	testOrigin = 0x400
+	testKSP    = 0x8000
+	testESP    = 0x7000
+	testSSP    = 0x6000
+	testUSP    = 0x5000
+	testISP    = 0x9000
+)
+
+func newMachine(t *testing.T, variant Variant, src string) *machine {
+	t.Helper()
+	prog, err := asm.Assemble(src, testOrigin)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.New(256 * 1024)
+	if err := m.StoreBytes(prog.Origin, prog.Code); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, variant)
+	c.SCBB = 0
+	c.SetStackFor(vax.Kernel, testKSP)
+	c.SetStackFor(vax.Executive, testESP)
+	c.SetStackFor(vax.Supervisor, testSSP)
+	c.SetStackFor(vax.User, testUSP)
+	c.ISP = testISP
+	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
+	start := prog.Origin
+	if s, ok := prog.Symbol("start"); ok {
+		start = s
+	}
+	c.SetPC(start)
+	return &machine{c: c, m: m, prog: prog}
+}
+
+// setVector points an SCB vector at a label.
+func (ma *machine) setVector(t *testing.T, vec vax.Vector, label string) {
+	t.Helper()
+	addr := ma.prog.MustSymbol(label)
+	if err := ma.m.StoreLong(uint32(vec), addr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (ma *machine) run(t *testing.T, maxSteps uint64) {
+	t.Helper()
+	ma.c.Run(maxSteps)
+	if !ma.c.Halted {
+		t.Fatalf("machine did not halt; pc=%#x psl=%s", ma.c.PC(), ma.c.PSL())
+	}
+}
+
+func TestArithmeticAndLoops(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	clrl r0
+	movl #10, r1
+loop:	addl2 r1, r0
+	sobgtr r1, loop
+	halt
+`)
+	ma.run(t, 1000)
+	if ma.c.R[0] != 55 {
+		t.Errorf("sum = %d, want 55", ma.c.R[0])
+	}
+}
+
+func TestMoveAddressingModes(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	moval buf, r1
+	movl #0x11223344, (r1)
+	movl (r1), r2
+	movl #4, r3
+	movl r2, 4(r1)
+	movl 4(r1), r4
+	moval buf, r5
+	movl (r5)+, r6
+	movl (r5)+, r7
+	movl #0xAA, -(sp)
+	movl (sp)+, r8
+	movab buf+4, r9
+	movl @#buf, r10
+	halt
+buf:	.long 0, 0
+`)
+	ma.run(t, 1000)
+	c := ma.c
+	if c.R[2] != 0x11223344 || c.R[4] != 0x11223344 || c.R[6] != 0x11223344 ||
+		c.R[7] != 0x11223344 || c.R[8] != 0xAA || c.R[10] != 0x11223344 {
+		t.Errorf("registers: %#v", c.R)
+	}
+	if c.R[9] != ma.prog.MustSymbol("buf")+4 {
+		t.Errorf("movab result %#x", c.R[9])
+	}
+}
+
+func TestByteWordOps(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	movl #0xDDCCBBAA, r0
+	movb #0x11, r0        ; only low byte changes
+	movw #0x2222, r1
+	movzbl #0xFF, r2
+	movzwl #0xFFFF, r3
+	mcomb #0x0F, r4
+	halt
+`)
+	ma.run(t, 100)
+	c := ma.c
+	if c.R[0] != 0xDDCCBB11 {
+		t.Errorf("movb to register: %#x", c.R[0])
+	}
+	if c.R[2] != 0xFF || c.R[3] != 0xFFFF {
+		t.Errorf("movz: %#x %#x", c.R[2], c.R[3])
+	}
+	if c.R[4]&0xFF != 0xF0 {
+		t.Errorf("mcomb: %#x", c.R[4])
+	}
+}
+
+func TestConditionCodesAndBranches(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	clrl r10
+	movl #5, r0
+	cmpl r0, #5
+	bneq fail
+	cmpl r0, #6
+	bgeq fail
+	cmpl #0xFFFFFFFF, #1  ; -1 < 1 signed, but unsigned greater
+	bgeq fail
+	movl #1, r10
+	halt
+fail:	mnegl #1, r10
+	halt
+`)
+	ma.run(t, 100)
+	if ma.c.R[10] != 1 {
+		t.Errorf("branch logic failed, r10 = %#x", ma.c.R[10])
+	}
+}
+
+func TestUnsignedBranches(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	cmpl #0xFFFFFFFF, #1
+	blequ fail            ; unsigned 0xFFFFFFFF > 1
+	cmpl #1, #2
+	bgtru fail
+	movl #1, r11
+	halt
+fail:	clrl r11
+	halt
+`)
+	ma.run(t, 100)
+	if ma.c.R[11] != 1 {
+		t.Error("unsigned branches wrong")
+	}
+}
+
+func TestSubroutinesAndStack(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	movl #7, r0
+	jsb double
+	bsbb addone
+	halt
+double:	addl2 r0, r0
+	rsb
+addone:	incl r0
+	rsb
+`)
+	ma.run(t, 100)
+	if ma.c.R[0] != 15 {
+		t.Errorf("r0 = %d, want 15", ma.c.R[0])
+	}
+	if ma.c.SP() != testKSP {
+		t.Errorf("stack imbalance: sp=%#x", ma.c.SP())
+	}
+}
+
+func TestMulDivLogic(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	mull3 #6, #7, r0
+	divl3 #6, #42, r1
+	bisl3 #0x0F, #0xF0, r2
+	bicl3 #0x0F, #0xFF, r3
+	xorl3 #0xFF, #0x0F, r4
+	ashl #4, #1, r5
+	ashl #-4, #0x100, r6
+	halt
+`)
+	ma.run(t, 100)
+	c := ma.c
+	want := []struct {
+		reg int
+		v   uint32
+	}{{0, 42}, {1, 7}, {2, 0xFF}, {3, 0xF0}, {4, 0xF0}, {5, 16}, {6, 16}}
+	for _, w := range want {
+		if c.R[w.reg] != w.v {
+			t.Errorf("r%d = %#x, want %#x", w.reg, c.R[w.reg], w.v)
+		}
+	}
+}
+
+func TestDivideByZeroTrap(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	divl3 #0, #5, r0
+	halt
+	.align 4
+arith:	movl #0xBAD, r9
+	movl (sp)+, r8      ; trap code
+	rei
+`)
+	ma.setVector(t, vax.VecArithmetic, "arith")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0xBAD || ma.c.R[8] != 1 {
+		t.Errorf("arithmetic trap not taken: r9=%#x code=%d", ma.c.R[9], ma.c.R[8])
+	}
+}
+
+func TestLoopInstructions(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	clrl r0
+	clrl r1
+l1:	incl r0
+	aoblss #5, r1, l1     ; r1 counts 1..5
+	clrl r2
+	movl #3, r3
+l2:	incl r2
+	sobgeq r3, l2         ; executes for r3=2,1,0 -> 4 iterations
+	halt
+`)
+	ma.run(t, 1000)
+	if ma.c.R[0] != 5 || ma.c.R[2] != 4 {
+		t.Errorf("aoblss/sobgeq: r0=%d r2=%d", ma.c.R[0], ma.c.R[2])
+	}
+}
+
+func TestBLBSAndBitl(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	movl #5, r0
+	blbs r0, odd
+	clrl r1
+	halt
+odd:	movl #1, r1
+	bitl #4, r0
+	beql fail
+	movl #2, r2
+	halt
+fail:	clrl r2
+	halt
+`)
+	ma.run(t, 100)
+	if ma.c.R[1] != 1 || ma.c.R[2] != 2 {
+		t.Error("blbs/bitl failed")
+	}
+}
+
+func TestReservedInstructionFault(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	.byte 0xCF           ; CASEL: unimplemented
+	halt
+	.align 4
+rsvd:	movl #0x111, r9
+	movl (sp), r10       ; saved PC
+	movl #after, (sp)    ; skip the bad instruction
+	rei
+after:	halt
+`)
+	ma.setVector(t, vax.VecPrivInstr, "rsvd")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0x111 {
+		t.Error("reserved instruction fault not taken")
+	}
+	if ma.c.R[10] != testOrigin {
+		t.Errorf("fault PC = %#x, want %#x", ma.c.R[10], testOrigin)
+	}
+}
+
+func TestXFCFault(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	xfc
+	halt
+	.align 4
+cust:	movl #0x222, r9
+	movl #done, (sp)
+	rei
+done:	halt
+`)
+	ma.setVector(t, vax.VecCustReserved, "cust")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0x222 {
+		t.Error("XFC fault not taken")
+	}
+}
+
+func TestBPTTrap(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	bpt
+	movl #1, r3          ; trap resumes here
+	halt
+	.align 4
+bpt:	movl #0x333, r9
+	rei
+`)
+	ma.setVector(t, vax.VecBreakpoint, "bpt")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0x333 || ma.c.R[3] != 1 {
+		t.Error("BPT trap misbehaved")
+	}
+}
+
+func TestCyclesAdvance(t *testing.T) {
+	ma := newMachine(t, StandardVAX, "start:\tnop\n\tnop\n\thalt")
+	ma.run(t, 10)
+	if ma.c.Cycles == 0 {
+		t.Error("no cycles charged")
+	}
+	if ma.c.Stats.Instructions != 3 {
+		t.Errorf("instructions = %d", ma.c.Stats.Instructions)
+	}
+}
+
+func TestHaltReasonAndStringers(t *testing.T) {
+	ma := newMachine(t, StandardVAX, "start:\thalt")
+	ma.run(t, 10)
+	if ma.c.Reason != HaltInstruction {
+		t.Errorf("reason = %d", ma.c.Reason)
+	}
+	if ma.c.String() == "" || StandardVAX.String() == "" || ModifiedVAX.String() == "" {
+		t.Error("empty stringer")
+	}
+}
+
+func TestRegisterSnapshotOnFault(t *testing.T) {
+	// A faulting instruction with an autoincrement operand must restore
+	// the register before dispatching so the retry re-executes cleanly.
+	ma := newMachine(t, StandardVAX, `
+start:	moval buf, r1
+	movl (r1)+, @#0xF0000   ; write to nonexistent memory: machine check
+	halt
+	.align 4
+mcheck:	movl r1, r9          ; r1 must have been restored
+	halt
+buf:	.long 0x42
+`)
+	ma.setVector(t, vax.VecMachineCheck, "mcheck")
+	ma.run(t, 100)
+	if ma.c.R[9] != ma.prog.MustSymbol("buf") {
+		t.Errorf("autoincrement not unwound: r9=%#x want %#x", ma.c.R[9], ma.prog.MustSymbol("buf"))
+	}
+}

@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vax"
+)
+
+// Robustness: no byte stream, executed in any mode on either variant,
+// may panic the interpreter or corrupt the machine invariants. Random
+// programs mostly fault immediately; the point is that every path ends
+// in an architectural response (fault, halt, or progress), never a Go
+// panic or a privilege violation.
+
+func TestRandomCodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	const trials = 300
+
+	for trial := 0; trial < trials; trial++ {
+		code := make([]byte, 64)
+		rng.Read(code)
+
+		for _, variant := range []Variant{StandardVAX, ModifiedVAX} {
+			m := mem.New(64 * 1024)
+			if err := m.StoreBytes(0x400, code); err != nil {
+				t.Fatal(err)
+			}
+			c := New(m, variant)
+			c.SCBB = 0 // SCB page is all zeros: any dispatch double-faults
+			startMode := vax.Mode(rng.Intn(4))
+			c.SetStackFor(startMode, 0x8000)
+			c.SetPSL(vax.PSL(0).WithCur(startMode).WithPrv(startMode))
+			c.SetPC(0x400)
+
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("trial %d variant %s mode %s: panic %v on code %x",
+							trial, variant, startMode, r, code)
+					}
+				}()
+				c.Run(200)
+			}()
+
+			// Machine invariants survive arbitrary code.
+			if c.PSL().Cur() == vax.Kernel && startMode != vax.Kernel && !c.Halted {
+				// Reaching kernel mode is only legal through the SCB,
+				// whose vectors are zero here — so the machine must have
+				// halted (double error) if it ever dispatched.
+				t.Fatalf("trial %d: random %s-mode code reached kernel mode, code %x",
+					trial, startMode, code)
+			}
+			if c.PSL().VM() && variant == StandardVAX {
+				t.Fatalf("trial %d: standard VAX set PSL<VM>", trial)
+			}
+		}
+	}
+}
+
+func TestRandomCodeInVMNeverEscapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const trials = 200
+
+	for trial := 0; trial < trials; trial++ {
+		code := make([]byte, 48)
+		rng.Read(code)
+		m := mem.New(256 * 1024)
+		if err := m.StoreBytes(16*vax.PageSize, code); err != nil {
+			t.Fatal(err)
+		}
+		c := New(m, ModifiedVAX)
+		for i := uint32(0); i < 32; i++ {
+			pte := vax.NewPTE(true, vax.ProtUW, true, 16+i)
+			if err := m.StoreLong(0x1000+4*i, uint32(pte)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.MMU.SBR = 0x1000
+		c.MMU.SLR = 32
+		c.MMU.Enabled = true
+		sink := &recordSink{onTrap: func(c *CPU, e *vax.Exception) bool {
+			// Stand-in VMM: consume everything and halt, like a VMM
+			// terminating a misbehaving VM.
+			c.Halt(HaltInstruction)
+			return true
+		}}
+		c.Sink = sink
+		c.SetStackFor(vax.Executive, vax.SystemBase+16*vax.PageSize)
+		c.SetPSL(vax.PSL(0).WithCur(vax.Executive).WithPrv(vax.Executive).WithVM(true))
+		c.VMPSL = vax.PSL(0).WithCur(vax.Kernel).WithPrv(vax.Kernel)
+		c.SetPC(vax.SystemBase)
+
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic %v on code %x", trial, r, code)
+				}
+			}()
+			c.Run(200)
+		}()
+
+		// The VM must never reach real kernel mode on its own: every
+		// event lands in the sink, never past it.
+		if c.PSL().Cur() == vax.Kernel && !c.Halted {
+			t.Fatalf("trial %d: VM code reached real kernel mode, code %x", trial, code)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package cpu
+
+import (
+	"repro/internal/mmu"
+	"repro/internal/vax"
+)
+
+// mmuAccess converts a write flag to an MMU access kind.
+func mmuAccess(write bool) mmu.Access {
+	if write {
+		return mmu.Write
+	}
+	return mmu.Read
+}
+
+// Virtual memory access helpers. All accesses translate through the MMU
+// at the processor's current mode (or an explicit mode for the few
+// instructions that reference another mode's context) and then hit
+// either a memory-mapped device window or physical memory. Multi-byte
+// accesses that straddle a page boundary translate each page separately,
+// as the hardware does.
+
+func (c *CPU) physLoadByte(pa uint32) (byte, error) {
+	for _, h := range c.mmio {
+		base, size := h.Window()
+		if pa >= base && pa < base+size {
+			v, err := h.LoadReg(c, pa-base)
+			return byte(v), err
+		}
+	}
+	return c.Mem.LoadByte(pa)
+}
+
+func (c *CPU) physStoreByte(pa uint32, v byte) error {
+	for _, h := range c.mmio {
+		base, size := h.Window()
+		if pa >= base && pa < base+size {
+			return h.StoreReg(c, pa-base, uint32(v))
+		}
+	}
+	return c.Mem.StoreByte(pa, v)
+}
+
+// physLoadLong reads a longword, routing device windows through the
+// device handler as a single register access.
+func (c *CPU) physLoadLong(pa uint32) (uint32, error) {
+	for _, h := range c.mmio {
+		base, size := h.Window()
+		if pa >= base && pa < base+size {
+			return h.LoadReg(c, pa-base)
+		}
+	}
+	return c.Mem.LoadLong(pa)
+}
+
+func (c *CPU) physStoreLong(pa uint32, v uint32) error {
+	for _, h := range c.mmio {
+		base, size := h.Window()
+		if pa >= base && pa < base+size {
+			return h.StoreReg(c, pa-base, v)
+		}
+	}
+	return c.Mem.StoreLong(pa, v)
+}
+
+// LoadVirt reads size bytes (1, 2 or 4) at va as mode, little-endian.
+func (c *CPU) LoadVirt(va uint32, size int, mode vax.Mode) (uint32, error) {
+	// Fast path: within one page and aligned enough for a direct load.
+	if int(va&vax.PageMask)+size <= vax.PageSize {
+		pa, err := c.MMU.Translate(va, mmu.Read, mode)
+		if err != nil {
+			return 0, err
+		}
+		switch size {
+		case 1:
+			b, err := c.physLoadByte(pa)
+			return uint32(b), err
+		case 4:
+			if pa&3 == 0 {
+				return c.physLoadLong(pa)
+			}
+		}
+		var out uint32
+		for i := 0; i < size; i++ {
+			b, err := c.physLoadByte(pa + uint32(i))
+			if err != nil {
+				return 0, err
+			}
+			out |= uint32(b) << (8 * i)
+		}
+		return out, nil
+	}
+	// Page-straddling: byte by byte.
+	var out uint32
+	for i := 0; i < size; i++ {
+		pa, err := c.MMU.Translate(va+uint32(i), mmu.Read, mode)
+		if err != nil {
+			return 0, err
+		}
+		b, err := c.physLoadByte(pa)
+		if err != nil {
+			return 0, err
+		}
+		out |= uint32(b) << (8 * i)
+	}
+	return out, nil
+}
+
+// StoreVirt writes size bytes (1, 2 or 4) at va as mode.
+func (c *CPU) StoreVirt(va uint32, size int, v uint32, mode vax.Mode) error {
+	if int(va&vax.PageMask)+size <= vax.PageSize {
+		pa, err := c.MMU.Translate(va, mmu.Write, mode)
+		if err != nil {
+			return err
+		}
+		switch size {
+		case 1:
+			return c.physStoreByte(pa, byte(v))
+		case 4:
+			if pa&3 == 0 {
+				return c.physStoreLong(pa, v)
+			}
+		}
+		for i := 0; i < size; i++ {
+			if err := c.physStoreByte(pa+uint32(i), byte(v>>(8*i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < size; i++ {
+		pa, err := c.MMU.Translate(va+uint32(i), mmu.Write, mode)
+		if err != nil {
+			return err
+		}
+		if err := c.physStoreByte(pa, byte(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadLong is LoadVirt at the current mode, 4 bytes.
+func (c *CPU) LoadLong(va uint32) (uint32, error) {
+	return c.LoadVirt(va, 4, c.psl.Cur())
+}
+
+// StoreLong is StoreVirt at the current mode, 4 bytes.
+func (c *CPU) StoreLong(va uint32, v uint32) error {
+	return c.StoreVirt(va, 4, v, c.psl.Cur())
+}
+
+// Push pushes a longword on the active stack.
+func (c *CPU) Push(v uint32) error {
+	sp := c.R[RegSP] - 4
+	if err := c.StoreVirt(sp, 4, v, c.psl.Cur()); err != nil {
+		return err
+	}
+	c.R[RegSP] = sp
+	return nil
+}
+
+// Pop pops a longword from the active stack.
+func (c *CPU) Pop() (uint32, error) {
+	v, err := c.LoadVirt(c.R[RegSP], 4, c.psl.Cur())
+	if err != nil {
+		return 0, err
+	}
+	c.R[RegSP] += 4
+	return v, nil
+}
+
+// fetchByte reads the next instruction-stream byte and advances PC.
+func (c *CPU) fetchByte() (byte, error) {
+	v, err := c.LoadVirt(c.R[RegPC], 1, c.psl.Cur())
+	if err != nil {
+		return 0, err
+	}
+	c.R[RegPC]++
+	return byte(v), nil
+}
+
+func (c *CPU) fetchWord() (uint16, error) {
+	v, err := c.LoadVirt(c.R[RegPC], 2, c.psl.Cur())
+	if err != nil {
+		return 0, err
+	}
+	c.R[RegPC] += 2
+	return uint16(v), nil
+}
+
+func (c *CPU) fetchLong() (uint32, error) {
+	v, err := c.LoadVirt(c.R[RegPC], 4, c.psl.Cur())
+	if err != nil {
+		return 0, err
+	}
+	c.R[RegPC] += 4
+	return v, nil
+}

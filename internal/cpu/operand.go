@@ -1,0 +1,245 @@
+package cpu
+
+import "repro/internal/vax"
+
+// Operand specifier decoding, following the VAX general addressing modes.
+// Supported specifiers: short literal, register, register deferred,
+// autodecrement, autoincrement (and immediate), autoincrement deferred
+// (and absolute), byte/word/long displacement (and PC-relative) plus
+// their deferred forms, and index mode prefixes.
+
+type opKind uint8
+
+const (
+	opLiteral opKind = iota // 6-bit short literal
+	opRegister
+	opMemory
+)
+
+// operand is one decoded operand.
+type operand struct {
+	kind opKind
+	reg  int    // register number (opRegister)
+	addr uint32 // virtual address (opMemory)
+	lit  uint32 // literal value (opLiteral)
+	size int    // access size in bytes
+}
+
+func rsvdAddrMode() *vax.Exception {
+	return &vax.Exception{Vector: vax.VecRsvdAddrMode, Kind: vax.Fault}
+}
+
+func rsvdOperand() *vax.Exception {
+	return &vax.Exception{Vector: vax.VecRsvdOperand, Kind: vax.Fault}
+}
+
+// decodeOperand parses one operand specifier of the given access size
+// from the instruction stream. wantAddr is true for address-context
+// operands (MOVAx, JMP, JSB destinations), which forbid register and
+// literal modes.
+func (c *CPU) decodeOperand(size int, wantAddr bool) (operand, error) {
+	spec, err := c.fetchByte()
+	if err != nil {
+		return operand{}, err
+	}
+	mode := spec >> 4
+	rn := int(spec & 0xF)
+
+	// Index mode: the specifier is a prefix; the base operand follows.
+	if mode == 4 {
+		if rn == RegPC {
+			return operand{}, rsvdAddrMode()
+		}
+		base, err := c.decodeOperand(size, true)
+		if err != nil {
+			return operand{}, err
+		}
+		base.addr += c.R[rn] * uint32(size)
+		base.size = size
+		return base, nil
+	}
+
+	switch {
+	case mode < 4: // short literal 0..63
+		if wantAddr {
+			return operand{}, rsvdAddrMode()
+		}
+		return operand{kind: opLiteral, lit: uint32(spec & 0x3F), size: size}, nil
+
+	case mode == 5: // register
+		if wantAddr || rn == RegPC {
+			return operand{}, rsvdAddrMode()
+		}
+		return operand{kind: opRegister, reg: rn, size: size}, nil
+
+	case mode == 6: // register deferred (Rn)
+		return operand{kind: opMemory, addr: c.R[rn], size: size}, nil
+
+	case mode == 7: // autodecrement -(Rn)
+		if rn == RegPC {
+			return operand{}, rsvdAddrMode()
+		}
+		c.R[rn] -= uint32(size)
+		return operand{kind: opMemory, addr: c.R[rn], size: size}, nil
+
+	case mode == 8: // autoincrement (Rn)+ / immediate #x
+		if rn == RegPC {
+			// Immediate: the value follows in the instruction stream.
+			addr := c.R[RegPC]
+			var v uint32
+			switch size {
+			case 1:
+				b, err := c.fetchByte()
+				if err != nil {
+					return operand{}, err
+				}
+				v = uint32(b)
+			case 2:
+				w, err := c.fetchWord()
+				if err != nil {
+					return operand{}, err
+				}
+				v = uint32(w)
+			default:
+				l, err := c.fetchLong()
+				if err != nil {
+					return operand{}, err
+				}
+				v = l
+			}
+			if wantAddr {
+				// Address of the immediate datum itself.
+				return operand{kind: opMemory, addr: addr, size: size}, nil
+			}
+			return operand{kind: opLiteral, lit: v, size: size}, nil
+		}
+		addr := c.R[rn]
+		c.R[rn] += uint32(size)
+		return operand{kind: opMemory, addr: addr, size: size}, nil
+
+	case mode == 9: // autoincrement deferred @(Rn)+ / absolute @#addr
+		if rn == RegPC {
+			a, err := c.fetchLong()
+			if err != nil {
+				return operand{}, err
+			}
+			return operand{kind: opMemory, addr: a, size: size}, nil
+		}
+		ptr := c.R[rn]
+		c.R[rn] += 4
+		a, err := c.LoadLong(ptr)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: opMemory, addr: a, size: size}, nil
+
+	case mode >= 0xA: // displacement modes
+		var disp uint32
+		switch mode &^ 1 {
+		case 0xA: // byte displacement
+			b, err := c.fetchByte()
+			if err != nil {
+				return operand{}, err
+			}
+			disp = uint32(int32(int8(b)))
+		case 0xC: // word displacement
+			w, err := c.fetchWord()
+			if err != nil {
+				return operand{}, err
+			}
+			disp = uint32(int32(int16(w)))
+		default: // 0xE long displacement
+			l, err := c.fetchLong()
+			if err != nil {
+				return operand{}, err
+			}
+			disp = l
+		}
+		// For PC-relative modes, the base is PC after the displacement.
+		a := c.R[rn] + disp
+		if mode&1 == 1 { // deferred
+			ptr := a
+			var err error
+			a, err = c.LoadLong(ptr)
+			if err != nil {
+				return operand{}, err
+			}
+		}
+		return operand{kind: opMemory, addr: a, size: size}, nil
+	}
+	return operand{}, rsvdAddrMode()
+}
+
+// readOp fetches the value of a decoded operand, zero-extended to 32
+// bits.
+func (c *CPU) readOp(op operand) (uint32, error) {
+	switch op.kind {
+	case opLiteral:
+		return op.lit, nil
+	case opRegister:
+		switch op.size {
+		case 1:
+			return c.R[op.reg] & 0xFF, nil
+		case 2:
+			return c.R[op.reg] & 0xFFFF, nil
+		}
+		return c.R[op.reg], nil
+	default:
+		c.Cycles += CostMemOperand
+		return c.LoadVirt(op.addr, op.size, c.psl.Cur())
+	}
+}
+
+// writeOp stores a value to a decoded operand. Byte and word writes to
+// registers leave the high bits unchanged, per the architecture.
+func (c *CPU) writeOp(op operand, v uint32) error {
+	switch op.kind {
+	case opLiteral:
+		return rsvdOperand()
+	case opRegister:
+		switch op.size {
+		case 1:
+			c.R[op.reg] = c.R[op.reg]&^uint32(0xFF) | v&0xFF
+		case 2:
+			c.R[op.reg] = c.R[op.reg]&^uint32(0xFFFF) | v&0xFFFF
+		default:
+			c.R[op.reg] = v
+		}
+		return nil
+	default:
+		c.Cycles += CostMemOperand
+		return c.StoreVirt(op.addr, op.size, v, c.psl.Cur())
+	}
+}
+
+// ref converts a decoded result operand into the OperandRef the
+// VM-emulation trap hands the VMM.
+func (op operand) ref() *vax.OperandRef {
+	if op.kind == opRegister {
+		return &vax.OperandRef{IsRegister: true, Register: op.reg}
+	}
+	return &vax.OperandRef{Address: op.addr}
+}
+
+// WriteRef stores a longword to an OperandRef on behalf of the VMM,
+// completing an emulated instruction's result write (Section 4.2: "The
+// VMM may need to probe addresses when instruction results are written
+// to memory").
+func (c *CPU) WriteRef(r *vax.OperandRef, v uint32) error {
+	if r.IsRegister {
+		c.R[r.Register] = v
+		return nil
+	}
+	return c.StoreVirt(r.Address, 4, v, c.psl.Cur())
+}
+
+// signExt widens an operand value of the given size to a signed int32.
+func signExt(v uint32, size int) int32 {
+	switch size {
+	case 1:
+		return int32(int8(v))
+	case 2:
+		return int32(int16(v))
+	}
+	return int32(v)
+}

@@ -1,0 +1,185 @@
+package cpu
+
+// VAX character-string and queue instructions: MOVC3, CMPC3, INSQUE and
+// REMQUE — the workhorses of VMS system code. The string instructions
+// are executed atomically here (the real VAX makes them interruptible
+// via PSL<FPD>; with the simulator's instruction-grained interrupts the
+// distinction is unobservable to guests).
+
+func (c *CPU) execMOVC3() error {
+	lenOp, err := c.decodeOperand(2, false)
+	if err != nil {
+		return err
+	}
+	srcOp, err := c.decodeOperand(1, true)
+	if err != nil {
+		return err
+	}
+	dstOp, err := c.decodeOperand(1, true)
+	if err != nil {
+		return err
+	}
+	n, err := c.readOp(lenOp)
+	if err != nil {
+		return err
+	}
+	n &= 0xFFFF
+	src, dst := srcOp.addr, dstOp.addr
+	mode := c.psl.Cur()
+
+	// Choose direction so overlapping moves behave like a memmove, as
+	// the architecture requires.
+	if dst <= src || dst >= src+n {
+		for i := uint32(0); i < n; i++ {
+			b, err := c.LoadVirt(src+i, 1, mode)
+			if err != nil {
+				return err
+			}
+			if err := c.StoreVirt(dst+i, 1, b, mode); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := n; i > 0; i-- {
+			b, err := c.LoadVirt(src+i-1, 1, mode)
+			if err != nil {
+				return err
+			}
+			if err := c.StoreVirt(dst+i-1, 1, b, mode); err != nil {
+				return err
+			}
+		}
+	}
+	c.Cycles += uint64(n) / 4 // string move microcode cost
+	// Architectural register results.
+	c.R[0] = 0
+	c.R[1] = src + n
+	c.R[2] = 0
+	c.R[3] = dst + n
+	c.R[4] = 0
+	c.R[5] = 0
+	c.setNZVC(false, true, false, false)
+	return nil
+}
+
+func (c *CPU) execCMPC3() error {
+	lenOp, err := c.decodeOperand(2, false)
+	if err != nil {
+		return err
+	}
+	s1Op, err := c.decodeOperand(1, true)
+	if err != nil {
+		return err
+	}
+	s2Op, err := c.decodeOperand(1, true)
+	if err != nil {
+		return err
+	}
+	n, err := c.readOp(lenOp)
+	if err != nil {
+		return err
+	}
+	n &= 0xFFFF
+	a1, a2 := s1Op.addr, s2Op.addr
+	mode := c.psl.Cur()
+
+	i := uint32(0)
+	var b1, b2 uint32
+	for ; i < n; i++ {
+		if b1, err = c.LoadVirt(a1+i, 1, mode); err != nil {
+			return err
+		}
+		if b2, err = c.LoadVirt(a2+i, 1, mode); err != nil {
+			return err
+		}
+		if b1 != b2 {
+			break
+		}
+	}
+	c.Cycles += uint64(i) / 4
+	c.R[0] = n - i
+	c.R[1] = a1 + i
+	c.R[2] = n - i
+	c.R[3] = a2 + i
+	if i == n {
+		c.setNZVC(false, true, false, false)
+	} else {
+		s1, s2 := int32(int8(b1)), int32(int8(b2))
+		c.setNZVC(s1 < s2, false, false, b1 < b2)
+	}
+	return nil
+}
+
+// Queue entries are pairs of longwords: forward link at offset 0,
+// backward link at offset 4; links hold absolute addresses.
+
+func (c *CPU) execINSQUE() error {
+	entryOp, err := c.decodeOperand(1, true)
+	if err != nil {
+		return err
+	}
+	predOp, err := c.decodeOperand(1, true)
+	if err != nil {
+		return err
+	}
+	entry, pred := entryOp.addr, predOp.addr
+	succ, err := c.LoadLong(pred)
+	if err != nil {
+		return err
+	}
+	// entry.flink = succ; entry.blink = pred
+	if err := c.StoreLong(entry, succ); err != nil {
+		return err
+	}
+	if err := c.StoreLong(entry+4, pred); err != nil {
+		return err
+	}
+	// succ.blink = entry; pred.flink = entry
+	if err := c.StoreLong(succ+4, entry); err != nil {
+		return err
+	}
+	if err := c.StoreLong(pred, entry); err != nil {
+		return err
+	}
+	// Z set when the entry is now the only one (its links are equal):
+	// the queue was empty before the insertion.
+	c.setNZVC(false, succ == pred, false, false)
+	return nil
+}
+
+func (c *CPU) execREMQUE() error {
+	entryOp, err := c.decodeOperand(1, true)
+	if err != nil {
+		return err
+	}
+	addrOp, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	entry := entryOp.addr
+	flink, err := c.LoadLong(entry)
+	if err != nil {
+		return err
+	}
+	blink, err := c.LoadLong(entry + 4)
+	if err != nil {
+		return err
+	}
+	// V set when the queue was empty (nothing to remove).
+	if flink == entry {
+		c.setNZVC(false, false, true, true)
+		return c.writeOp(addrOp, entry)
+	}
+	if err := c.StoreLong(blink, flink); err != nil {
+		return err
+	}
+	if err := c.StoreLong(flink+4, blink); err != nil {
+		return err
+	}
+	if err := c.writeOp(addrOp, entry); err != nil {
+		return err
+	}
+	// Z set when the queue is now empty.
+	c.setNZVC(false, flink == blink, false, false)
+	return nil
+}

@@ -1,0 +1,437 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/vax"
+)
+
+// enterUser switches the machine to user mode at the given label using
+// REI semantics, as an OS would.
+func (ma *machine) enterMode(t *testing.T, m vax.Mode, label string) {
+	t.Helper()
+	ma.c.SetPSL(vax.PSL(0).WithCur(m).WithPrv(m))
+	ma.c.SetPC(ma.prog.MustSymbol(label))
+}
+
+func TestCHMKFromUser(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	chmk #42
+	movl #1, r6          ; resumes here after REI
+	halt                 ; priv fault in user mode -> through kernel halt below
+	.align 4
+chmk:	movl (sp)+, r7       ; code operand
+	movpsl r8
+	rei
+	.align 4
+privh:	halt
+`)
+	ma.setVector(t, vax.VecCHMK, "chmk")
+	ma.setVector(t, vax.VecPrivInstr, "privh")
+	ma.enterMode(t, vax.User, "start")
+	ma.run(t, 100)
+	c := ma.c
+	if c.R[7] != 42 {
+		t.Errorf("CHMK code = %d, want 42", c.R[7])
+	}
+	psl := vax.PSL(c.R[8])
+	if psl.Cur() != vax.Kernel || psl.Prv() != vax.User {
+		t.Errorf("handler PSL = %s, want cur=kernel prv=user", psl)
+	}
+	if c.R[6] != 1 {
+		t.Error("REI did not resume user code")
+	}
+	if c.Stats.CHMs != 1 || c.Stats.REIs == 0 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+}
+
+func TestCHMNeverLowersPrivilege(t *testing.T) {
+	// CHMU from executive mode: vector is CHMU's, but mode stays
+	// executive (CHM switches only to equal or increased privilege).
+	ma := newMachine(t, StandardVAX, `
+start:	chmu #7
+	halt
+	.align 4
+chmu:	movpsl r8
+	movl #1, r9
+	halt
+	.align 4
+privh:	halt
+`)
+	ma.setVector(t, vax.VecCHMU, "chmu")
+	ma.setVector(t, vax.VecPrivInstr, "privh")
+	ma.enterMode(t, vax.Executive, "start")
+	ma.run(t, 100)
+	if ma.c.R[9] != 1 {
+		t.Fatal("CHMU handler not reached")
+	}
+	psl := vax.PSL(ma.c.R[8])
+	if psl.Cur() != vax.Executive {
+		t.Errorf("CHMU from executive landed in %s", psl.Cur())
+	}
+}
+
+func TestCHMStackSwitch(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	chme #5
+	halt
+	.align 4
+chme:	movl sp, r3
+	movl #1, r9
+	halt
+	.align 4
+privh:	halt
+`)
+	ma.setVector(t, vax.VecCHME, "chme")
+	ma.setVector(t, vax.VecPrivInstr, "privh")
+	ma.enterMode(t, vax.User, "start")
+	ma.run(t, 100)
+	if ma.c.R[9] != 1 {
+		t.Fatal("CHME handler not reached")
+	}
+	// Executive stack: ESP base minus the 3 pushed longwords.
+	if ma.c.R[3] != testESP-12 {
+		t.Errorf("handler sp = %#x, want %#x", ma.c.R[3], testESP-12)
+	}
+}
+
+func TestREIValidation(t *testing.T) {
+	// User mode attempts to REI to kernel mode: reserved operand fault.
+	ma := newMachine(t, StandardVAX, `
+start:	pushl #0             ; PSL image: kernel mode, all clear
+	pushl #target
+	rei
+target:	halt
+	.align 4
+rsvd:	movl #0x99, r9
+	halt
+	.align 4
+privh:	halt
+`)
+	ma.setVector(t, vax.VecRsvdOperand, "rsvd")
+	ma.setVector(t, vax.VecPrivInstr, "privh")
+	ma.enterMode(t, vax.User, "start")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0x99 {
+		t.Error("REI privilege escalation not caught")
+	}
+}
+
+func TestREIRejectsVMBit(t *testing.T) {
+	// Even in kernel mode, software cannot set PSL<VM> through REI.
+	ma := newMachine(t, StandardVAX, `
+start:	movl #0x10000000, r0 ; PSL<VM>
+	pushl r0
+	pushl #target
+	rei
+target:	halt
+	.align 4
+rsvd:	movl #0x77, r9
+	halt
+`)
+	ma.setVector(t, vax.VecRsvdOperand, "rsvd")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0x77 {
+		t.Error("REI accepted PSL<VM>")
+	}
+}
+
+func TestREIToLowerMode(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	movl #0x03C00000, r0 ; cur=user prv=user
+	pushl r0
+	pushl #ucode
+	rei
+	halt
+ucode:	movpsl r5
+	chmk #0
+	.align 4
+chmk:	movl #1, r9
+	halt
+`)
+	ma.setVector(t, vax.VecCHMK, "chmk")
+	ma.run(t, 100)
+	if ma.c.R[9] != 1 {
+		t.Fatal("did not complete round trip")
+	}
+	if vax.PSL(ma.c.R[5]).Cur() != vax.User {
+		t.Errorf("user code PSL = %s", vax.PSL(ma.c.R[5]))
+	}
+}
+
+func TestMOVPSLUnprivileged(t *testing.T) {
+	// Table 1: MOVPSL reads PSL<CUR>/<PRV> without any trap, from any
+	// mode — the sensitive-but-unprivileged behaviour.
+	ma := newMachine(t, StandardVAX, `
+start:	movpsl r0
+	chmk #0
+	.align 4
+chmk:	halt
+`)
+	ma.setVector(t, vax.VecCHMK, "chmk")
+	ma.enterMode(t, vax.User, "start")
+	ma.run(t, 100)
+	psl := vax.PSL(ma.c.R[0])
+	if psl.Cur() != vax.User {
+		t.Errorf("MOVPSL cur = %s", psl.Cur())
+	}
+	if ma.c.Stats.Exceptions != 1 { // only the CHMK
+		t.Errorf("MOVPSL trapped: %d exceptions", ma.c.Stats.Exceptions)
+	}
+}
+
+func TestMTPRPrivileged(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	mtpr #3, #18         ; set IPL=3 (kernel only)
+	mfpr #18, r2
+	halt
+`)
+	ma.run(t, 100)
+	if ma.c.R[2] != 3 || ma.c.PSL().IPL() != 3 {
+		t.Errorf("IPL = %d / r2 = %d", ma.c.PSL().IPL(), ma.c.R[2])
+	}
+}
+
+func TestMTPRFromUserFaults(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	mtpr #3, #18
+	halt
+	.align 4
+privh:	movl #0xF0, r9
+	halt
+`)
+	ma.setVector(t, vax.VecPrivInstr, "privh")
+	ma.enterMode(t, vax.User, "start")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0xF0 {
+		t.Error("MTPR from user did not fault")
+	}
+	if ma.c.Stats.PrivTraps != 1 {
+		t.Errorf("PrivTraps = %d", ma.c.Stats.PrivTraps)
+	}
+}
+
+func TestMFPRStackPointers(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	mfpr #0, r0          ; KSP: current mode's SP is live
+	mfpr #3, r3          ; USP from save area
+	mtpr #0x4000, #3     ; set USP
+	mfpr #3, r4
+	halt
+`)
+	ma.run(t, 100)
+	// KSP read while in kernel mode returns the live SP.
+	if ma.c.R[0] != testKSP {
+		t.Errorf("KSP = %#x", ma.c.R[0])
+	}
+	if ma.c.R[3] != testUSP || ma.c.R[4] != 0x4000 {
+		t.Errorf("USP handling: %#x %#x", ma.c.R[3], ma.c.R[4])
+	}
+}
+
+func TestMTPRNonexistentRegister(t *testing.T) {
+	// The virtual-VAX registers don't exist on a real machine (Table 4).
+	ma := newMachine(t, StandardVAX, `
+start:	mtpr #1, #201        ; KCALL
+	halt
+	.align 4
+rsvd:	movl #0xE0, r9
+	halt
+`)
+	ma.setVector(t, vax.VecRsvdOperand, "rsvd")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0xE0 {
+		t.Error("MTPR to KCALL on real machine should take reserved operand fault")
+	}
+}
+
+func TestSoftwareInterrupt(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	mtpr #8, #18         ; IPL 8
+	mtpr #3, #20          ; request software interrupt level 3 (SIRR)
+	movl #1, r3          ; not interrupted yet (IPL 8 > 3)
+	mtpr #0, #18          ; drop IPL: interrupt delivers
+	halt
+	.align 4
+soft3:	movl #1, r9
+	movpsl r10
+	rei
+`)
+	ma.setVector(t, vax.SoftwareVector(3), "soft3")
+	ma.run(t, 100)
+	if ma.c.R[3] != 1 {
+		t.Error("interrupt delivered while IPL masked it")
+	}
+	if ma.c.R[9] != 1 {
+		t.Fatal("software interrupt not delivered after IPL drop")
+	}
+	if vax.PSL(ma.c.R[10]).IPL() != 3 {
+		t.Errorf("handler IPL = %d, want 3", vax.PSL(ma.c.R[10]).IPL())
+	}
+	if ma.c.SISR != 0 {
+		t.Errorf("SISR not cleared: %#x", ma.c.SISR)
+	}
+}
+
+func TestDeviceInterruptMasking(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	mtpr #31, #18
+	movl #1, r3
+	mtpr #0, #18
+	halt
+	.align 4
+devh:	movl #2, r9
+	rei
+`)
+	ma.setVector(t, vax.Vector(0xC0), "devh")
+	ma.c.RequestInterrupt(vax.IPLClock, 0xC0)
+	ma.run(t, 100)
+	if ma.c.R[3] != 1 || ma.c.R[9] != 2 {
+		t.Errorf("device interrupt: r3=%d r9=%d", ma.c.R[3], ma.c.R[9])
+	}
+	if ma.c.Stats.Interrupts != 1 {
+		t.Errorf("Interrupts = %d", ma.c.Stats.Interrupts)
+	}
+}
+
+func TestPendingAboveOrdering(t *testing.T) {
+	ma := newMachine(t, StandardVAX, "start: halt")
+	c := ma.c
+	c.RequestInterrupt(10, 0xC0)
+	c.RequestInterrupt(20, 0xC4)
+	if got := c.PendingAbove(0); got != 20 {
+		t.Errorf("PendingAbove(0) = %d, want 20", got)
+	}
+	// Levels at or below the mask are held pending, not visible.
+	if got := c.PendingAbove(20); got != 0 {
+		t.Errorf("PendingAbove(20) = %d, want 0", got)
+	}
+	c.ClearInterrupt(20)
+	if got := c.PendingAbove(15); got != 0 {
+		t.Errorf("PendingAbove(15) = %d, want 0", got)
+	}
+	if got := c.PendingAbove(5); got != 10 {
+		t.Errorf("PendingAbove(5) = %d, want 10", got)
+	}
+}
+
+func TestLDPCTXSVPCTXRoundTrip(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	mtpr #pcb, #16       ; PCBB
+	ldpctx
+	rei                  ; resume the process described by the PCB
+	.align 4
+proc:	movl #0xABCD, r10
+	chmk #0
+	.align 4
+chmk:	addl2 #4, sp         ; discard the CHMK code operand
+	svpctx               ; save it back
+	movl #1, r9
+	halt
+	.align 4
+	.org 0x700
+pcb:	.long 0x8000, 0x7000, 0x6000, 0x5000   ; KSP ESP SSP USP
+	.long 101, 102, 103, 104, 105, 106, 107, 108, 109, 110, 111, 112
+	.long 113, 114       ; AP FP
+	.long proc           ; PC
+	.long 0x03C00000     ; PSL: cur=user prv=user
+	.long 0, 0, 0, 0     ; P0BR P0LR P1BR P1LR
+`)
+	ma.setVector(t, vax.VecCHMK, "chmk")
+	ma.run(t, 200)
+	c := ma.c
+	if c.R[9] != 1 {
+		t.Fatal("round trip incomplete")
+	}
+	pcb := ma.prog.MustSymbol("pcb")
+	// After SVPCTX the PCB must hold the process's registers, including
+	// the r10 the process wrote, and the PC/PSL of the CHMK trap.
+	r10, _ := ma.m.LoadLong(pcb + PCBR0 + 4*10)
+	if r10 != 0xABCD {
+		t.Errorf("saved r10 = %#x", r10)
+	}
+	savedPSL, _ := ma.m.LoadLong(pcb + PCBPSL)
+	if vax.PSL(savedPSL).Cur() != vax.User {
+		t.Errorf("saved PSL = %s", vax.PSL(savedPSL))
+	}
+	r0, _ := ma.m.LoadLong(pcb + PCBR0)
+	if r0 != 101 {
+		t.Errorf("saved r0 = %d", r0)
+	}
+}
+
+func TestHALTFromUserFaults(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	halt
+	.align 4
+privh:	movl #0xAB, r9
+	halt
+`)
+	ma.setVector(t, vax.VecPrivInstr, "privh")
+	ma.enterMode(t, vax.User, "start")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0xAB {
+		t.Error("HALT from user mode must fault, not halt")
+	}
+}
+
+func TestWAITOnStandardVAXFaults(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	wait
+	halt
+	.align 4
+privh:	movl #0xCD, r9
+	halt
+`)
+	ma.setVector(t, vax.VecPrivInstr, "privh")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0xCD {
+		t.Error("WAIT on standard VAX should privileged-instruction fault")
+	}
+}
+
+func TestPROBEVMOnStandardVAXFaults(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	probevmr #1, (r0)
+	halt
+	.align 4
+privh:	movl #0xEF, r9
+	halt
+`)
+	ma.setVector(t, vax.VecPrivInstr, "privh")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0xEF {
+		t.Error("PROBEVM on standard VAX should privileged-instruction fault")
+	}
+}
+
+func TestWAITOnModifiedBareMachineFaults(t *testing.T) {
+	// Table 4 row WAIT, "Modified VAX: no change": outside a VM the
+	// modified machine behaves like a standard VAX.
+	ma := newMachine(t, ModifiedVAX, `
+start:	wait
+	halt
+	.align 4
+privh:	movl #0xCE, r9
+	halt
+`)
+	ma.setVector(t, vax.VecPrivInstr, "privh")
+	ma.run(t, 100)
+	if ma.c.R[9] != 0xCE {
+		t.Error("WAIT on modified bare machine should still fault")
+	}
+}
+
+func TestMOVPSLNeverShowsVMBit(t *testing.T) {
+	ma := newMachine(t, ModifiedVAX, `
+start:	movpsl r0
+	halt
+`)
+	// Force the raw bit on to prove MOVPSL masks it.
+	ma.c.psl = ma.c.psl.WithVM(false) // normal run first
+	ma.run(t, 100)
+	if vax.PSL(ma.c.R[0]).VM() {
+		t.Error("MOVPSL leaked PSL<VM>")
+	}
+}

@@ -1,0 +1,487 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/mem"
+	"repro/internal/vax"
+)
+
+// recordSink is a minimal stand-in for the VMM: it records every event
+// delivered to the real machine's kernel vectors and (by default) halts
+// the machine so the test can inspect state.
+type recordSink struct {
+	got    []*vax.Exception
+	onTrap func(c *CPU, e *vax.Exception) bool
+}
+
+func (s *recordSink) HandleException(c *CPU, e *vax.Exception) bool {
+	s.got = append(s.got, e)
+	if s.onTrap != nil {
+		return s.onTrap(c, e)
+	}
+	c.Halt(HaltInstruction)
+	return true
+}
+
+func (s *recordSink) last() *vax.Exception {
+	if len(s.got) == 0 {
+		return nil
+	}
+	return s.got[len(s.got)-1]
+}
+
+// vmMachine builds a modified-VAX machine executing src inside a virtual
+// machine: mapping on (32 S pages, UW protection, identity frames 16+),
+// PSL<VM> set, real mode executive (compressed VM kernel), VMPSL
+// kernel/kernel.
+type vmMachine struct {
+	c    *CPU
+	m    *mem.Memory
+	prog *asm.Program
+	sink *recordSink
+}
+
+const (
+	vmSPTBase   = 0x1000 // physical address of the (shadow) SPT
+	vmFrameBase = 16     // S page i -> frame 16+i
+	vmSPages    = 32
+)
+
+func newVMMachine(t *testing.T, src string) *vmMachine {
+	t.Helper()
+	prog, err := asm.Assemble(src, vax.SystemBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.New(256 * 1024)
+	if err := m.StoreBytes(vmFrameBase*vax.PageSize, prog.Code); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, ModifiedVAX)
+	for i := uint32(0); i < vmSPages; i++ {
+		pte := vax.NewPTE(true, vax.ProtUW, true, vmFrameBase+i)
+		if err := m.StoreLong(vmSPTBase+4*i, uint32(pte)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.MMU.SBR = vmSPTBase
+	c.MMU.SLR = vmSPages
+	c.MMU.Enabled = true
+	sink := &recordSink{}
+	c.Sink = sink
+	// Enter the VM: real executive mode with PSL<VM> set; the VM
+	// believes it is in kernel mode.
+	c.SetStackFor(vax.Executive, vax.SystemBase+16*vax.PageSize)
+	c.SetPSL(vax.PSL(0).WithCur(vax.Executive).WithPrv(vax.Executive).WithVM(true))
+	c.VMPSL = vax.PSL(0).WithCur(vax.Kernel).WithPrv(vax.Kernel)
+	start := prog.Origin
+	if s, ok := prog.Symbol("start"); ok {
+		start = s
+	}
+	c.SetPC(start)
+	return &vmMachine{c: c, m: m, prog: prog, sink: sink}
+}
+
+func (vm *vmMachine) run(t *testing.T, maxSteps uint64) {
+	t.Helper()
+	vm.c.Run(maxSteps)
+	if !vm.c.Halted {
+		t.Fatalf("did not halt: pc=%#x", vm.c.PC())
+	}
+}
+
+func vmInfoOf(t *testing.T, e *vax.Exception) *vax.VMTrapInfo {
+	t.Helper()
+	if e == nil {
+		t.Fatal("no exception recorded")
+	}
+	if e.Vector != vax.VecVMEmulation || e.VMInfo == nil {
+		t.Fatalf("want VM-emulation trap, got %v", e)
+	}
+	return e.VMInfo
+}
+
+func TestVMTrapCHMK(t *testing.T) {
+	vm := newVMMachine(t, "start:\tchmk #42")
+	vm.run(t, 10)
+	info := vmInfoOf(t, vm.sink.last())
+	if info.Opcode != vax.OpCHMK {
+		t.Errorf("opcode = %#x", info.Opcode)
+	}
+	if len(info.Operands) != 2 || info.Operands[0] != 42 {
+		t.Errorf("operands = %v", info.Operands)
+	}
+	if info.GuestPSL.Cur() != vax.Kernel {
+		t.Errorf("guest PSL cur = %s", info.GuestPSL.Cur())
+	}
+	if !vm.sink.last().FromVM {
+		t.Error("FromVM not set")
+	}
+	if vm.c.PSL().VM() {
+		t.Error("microcode must clear PSL<VM> before the VMM runs")
+	}
+	if vm.c.Stats.VMTraps != 1 {
+		t.Errorf("VMTraps = %d", vm.c.Stats.VMTraps)
+	}
+}
+
+func TestVMTrapCHMFromVMUserMode(t *testing.T) {
+	// CHM is sensitive regardless of mode: even VM-user CHMK must reach
+	// the VMM (which forwards it to the VM's SCB).
+	vm := newVMMachine(t, "start:\tchmk #7")
+	vm.c.VMPSL = vax.PSL(0).WithCur(vax.User).WithPrv(vax.User)
+	vm.c.SetPSL(vax.PSL(0).WithCur(vax.User).WithPrv(vax.User).WithVM(true))
+	vm.run(t, 10)
+	info := vmInfoOf(t, vm.sink.last())
+	if info.GuestPSL.Cur() != vax.User {
+		t.Errorf("guest PSL cur = %s", info.GuestPSL.Cur())
+	}
+}
+
+func TestVMTrapREI(t *testing.T) {
+	vm := newVMMachine(t, "start:\trei")
+	vm.run(t, 10)
+	info := vmInfoOf(t, vm.sink.last())
+	if info.Opcode != vax.OpREI {
+		t.Errorf("opcode = %#x", info.Opcode)
+	}
+	// Trap semantics: NextPC points past the REI.
+	if info.NextPC != info.PC+1 {
+		t.Errorf("PC=%#x NextPC=%#x", info.PC, info.NextPC)
+	}
+}
+
+func TestVMMOVPSLMergesWithoutTrap(t *testing.T) {
+	vm := newVMMachine(t, `
+start:	movpsl r0
+	chmk #0              ; deliver state to the test
+`)
+	vm.c.VMPSL = vax.PSL(0).WithCur(vax.Kernel).WithPrv(vax.User).WithIPL(11)
+	vm.run(t, 10)
+	// Exactly one trap (the CHMK) — MOVPSL itself never traps.
+	if len(vm.sink.got) != 1 {
+		t.Fatalf("got %d traps", len(vm.sink.got))
+	}
+	psl := vax.PSL(vm.c.R[0])
+	if psl.Cur() != vax.Kernel || psl.Prv() != vax.User || psl.IPL() != 11 {
+		t.Errorf("merged PSL = %s", psl)
+	}
+	if psl.VM() {
+		t.Error("PSL<VM> visible through MOVPSL")
+	}
+	if vm.c.Stats.MOVPSLs != 1 {
+		t.Errorf("MOVPSLs = %d", vm.c.Stats.MOVPSLs)
+	}
+}
+
+func TestVMPrivilegedInstructionsTrapByVMMode(t *testing.T) {
+	// Section 4.4.1: in VM-kernel mode the privileged sensitive
+	// instructions take the VM-emulation trap; in other VM modes they
+	// take the ordinary privileged-instruction fault.
+	for _, tc := range []struct {
+		src    string
+		opcode uint16
+	}{
+		{"start:\tmtpr r0, #18", vax.OpMTPR},
+		{"start:\tmfpr #18, r1", vax.OpMFPR},
+		{"start:\thalt", vax.OpHALT},
+		{"start:\tldpctx", vax.OpLDPCTX},
+		{"start:\tsvpctx", vax.OpSVPCTX},
+		{"start:\twait", vax.OpWAIT},
+		{"start:\tprobevmr #1, (r0)", vax.OpPROBEVMR},
+	} {
+		vm := newVMMachine(t, tc.src)
+		vm.run(t, 10)
+		info := vmInfoOf(t, vm.sink.last())
+		if info.Opcode != tc.opcode {
+			t.Errorf("%q: opcode %#x, want %#x", tc.src, info.Opcode, tc.opcode)
+		}
+
+		// Same instruction from VM-user mode: privileged instruction
+		// fault, still delivered to the VMM (FromVM).
+		vm2 := newVMMachine(t, tc.src)
+		vm2.c.VMPSL = vax.PSL(0).WithCur(vax.User).WithPrv(vax.User)
+		vm2.c.SetPSL(vax.PSL(0).WithCur(vax.User).WithPrv(vax.User).WithVM(true))
+		vm2.run(t, 10)
+		e := vm2.sink.last()
+		if e == nil || e.Vector != vax.VecPrivInstr {
+			t.Errorf("%q from VM user: got %v, want privileged instruction fault", tc.src, e)
+		}
+		if e != nil && !e.FromVM {
+			t.Errorf("%q: FromVM not set on priv fault", tc.src)
+		}
+	}
+}
+
+func TestVMMTPROperandsDecoded(t *testing.T) {
+	vm := newVMMachine(t, `
+start:	movl #0x1234, r3
+	mtpr r3, #18
+`)
+	vm.run(t, 10)
+	info := vmInfoOf(t, vm.sink.last())
+	if len(info.Operands) != 2 || info.Operands[0] != 0x1234 || info.Operands[1] != 18 {
+		t.Errorf("operands = %v", info.Operands)
+	}
+}
+
+func TestVMMFPRWriteBackRef(t *testing.T) {
+	vm := newVMMachine(t, "start:\tmfpr #8, r5")
+	vm.run(t, 10)
+	info := vmInfoOf(t, vm.sink.last())
+	if info.WriteBack == nil || !info.WriteBack.IsRegister || info.WriteBack.Register != 5 {
+		t.Errorf("writeback = %v", info.WriteBack)
+	}
+	// The VMM completes the instruction via WriteRef.
+	if err := vm.c.WriteRef(info.WriteBack, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	if vm.c.R[5] != 0xCAFE {
+		t.Error("WriteRef to register failed")
+	}
+}
+
+func TestVMModifyFault(t *testing.T) {
+	// Clear PTE<M> on S page 8 and write to it from the VM: the
+	// modified VAX raises a modify fault to the VMM instead of setting
+	// the bit in hardware (Section 4.4.2).
+	vm := newVMMachine(t, `
+start:	movl #1, @#0x80001000   ; S page 8
+	chmk #0
+`)
+	pte := vax.NewPTE(true, vax.ProtUW, false, vmFrameBase+8)
+	if err := vm.m.StoreLong(vmSPTBase+4*8, uint32(pte)); err != nil {
+		t.Fatal(err)
+	}
+	vm.run(t, 10)
+	e := vm.sink.last()
+	if e == nil || e.Vector != vax.VecModifyFault {
+		t.Fatalf("want modify fault, got %v", e)
+	}
+	if e.Params[1] != 0x80001000 {
+		t.Errorf("faulting va = %#x", e.Params[1])
+	}
+	// The PTE must be untouched (software sets M).
+	raw, _ := vm.m.LoadLong(vmSPTBase + 4*8)
+	if vax.PTE(raw).Modified() {
+		t.Error("hardware set M despite modify-fault mode")
+	}
+}
+
+func TestVMWriteWithModifySetDoesNotFault(t *testing.T) {
+	vm := newVMMachine(t, `
+start:	movl #1, @#0x80001000
+	chmk #0
+`)
+	vm.run(t, 10)
+	e := vm.sink.last()
+	if e == nil || e.Vector != vax.VecVMEmulation {
+		t.Fatalf("want only the CHMK trap, got %v", e)
+	}
+	if len(vm.sink.got) != 1 {
+		t.Errorf("extra traps: %v", vm.sink.got)
+	}
+}
+
+func TestVMPROBEValidPTENoTrap(t *testing.T) {
+	vm := newVMMachine(t, `
+start:	prober #3, #4, @#0x80001000
+	beql notacc
+	movl #1, r9
+	chmk #0
+notacc:	movl #2, r9
+	chmk #1
+`)
+	vm.run(t, 20)
+	if len(vm.sink.got) != 1 {
+		t.Fatalf("PROBE trapped despite valid PTE: %v", vm.sink.got)
+	}
+	if vm.c.R[9] != 1 {
+		t.Error("UW page should probe accessible for user")
+	}
+}
+
+func TestVMPROBEInvalidPTETraps(t *testing.T) {
+	vm := newVMMachine(t, "start:\tprober #3, #4, @#0x80001000")
+	// Null-PTE style: invalid, UW.
+	pte := vax.NewPTE(false, vax.ProtUW, false, 0)
+	if err := vm.m.StoreLong(vmSPTBase+4*8, uint32(pte)); err != nil {
+		t.Fatal(err)
+	}
+	vm.run(t, 10)
+	info := vmInfoOf(t, vm.sink.last())
+	if info.Opcode != vax.OpPROBER {
+		t.Errorf("opcode = %#x", info.Opcode)
+	}
+	// Fault semantics: after the VMM fills the shadow PTE the PROBE
+	// re-executes. Simulate the fill and resume.
+	if vm.sink.last().Kind != vax.Fault {
+		t.Error("PROBE shadow-fill trap must be a fault (retry)")
+	}
+	if info.Operands[3] != 0x80001000 {
+		t.Errorf("faulting probe va = %#x", info.Operands[3])
+	}
+}
+
+func TestVMPROBEUsesVMPreviousMode(t *testing.T) {
+	// Page protected ER (executive read). VMPSL<PRV>=user: probe #0
+	// combines to user -> inaccessible. VMPSL<PRV>=kernel: probe mode
+	// kernel... compressed page grants executive, so kernel probe of
+	// mode-argument kernel is limited by operand mode only.
+	src := `
+start:	prober #0, #4, @#0x80001000
+	beql notacc
+	movl #1, r9
+	chmk #0
+notacc:	movl #2, r9
+	chmk #1
+`
+	vm := newVMMachine(t, src)
+	pte := vax.NewPTE(true, vax.ProtER, true, vmFrameBase+8)
+	if err := vm.m.StoreLong(vmSPTBase+4*8, uint32(pte)); err != nil {
+		t.Fatal(err)
+	}
+	vm.c.VMPSL = vax.PSL(0).WithCur(vax.Kernel).WithPrv(vax.User)
+	vm.run(t, 20)
+	if vm.c.R[9] != 2 {
+		t.Error("probe with VM previous mode user should be inaccessible")
+	}
+
+	vm2 := newVMMachine(t, src)
+	if err := vm2.m.StoreLong(vmSPTBase+4*8, uint32(pte)); err != nil {
+		t.Fatal(err)
+	}
+	vm2.c.VMPSL = vax.PSL(0).WithCur(vax.Kernel).WithPrv(vax.Kernel)
+	vm2.run(t, 20)
+	if vm2.c.R[9] != 1 {
+		t.Error("probe with VM previous mode kernel should be accessible")
+	}
+}
+
+func TestPROBEVMOnModifiedBareMachine(t *testing.T) {
+	// PROBEVM tests protection, validity, modify in that order
+	// (Table 2), reporting through Z, V, C.
+	prog := `
+start:	probevmw #0, @#0x80001000
+	movpsl r3            ; capture condition codes
+	probevmw #0, @#0x80001200  ; page 9: invalid
+	movpsl r4
+	probevmw #0, @#0x80001400  ; page 10: M clear
+	movpsl r5
+	probevmr #0, @#0x80001400  ; read probe ignores M
+	movpsl r6
+	probevmw #0, @#0x80001600  ; page 11: ER -> write denied
+	movpsl r7
+	halt
+`
+	p, err := asm.Assemble(prog, vax.SystemBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(256 * 1024)
+	if err := m.StoreBytes(vmFrameBase*vax.PageSize, p.Code); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, ModifiedVAX)
+	for i := uint32(0); i < vmSPages; i++ {
+		pte := vax.NewPTE(true, vax.ProtUW, true, vmFrameBase+i)
+		switch i {
+		case 9:
+			pte = vax.NewPTE(false, vax.ProtUW, false, vmFrameBase+i)
+		case 10:
+			pte = vax.NewPTE(true, vax.ProtUW, false, vmFrameBase+i)
+		case 11:
+			pte = vax.NewPTE(true, vax.ProtER, true, vmFrameBase+i)
+		}
+		if err := m.StoreLong(vmSPTBase+4*i, uint32(pte)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.MMU.SBR = vmSPTBase
+	c.MMU.SLR = vmSPages
+	c.MMU.Enabled = true
+	c.SetStackFor(vax.Kernel, vax.SystemBase+16*vax.PageSize)
+	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
+	c.SetPC(p.MustSymbol("start"))
+	c.Run(100)
+	if !c.Halted {
+		t.Fatalf("did not halt, pc=%#x", c.PC())
+	}
+	ccOf := func(r int) (z, v, carry bool) {
+		p := vax.PSL(c.R[r])
+		return uint32(p)&vax.PSLZ != 0, uint32(p)&vax.PSLV != 0, uint32(p)&vax.PSLC != 0
+	}
+	if z, v, cy := ccOf(3); z || v || cy {
+		t.Errorf("valid modified UW page: z=%t v=%t c=%t", z, v, cy)
+	}
+	if z, v, cy := ccOf(4); z || !v || cy {
+		t.Errorf("invalid page must set V: z=%t v=%t c=%t", z, v, cy)
+	}
+	if z, v, cy := ccOf(5); z || v || !cy {
+		t.Errorf("unmodified page on write probe must set C: z=%t v=%t c=%t", z, v, cy)
+	}
+	if z, v, cy := ccOf(6); z || v || cy {
+		t.Errorf("read probe must ignore M: z=%t v=%t c=%t", z, v, cy)
+	}
+	if z, _, _ := ccOf(7); !z {
+		t.Error("write probe of ER page must set Z")
+	}
+}
+
+func TestVMGuestPageFaultReachesSink(t *testing.T) {
+	vm := newVMMachine(t, "start:\tmovl @#0x80001000, r0")
+	pte := vax.NewPTE(false, vax.ProtUW, false, 0) // null PTE
+	if err := vm.m.StoreLong(vmSPTBase+4*8, uint32(pte)); err != nil {
+		t.Fatal(err)
+	}
+	vm.run(t, 10)
+	e := vm.sink.last()
+	if e == nil || e.Vector != vax.VecTransNotValid || !e.FromVM {
+		t.Fatalf("want TNV from VM, got %v", e)
+	}
+}
+
+func TestVMEfficiencyNoTrapsOnPlainCode(t *testing.T) {
+	// The efficiency property (Section 2): unprivileged instructions
+	// execute directly with no VMM involvement.
+	vm := newVMMachine(t, `
+start:	clrl r0
+	movl #100, r1
+loop:	addl2 r1, r0
+	sobgtr r1, loop
+	chmk #0
+`)
+	vm.run(t, 1000)
+	if len(vm.sink.got) != 1 {
+		t.Errorf("plain code trapped %d times", len(vm.sink.got))
+	}
+	if vm.c.R[0] != 5050 {
+		t.Errorf("sum = %d", vm.c.R[0])
+	}
+}
+
+func TestSinkResumeExecution(t *testing.T) {
+	// A sink that emulates MTPR-to-IPL by updating VMPSL and resuming,
+	// like the real VMM.
+	vm := newVMMachine(t, `
+start:	mtpr #5, #18
+	movpsl r2
+	chmk #0
+`)
+	vm.sink.onTrap = func(c *CPU, e *vax.Exception) bool {
+		if e.VMInfo != nil && e.VMInfo.Opcode == vax.OpMTPR {
+			c.VMPSL = c.VMPSL.WithIPL(uint8(e.VMInfo.Operands[0]))
+			c.SetPSL(c.PSL().WithVM(true)) // resume VM mode
+			c.SetPC(e.VMInfo.NextPC)
+			return true
+		}
+		c.Halt(HaltInstruction)
+		return true
+	}
+	vm.run(t, 20)
+	if vax.PSL(vm.c.R[2]).IPL() != 5 {
+		t.Errorf("emulated IPL = %d, want 5", vax.PSL(vm.c.R[2]).IPL())
+	}
+}

@@ -1,0 +1,128 @@
+// Package exp is the experiment harness: one function per table, figure
+// and quantitative claim in the paper, each of which actually runs the
+// simulated machines and reports what it observed alongside what the
+// paper reports. The cmd/experiments binary and the repository's
+// bench_test.go both drive this package; EXPERIMENTS.md records its
+// output.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one regenerated table, figure or measurement.
+type Result struct {
+	ID      string // e.g. "T1", "F2", "E4"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+
+	// PaperClaim and Measured summarize the quantitative comparison;
+	// Match reports whether the measured shape holds.
+	PaperClaim string
+	Measured   string
+	Match      bool
+}
+
+func (r *Result) addRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+func (r *Result) addNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the result as aligned text.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Headers) > 0 {
+		widths := make([]int, len(r.Headers))
+		for i, h := range r.Headers {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			for i, c := range cells {
+				if i < len(widths) {
+					fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+				} else {
+					b.WriteString(c)
+				}
+			}
+			b.WriteByte('\n')
+		}
+		line(r.Headers)
+		for i, w := range widths {
+			b.WriteString(strings.Repeat("-", w))
+			if i < len(widths)-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+		for _, row := range r.Rows {
+			line(row)
+		}
+	} else {
+		for _, row := range r.Rows {
+			b.WriteString(strings.Join(row, " "))
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if r.PaperClaim != "" {
+		status := "HOLDS"
+		if !r.Match {
+			status = "DOES NOT HOLD"
+		}
+		fmt.Fprintf(&b, "paper: %s\nmeasured: %s\nshape: %s\n", r.PaperClaim, r.Measured, status)
+	}
+	return b.String()
+}
+
+// Spec describes one runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func() (*Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Spec {
+	return []Spec{
+		{"T1", "Sensitive data touched by unprivileged instructions (Table 1)", Table1},
+		{"T2", "PROBE versus PROBEVM (Table 2)", Table2},
+		{"T3", "Solutions for sensitive data (Table 3)", Table3},
+		{"T4", "Summary of VAX architecture changes (Table 4)", Table4},
+		{"F1", "VAX virtual address space (Figure 1)", Figure1},
+		{"F2", "VM and VMM shared address space (Figure 2)", Figure2},
+		{"F3", "Ring compression (Figure 3)", Figure3},
+		{"E1", "Mixed workload: VM performance vs bare machine (Section 7.3)", E1MixedWorkload},
+		{"E2", "Multi-process shadow tables cut fill faults (Section 7.2)", E2ShadowCache},
+		{"E3", "Shadow fills between context switches; prefetch ablation (Section 4.3.1)", E3FaultsPerSwitch},
+		{"E4", "MTPR-to-IPL emulation cost (Section 7.3)", E4MtprIPL},
+		{"E5", "Start-I/O versus emulated memory-mapped I/O (Section 4.4.3)", E5IOTraps},
+		{"E6", "Efficiency: unprivileged code runs at native speed (Section 2)", E6Efficiency},
+		{"E7", "Ring virtualization schemes compared (Section 7.1)", E7RingSchemes},
+		{"E8", "Modify fault vs read-only shadow (Section 4.4.2 ablation)", E8ModifyFaultAblation},
+		{"E9", "Cost-model sensitivity (methodology check)", E9CostSensitivity},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Spec, bool) {
+	for _, s := range All() {
+		if strings.EqualFold(s.ID, id) {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

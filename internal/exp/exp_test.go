@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment must run cleanly and (where it asserts a quantitative
+// shape) reproduce the paper's shape. These tests are the repository's
+// contract that EXPERIMENTS.md can be regenerated at any time.
+
+func runSpec(t *testing.T, id string) *Result {
+	t.Helper()
+	spec, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	r, err := spec.Run()
+	if err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	if r.ID != id {
+		t.Errorf("result ID %q, want %q", r.ID, id)
+	}
+	if r.Format() == "" {
+		t.Error("empty formatted output")
+	}
+	return r
+}
+
+func requireAllChecks(t *testing.T, r *Result) {
+	t.Helper()
+	for _, row := range r.Rows {
+		for _, cell := range row {
+			if strings.Contains(cell, "✗") {
+				t.Errorf("%s: failed check in row %v", r.ID, row)
+			}
+		}
+	}
+}
+
+func TestTable1(t *testing.T) { requireAllChecks(t, runSpec(t, "T1")) }
+func TestTable2(t *testing.T) { requireAllChecks(t, runSpec(t, "T2")) }
+func TestTable3(t *testing.T) { requireAllChecks(t, runSpec(t, "T3")) }
+func TestTable4(t *testing.T) {
+	r := runSpec(t, "T4")
+	requireAllChecks(t, r)
+	if len(r.Rows) < 15 {
+		t.Errorf("Table 4 has %d rows, want the full matrix", len(r.Rows))
+	}
+}
+
+func TestFigure1(t *testing.T) { runSpec(t, "F1") }
+func TestFigure2(t *testing.T) {
+	r := runSpec(t, "F2")
+	if len(r.Rows) < 4 {
+		t.Errorf("figure 2 layout rows = %d", len(r.Rows))
+	}
+}
+func TestFigure3(t *testing.T) {
+	r := runSpec(t, "F3")
+	if !r.Match {
+		t.Error("ring compression not demonstrated")
+	}
+}
+
+func TestE1MixedWorkload(t *testing.T) {
+	r := runSpec(t, "E1")
+	if !r.Match {
+		t.Errorf("E1 shape does not hold: %s", r.Measured)
+	}
+}
+
+func TestE2ShadowCache(t *testing.T) {
+	r := runSpec(t, "E2")
+	if !r.Match {
+		t.Errorf("E2 shape does not hold: %s", r.Measured)
+	}
+}
+
+func TestE3FaultsPerSwitch(t *testing.T) {
+	r := runSpec(t, "E3")
+	if !r.Match {
+		t.Errorf("E3 shape does not hold: %s", r.Measured)
+	}
+}
+
+func TestE4MtprIPL(t *testing.T) {
+	r := runSpec(t, "E4")
+	if !r.Match {
+		t.Errorf("E4 shape does not hold: %s", r.Measured)
+	}
+}
+
+func TestE5IOTraps(t *testing.T) {
+	r := runSpec(t, "E5")
+	if !r.Match {
+		t.Errorf("E5 shape does not hold: %s", r.Measured)
+	}
+}
+
+func TestE6Efficiency(t *testing.T) {
+	r := runSpec(t, "E6")
+	if !r.Match {
+		t.Errorf("E6 shape does not hold: %s", r.Measured)
+	}
+}
+
+func TestE7RingSchemes(t *testing.T) {
+	r := runSpec(t, "E7")
+	if !r.Match {
+		t.Errorf("E7 shape does not hold: %s", r.Measured)
+	}
+}
+
+func TestE8ModifyFaultAblation(t *testing.T) {
+	r := runSpec(t, "E8")
+	if !r.Match {
+		t.Errorf("E8 shape does not hold: %s", r.Measured)
+	}
+}
+
+func TestE9CostSensitivity(t *testing.T) {
+	r := runSpec(t, "E9")
+	if !r.Match {
+		t.Errorf("E9 does not hold: %s", r.Measured)
+	}
+}
+
+func TestAllSpecsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.ID] {
+			t.Errorf("duplicate experiment %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Title == "" || s.Run == nil {
+			t.Errorf("%s incomplete", s.ID)
+		}
+	}
+	if len(seen) != 16 {
+		t.Errorf("%d experiments, want 16", len(seen))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted an unknown id")
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := &Result{ID: "X", Title: "t", Headers: []string{"a", "bb"},
+		PaperClaim: "c", Measured: "m", Match: true}
+	r.addRow("1", "2")
+	r.addNote("n %d", 5)
+	out := r.Format()
+	for _, want := range []string{"== X: t ==", "a", "bb", "note: n 5", "HOLDS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	r.Match = false
+	if !strings.Contains(r.Format(), "DOES NOT HOLD") {
+		t.Error("mismatch not rendered")
+	}
+}

@@ -1,0 +1,135 @@
+// Package mem provides the physical memory of a simulated VAX system:
+// byte-addressable, little-endian storage with page-frame bookkeeping.
+// A bus error on a nonexistent physical address is reported as an error
+// value so the CPU can turn it into a machine check (or, inside a VM,
+// the VMM can halt the VM — paper Section 5, "Hardware errors").
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/vax"
+)
+
+// Memory is a flat physical address space.
+type Memory struct {
+	data []byte
+}
+
+// BusError reports a reference to nonexistent physical memory.
+type BusError struct {
+	Addr  uint32
+	Write bool
+}
+
+func (e *BusError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("bus error: %s of nonexistent physical address %#x", op, e.Addr)
+}
+
+// New creates a memory of the given size, rounded up to a whole number
+// of pages.
+func New(size uint32) *Memory {
+	pages := (size + vax.PageSize - 1) / vax.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	return &Memory{data: make([]byte, pages*vax.PageSize)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+
+// Pages returns the number of page frames.
+func (m *Memory) Pages() uint32 { return uint32(len(m.data)) / vax.PageSize }
+
+// Contains reports whether [addr, addr+n) lies within memory.
+func (m *Memory) Contains(addr, n uint32) bool {
+	return addr <= m.Size() && n <= m.Size()-addr
+}
+
+// LoadByte reads one byte of physical memory.
+func (m *Memory) LoadByte(addr uint32) (byte, error) {
+	if !m.Contains(addr, 1) {
+		return 0, &BusError{Addr: addr}
+	}
+	return m.data[addr], nil
+}
+
+// StoreByte writes one byte of physical memory.
+func (m *Memory) StoreByte(addr uint32, v byte) error {
+	if !m.Contains(addr, 1) {
+		return &BusError{Addr: addr, Write: true}
+	}
+	m.data[addr] = v
+	return nil
+}
+
+// LoadWord reads a little-endian 16-bit word.
+func (m *Memory) LoadWord(addr uint32) (uint16, error) {
+	if !m.Contains(addr, 2) {
+		return 0, &BusError{Addr: addr}
+	}
+	return binary.LittleEndian.Uint16(m.data[addr:]), nil
+}
+
+// StoreWord writes a little-endian 16-bit word.
+func (m *Memory) StoreWord(addr uint32, v uint16) error {
+	if !m.Contains(addr, 2) {
+		return &BusError{Addr: addr, Write: true}
+	}
+	binary.LittleEndian.PutUint16(m.data[addr:], v)
+	return nil
+}
+
+// LoadLong reads a little-endian 32-bit longword.
+func (m *Memory) LoadLong(addr uint32) (uint32, error) {
+	if !m.Contains(addr, 4) {
+		return 0, &BusError{Addr: addr}
+	}
+	return binary.LittleEndian.Uint32(m.data[addr:]), nil
+}
+
+// StoreLong writes a little-endian 32-bit longword.
+func (m *Memory) StoreLong(addr uint32, v uint32) error {
+	if !m.Contains(addr, 4) {
+		return &BusError{Addr: addr, Write: true}
+	}
+	binary.LittleEndian.PutUint32(m.data[addr:], v)
+	return nil
+}
+
+// LoadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) LoadBytes(addr, n uint32) ([]byte, error) {
+	if !m.Contains(addr, n) {
+		return nil, &BusError{Addr: addr}
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:addr+n])
+	return out, nil
+}
+
+// StoreBytes copies b into memory starting at addr.
+func (m *Memory) StoreBytes(addr uint32, b []byte) error {
+	if !m.Contains(addr, uint32(len(b))) {
+		return &BusError{Addr: addr, Write: true}
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// ZeroPage clears the page frame pfn.
+func (m *Memory) ZeroPage(pfn uint32) error {
+	addr := pfn * vax.PageSize
+	if !m.Contains(addr, vax.PageSize) {
+		return &BusError{Addr: addr, Write: true}
+	}
+	for i := range m.data[addr : addr+vax.PageSize] {
+		m.data[addr+uint32(i)] = 0
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vax"
+)
+
+func TestSizesRoundUpToPages(t *testing.T) {
+	m := New(1)
+	if m.Size() != vax.PageSize || m.Pages() != 1 {
+		t.Errorf("size %d pages %d", m.Size(), m.Pages())
+	}
+	m = New(0)
+	if m.Pages() != 1 {
+		t.Error("zero-size memory should still have one page")
+	}
+	m = New(3 * vax.PageSize)
+	if m.Pages() != 3 {
+		t.Errorf("pages = %d, want 3", m.Pages())
+	}
+}
+
+func TestByteWordLongRoundTrip(t *testing.T) {
+	m := New(4096)
+	if err := m.StoreByte(10, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := m.LoadByte(10); b != 0xAB {
+		t.Errorf("byte = %#x", b)
+	}
+	if err := m.StoreWord(100, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := m.LoadWord(100); w != 0xBEEF {
+		t.Errorf("word = %#x", w)
+	}
+	if err := m.StoreLong(200, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := m.LoadLong(200); l != 0xDEADBEEF {
+		t.Errorf("long = %#x", l)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New(4096)
+	if err := m.StoreLong(0, 0x04030201); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 4; i++ {
+		b, _ := m.LoadByte(i)
+		if b != byte(i+1) {
+			t.Errorf("byte %d = %#x, want %#x", i, b, i+1)
+		}
+	}
+	w, _ := m.LoadWord(1)
+	if w != 0x0302 {
+		t.Errorf("unaligned word = %#x", w)
+	}
+}
+
+func TestBusErrors(t *testing.T) {
+	m := New(vax.PageSize)
+	if _, err := m.LoadLong(vax.PageSize - 2); err == nil {
+		t.Error("straddling read should bus-error")
+	}
+	if err := m.StoreLong(vax.PageSize, 1); err == nil {
+		t.Error("out of range write should bus-error")
+	}
+	var be *BusError
+	_, err := m.LoadByte(1 << 30)
+	if b, ok := err.(*BusError); !ok {
+		t.Fatalf("want BusError, got %v", err)
+	} else {
+		be = b
+	}
+	if be.Write || be.Addr != 1<<30 || be.Error() == "" {
+		t.Errorf("bad bus error: %+v", be)
+	}
+	err = m.StoreByte(1<<30, 0)
+	if b, ok := err.(*BusError); !ok || !b.Write {
+		t.Errorf("write bus error misreported: %v", err)
+	}
+}
+
+func TestBytesAndZeroPage(t *testing.T) {
+	m := New(2 * vax.PageSize)
+	src := []byte{1, 2, 3, 4, 5}
+	if err := m.StoreBytes(vax.PageSize, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.LoadBytes(vax.PageSize, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("byte %d = %d", i, got[i])
+		}
+	}
+	// LoadBytes must return a copy.
+	got[0] = 99
+	b, _ := m.LoadByte(vax.PageSize)
+	if b != 1 {
+		t.Error("LoadBytes aliases memory")
+	}
+	if err := m.ZeroPage(1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = m.LoadByte(vax.PageSize)
+	if b != 0 {
+		t.Error("ZeroPage did not clear")
+	}
+	if err := m.ZeroPage(2); err == nil {
+		t.Error("ZeroPage past end should fail")
+	}
+	if err := m.StoreBytes(2*vax.PageSize-2, src); err == nil {
+		t.Error("StoreBytes straddling end should fail")
+	}
+	if _, err := m.LoadBytes(2*vax.PageSize-2, 5); err == nil {
+		t.Error("LoadBytes straddling end should fail")
+	}
+}
+
+// TestLongRoundTripProperty: any longword written within bounds reads
+// back identically, and neighbouring longwords are undisturbed.
+func TestLongRoundTripProperty(t *testing.T) {
+	m := New(64 * 1024)
+	f := func(addr uint32, v uint32) bool {
+		addr = (addr % (m.Size() - 12)) + 4
+		before, _ := m.LoadLong(addr - 4)
+		if err := m.StoreLong(addr, v); err != nil {
+			return false
+		}
+		got, _ := m.LoadLong(addr)
+		after, _ := m.LoadLong(addr - 4)
+		return got == v && before == after
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	m := New(vax.PageSize)
+	if !m.Contains(0, vax.PageSize) {
+		t.Error("whole memory should be contained")
+	}
+	if m.Contains(0, vax.PageSize+1) {
+		t.Error("size+1 must not be contained")
+	}
+	if m.Contains(0xFFFFFFFF, 4) {
+		t.Error("wraparound must not be contained")
+	}
+}

@@ -1,0 +1,325 @@
+// Package mmu implements VAX memory management: the three-region virtual
+// address space (Figure 1 of the paper), page-table walks with process
+// page tables living in S-space virtual memory, a translation buffer
+// with TBIA/TBIS invalidation, protection checking, and — when enabled —
+// the modify fault of Section 4.4.2 of the paper.
+package mmu
+
+import (
+	"repro/internal/mem"
+	"repro/internal/vax"
+)
+
+// Access distinguishes read from write references.
+type Access uint8
+
+const (
+	Read Access = iota
+	Write
+)
+
+func (a Access) String() string {
+	if a == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Stats counts MMU events for the experiment harness.
+type Stats struct {
+	Translations uint64
+	TLBHits      uint64
+	TLBMisses    uint64
+	TNVFaults    uint64 // translation not valid
+	ProtFaults   uint64 // access violations
+	ModifyFaults uint64 // modify faults raised (modified VAX)
+	MSets        uint64 // PTE<M> set by hardware (standard VAX)
+}
+
+type tlbEntry struct {
+	pte vax.PTE
+}
+
+// MMU holds the memory-management state of one simulated processor.
+type MMU struct {
+	Mem *mem.Memory
+
+	// Mapping registers (IPRs mirrored here by the CPU).
+	Enabled    bool   // MAPEN
+	P0BR, P1BR uint32 // S-space virtual addresses of the process page tables
+	P0LR, P1LR uint32 // lengths in PTEs
+	SBR        uint32 // physical address of the system page table
+	SLR        uint32 // length in PTEs
+
+	// ModifyFaultEnabled, when it returns true, makes a legal write to a
+	// page with PTE<M> clear raise a modify fault instead of setting the
+	// bit in hardware (paper Section 4.4.2). The CPU wires this to
+	// "modified VAX variant and PSL<VM> set".
+	ModifyFaultEnabled func() bool
+
+	Stats Stats
+
+	tlb map[uint32]tlbEntry
+}
+
+// New creates an MMU over the given physical memory, with mapping
+// disabled (physical addressing) as after processor init.
+func New(m *mem.Memory) *MMU {
+	return &MMU{Mem: m, tlb: make(map[uint32]tlbEntry)}
+}
+
+// TBIA invalidates the entire translation buffer.
+func (u *MMU) TBIA() { u.tlb = make(map[uint32]tlbEntry) }
+
+// TBIS invalidates the translation for the page containing va.
+func (u *MMU) TBIS(va uint32) { delete(u.tlb, vax.PageBase(va)) }
+
+// TLBSize returns the number of cached translations (for tests).
+func (u *MMU) TLBSize() int { return len(u.tlb) }
+
+func accessViolation(va uint32, a Access, length, pteRef bool) *vax.Exception {
+	param := uint32(0)
+	if a == Write {
+		param |= vax.FaultParamWrite
+	}
+	if length {
+		param |= vax.FaultParamLength
+	}
+	if pteRef {
+		param |= vax.FaultParamPTERef
+	}
+	return &vax.Exception{Vector: vax.VecAccessViol, Kind: vax.Fault, Params: []uint32{param, va}}
+}
+
+func tnvFault(va uint32, a Access, pteRef bool) *vax.Exception {
+	param := uint32(0)
+	if a == Write {
+		param |= vax.FaultParamWrite
+	}
+	if pteRef {
+		param |= vax.FaultParamPTERef
+	}
+	return &vax.Exception{Vector: vax.VecTransNotValid, Kind: vax.Fault, Params: []uint32{param, va}}
+}
+
+func modifyFault(va uint32) *vax.Exception {
+	return &vax.Exception{Vector: vax.VecModifyFault, Kind: vax.Fault,
+		Params: []uint32{vax.FaultParamWrite, va}}
+}
+
+// pteSlot locates the PTE describing va: its address and whether that
+// address is physical (system region) or an S-space virtual address
+// (process regions). A false ok means a length violation.
+func (u *MMU) pteSlot(va uint32) (addr uint32, physical, ok bool) {
+	vpn := vax.VPN(va)
+	switch vax.Region(va) {
+	case vax.RegionP0:
+		if vpn >= u.P0LR {
+			return 0, false, false
+		}
+		return u.P0BR + 4*vpn, false, true
+	case vax.RegionP1:
+		// P1 grows downward: valid P1 addresses are the top of the
+		// region, and P1LR names the number of *unmapped* low pages in
+		// the full architecture. For simplicity this implementation uses
+		// P1LR as the count of mapped pages at the bottom of P1, like P0.
+		if vpn >= u.P1LR {
+			return 0, false, false
+		}
+		return u.P1BR + 4*vpn, false, true
+	case vax.RegionSystem:
+		if vpn >= u.SLR {
+			return 0, false, false
+		}
+		return u.SBR + 4*vpn, true, true
+	}
+	return 0, false, false
+}
+
+// fetchPTE reads the PTE for va, walking the system page table when the
+// PTE itself lives in S-space virtual memory. Faults taken on the PTE
+// reference carry FaultParamPTERef.
+func (u *MMU) fetchPTE(va uint32, a Access) (vax.PTE, uint32, bool, error) {
+	slot, physical, ok := u.pteSlot(va)
+	if !ok {
+		return 0, 0, false, accessViolation(va, a, true, false)
+	}
+	if physical {
+		raw, err := u.Mem.LoadLong(slot)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		return vax.PTE(raw), slot, true, nil
+	}
+	// The process PTE resides in S space: translate its address through
+	// the system page table (one level of indirection, as on the VAX).
+	if vax.Region(slot) != vax.RegionSystem {
+		return 0, 0, false, accessViolation(va, a, true, true)
+	}
+	svpn := vax.VPN(slot)
+	if svpn >= u.SLR {
+		return 0, 0, false, accessViolation(va, a, true, true)
+	}
+	raw, err := u.Mem.LoadLong(u.SBR + 4*svpn)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	spte := vax.PTE(raw)
+	if spte.Prot().Reserved() {
+		return 0, 0, false, accessViolation(va, a, false, true)
+	}
+	if !spte.Valid() {
+		return 0, 0, false, tnvFault(va, a, true)
+	}
+	pteAddr := spte.PFN()*vax.PageSize + (slot & vax.PageMask)
+	praw, err := u.Mem.LoadLong(pteAddr)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return vax.PTE(praw), pteAddr, false, nil
+}
+
+// storePTE writes back a PTE fetched by fetchPTE (used by hardware M-bit
+// setting on the standard VAX).
+func (u *MMU) storePTE(pteAddr uint32, pte vax.PTE) error {
+	return u.Mem.StoreLong(pteAddr, uint32(pte))
+}
+
+// Translate maps a virtual address to a physical address for an access
+// of the given kind from the given mode. With mapping disabled the
+// address passes through unchanged. Returned errors are *vax.Exception
+// (faults to be dispatched) or *mem.BusError (machine check).
+func (u *MMU) Translate(va uint32, a Access, mode vax.Mode) (uint32, error) {
+	if !u.Enabled {
+		return va, nil
+	}
+	u.Stats.Translations++
+	if vax.Region(va) == vax.RegionReserved {
+		return 0, accessViolation(va, a, true, false)
+	}
+
+	page := vax.PageBase(va)
+	var pte vax.PTE
+	var pteAddr uint32
+	if e, ok := u.tlb[page]; ok {
+		u.Stats.TLBHits++
+		pte = e.pte
+		// The TLB does not store the PTE's memory address; hardware
+		// refetches on an M-bit update (rare path).
+	} else {
+		u.Stats.TLBMisses++
+		var err error
+		pte, pteAddr, _, err = u.fetchPTE(va, a)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	prot := pte.Prot()
+	if prot.Reserved() {
+		u.Stats.ProtFaults++
+		return 0, accessViolation(va, a, false, false)
+	}
+	// The architecture checks protection even when PTE<V> is clear
+	// (Section 3.2.1) — the property the null PTE of Section 4.3.1
+	// relies on.
+	allowed := prot.CanRead(mode)
+	if a == Write {
+		allowed = prot.CanWrite(mode)
+	}
+	if !allowed {
+		u.Stats.ProtFaults++
+		return 0, accessViolation(va, a, false, false)
+	}
+	if !pte.Valid() {
+		u.Stats.TNVFaults++
+		u.TBIS(va)
+		return 0, tnvFault(va, a, false)
+	}
+
+	if a == Write && !pte.Modified() {
+		if u.ModifyFaultEnabled != nil && u.ModifyFaultEnabled() {
+			// Modified VAX: deliver a modify fault; software must set
+			// PTE<M> and retry (Section 4.4.2).
+			u.Stats.ModifyFaults++
+			u.TBIS(va)
+			return 0, modifyFault(va)
+		}
+		// Standard VAX: hardware sets PTE<M> without a trap.
+		u.Stats.MSets++
+		if pteAddr == 0 {
+			// TLB hit: refetch to learn the PTE's address.
+			var err error
+			pte, pteAddr, _, err = u.fetchPTE(va, a)
+			if err != nil {
+				return 0, err
+			}
+		}
+		pte = pte.WithModify(true)
+		if err := u.storePTE(pteAddr, pte); err != nil {
+			return 0, err
+		}
+	}
+
+	u.tlb[page] = tlbEntry{pte: pte}
+	return pte.PFN()*vax.PageSize + (va & vax.PageMask), nil
+}
+
+// ProbePTE fetches (without caching) the PTE governing va, for the PROBE
+// and PROBEVM instructions. The bool reports whether the page is within
+// the region length; out-of-length probes are simply inaccessible rather
+// than faulting (PROBE sets a condition code instead).
+func (u *MMU) ProbePTE(va uint32) (vax.PTE, bool, error) {
+	if !u.Enabled {
+		return vax.NewPTE(true, vax.ProtUW, true, vax.VPN(va)), true, nil
+	}
+	if vax.Region(va) == vax.RegionReserved {
+		return 0, false, nil
+	}
+	pte, _, _, err := u.fetchPTE(va, Read)
+	if err != nil {
+		if _, isExc := err.(*vax.Exception); isExc {
+			// A fault on the PTE reference itself means the page is not
+			// accessible as far as PROBE is concerned.
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	return pte, true, nil
+}
+
+// Probe implements the accessibility test of PROBER/PROBEW on the
+// standard VAX: protection is checked against mode regardless of the
+// valid bit.
+func (u *MMU) Probe(va uint32, a Access, mode vax.Mode) (bool, error) {
+	pte, inLen, err := u.ProbePTE(va)
+	if err != nil {
+		return false, err
+	}
+	if !inLen {
+		return false, nil
+	}
+	prot := pte.Prot()
+	if prot.Reserved() {
+		return false, nil
+	}
+	if a == Write {
+		return prot.CanWrite(mode), nil
+	}
+	return prot.CanRead(mode), nil
+}
+
+// SetPTEModify sets PTE<M> for the page containing va directly in the
+// page table (used by modify-fault handlers) and drops any stale TLB
+// entry.
+func (u *MMU) SetPTEModify(va uint32) error {
+	pte, pteAddr, _, err := u.fetchPTE(va, Read)
+	if err != nil {
+		return err
+	}
+	if err := u.storePTE(pteAddr, pte.WithModify(true)); err != nil {
+		return err
+	}
+	u.TBIS(va)
+	return nil
+}

@@ -1,0 +1,343 @@
+// Package monitor is an interactive machine monitor (debugger) for the
+// simulated VAX: single-stepping, breakpoints, register and memory
+// inspection, live disassembly, and VM-aware state display. The command
+// processor is I/O-agnostic so cmd/vaxmon can wrap it around stdin and
+// tests can drive it directly.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/vax"
+)
+
+// Monitor drives one machine interactively.
+type Monitor struct {
+	CPU *cpu.CPU
+	// Symbols, when set, lets the monitor print symbolic locations.
+	Symbols map[string]uint32
+
+	breaks map[uint32]bool
+}
+
+// New creates a monitor for the given processor.
+func New(c *cpu.CPU) *Monitor {
+	return &Monitor{CPU: c, breaks: make(map[uint32]bool)}
+}
+
+// Execute runs one command line and returns its output. Unknown
+// commands return usage help. The boolean reports whether the session
+// should end (the "quit" command).
+func (m *Monitor) Execute(line string) (string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", false
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "q", "quit", "exit":
+		return "", true
+	case "h", "help", "?":
+		return m.help(), false
+	case "s", "step":
+		return m.step(args), false
+	case "c", "continue", "run":
+		return m.cont(args), false
+	case "r", "regs":
+		return m.regs(), false
+	case "d", "dis":
+		return m.dis(args), false
+	case "x", "mem":
+		return m.mem(args), false
+	case "b", "break":
+		return m.breakCmd(args), false
+	case "del":
+		return m.deleteBreak(args), false
+	case "sym":
+		return m.symbols(args), false
+	case "stat":
+		return m.stat(), false
+	}
+	return fmt.Sprintf("unknown command %q; try help", cmd), false
+}
+
+func (m *Monitor) help() string {
+	return strings.TrimSpace(`
+commands:
+  step [n]        execute n instructions (default 1)
+  continue [max]  run until a breakpoint, halt, or max steps (default 1e6)
+  regs            show registers and the PSL (and VMPSL when set)
+  dis [addr [n]]  disassemble n instructions (default: at PC, 8)
+  mem addr [n]    dump n longwords of virtual memory (default 8)
+  break [addr]    set a breakpoint, or list breakpoints
+  del addr        delete a breakpoint
+  sym [prefix]    list known symbols
+  stat            machine statistics
+  quit            leave the monitor
+addresses accept 0x hex, decimal, or a symbol name`)
+}
+
+// resolve parses an address: symbol, hex or decimal.
+func (m *Monitor) resolve(s string) (uint32, error) {
+	if v, ok := m.Symbols[s]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return uint32(v), nil
+}
+
+// symbolFor returns "name+off" for the closest symbol at or below addr.
+func (m *Monitor) symbolFor(addr uint32) string {
+	best, name := uint32(0), ""
+	for n, a := range m.Symbols {
+		if a <= addr && a >= best && name == "" || (a <= addr && a > best) {
+			best, name = a, n
+		}
+	}
+	if name == "" {
+		return ""
+	}
+	if best == addr {
+		return " <" + name + ">"
+	}
+	return fmt.Sprintf(" <%s+%#x>", name, addr-best)
+}
+
+func (m *Monitor) step(args []string) string {
+	n := uint64(1)
+	if len(args) > 0 {
+		if v, err := strconv.ParseUint(args[0], 0, 64); err == nil {
+			n = v
+		}
+	}
+	for i := uint64(0); i < n && !m.CPU.Halted; i++ {
+		m.CPU.Step()
+	}
+	return m.where()
+}
+
+func (m *Monitor) cont(args []string) string {
+	max := uint64(1_000_000)
+	if len(args) > 0 {
+		if v, err := strconv.ParseUint(args[0], 0, 64); err == nil {
+			max = v
+		}
+	}
+	var steps uint64
+	for !m.CPU.Halted && steps < max {
+		m.CPU.Step()
+		steps++
+		if m.breaks[m.CPU.PC()] {
+			return fmt.Sprintf("breakpoint after %d steps\n%s", steps, m.where())
+		}
+	}
+	if m.CPU.Halted {
+		return fmt.Sprintf("halted after %d steps\n%s", steps, m.where())
+	}
+	return fmt.Sprintf("stopped after %d steps\n%s", steps, m.where())
+}
+
+// where describes the current location with one disassembled line.
+func (m *Monitor) where() string {
+	pc := m.CPU.PC()
+	line := "???"
+	if code := m.readCode(pc, 16); code != nil {
+		if text, _, err := asm.Disassemble(code, pc); err == nil {
+			line = text
+		}
+	}
+	return fmt.Sprintf("pc=%#x%s: %s", pc, m.symbolFor(pc), line)
+}
+
+// readCode fetches up to n bytes of instruction stream at va via the
+// machine's own translation (nil if unmapped).
+func (m *Monitor) readCode(va uint32, n int) []byte {
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := m.CPU.LoadVirt(va+uint32(i), 1, vax.Kernel)
+		if err != nil {
+			break
+		}
+		out = append(out, byte(b))
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (m *Monitor) regs() string {
+	c := m.CPU
+	var b strings.Builder
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("r%d", i)
+		switch i {
+		case cpu.RegAP:
+			name = "ap"
+		case cpu.RegFP:
+			name = "fp"
+		case cpu.RegSP:
+			name = "sp"
+		case cpu.RegPC:
+			name = "pc"
+		}
+		fmt.Fprintf(&b, "%-3s %08x  ", name, c.R[i])
+		if i%4 == 3 {
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "psl %08x  %s\n", uint32(c.PSL()), c.PSL())
+	if c.PSL().VM() || c.VMPSL != 0 {
+		fmt.Fprintf(&b, "vmpsl %08x  %s\n", uint32(c.VMPSL), c.VMPSL)
+	}
+	fmt.Fprintf(&b, "cycles %d  instructions %d  halted %t\n",
+		c.Cycles, c.Stats.Instructions, c.Halted)
+	return b.String()
+}
+
+func (m *Monitor) dis(args []string) string {
+	addr := m.CPU.PC()
+	count := 8
+	if len(args) > 0 {
+		v, err := m.resolve(args[0])
+		if err != nil {
+			return err.Error()
+		}
+		addr = v
+	}
+	if len(args) > 1 {
+		if v, err := strconv.Atoi(args[1]); err == nil {
+			count = v
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < count; i++ {
+		code := m.readCode(addr, 16)
+		if code == nil {
+			fmt.Fprintf(&b, "%08x: (unmapped)\n", addr)
+			break
+		}
+		text, n, err := asm.Disassemble(code, addr)
+		if err != nil {
+			fmt.Fprintf(&b, "%08x: ??? (%v)\n", addr, err)
+			break
+		}
+		mark := "  "
+		if m.breaks[addr] {
+			mark = "b "
+		}
+		fmt.Fprintf(&b, "%s%08x%s: %s\n", mark, addr, m.symbolFor(addr), text)
+		addr += uint32(n)
+	}
+	return b.String()
+}
+
+func (m *Monitor) mem(args []string) string {
+	if len(args) == 0 {
+		return "usage: mem addr [n]"
+	}
+	addr, err := m.resolve(args[0])
+	if err != nil {
+		return err.Error()
+	}
+	count := 8
+	if len(args) > 1 {
+		if v, e := strconv.Atoi(args[1]); e == nil {
+			count = v
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < count; i++ {
+		v, err := m.CPU.LoadVirt(addr+uint32(4*i), 4, vax.Kernel)
+		if err != nil {
+			fmt.Fprintf(&b, "%08x: (fault: %v)\n", addr+uint32(4*i), err)
+			break
+		}
+		fmt.Fprintf(&b, "%08x: %08x\n", addr+uint32(4*i), v)
+	}
+	return b.String()
+}
+
+func (m *Monitor) breakCmd(args []string) string {
+	if len(args) == 0 {
+		if len(m.breaks) == 0 {
+			return "no breakpoints"
+		}
+		addrs := make([]uint32, 0, len(m.breaks))
+		for a := range m.breaks {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		var b strings.Builder
+		for _, a := range addrs {
+			fmt.Fprintf(&b, "%#x%s\n", a, m.symbolFor(a))
+		}
+		return b.String()
+	}
+	addr, err := m.resolve(args[0])
+	if err != nil {
+		return err.Error()
+	}
+	m.breaks[addr] = true
+	return fmt.Sprintf("breakpoint at %#x%s", addr, m.symbolFor(addr))
+}
+
+func (m *Monitor) deleteBreak(args []string) string {
+	if len(args) == 0 {
+		return "usage: del addr"
+	}
+	addr, err := m.resolve(args[0])
+	if err != nil {
+		return err.Error()
+	}
+	if !m.breaks[addr] {
+		return "no breakpoint there"
+	}
+	delete(m.breaks, addr)
+	return "deleted"
+}
+
+func (m *Monitor) symbols(args []string) string {
+	prefix := ""
+	if len(args) > 0 {
+		prefix = args[0]
+	}
+	type sym struct {
+		name string
+		addr uint32
+	}
+	var syms []sym
+	for n, a := range m.Symbols {
+		if strings.HasPrefix(n, prefix) {
+			syms = append(syms, sym{n, a})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+	var b strings.Builder
+	for _, s := range syms {
+		fmt.Fprintf(&b, "%08x %s\n", s.addr, s.name)
+	}
+	if b.Len() == 0 {
+		return "no symbols"
+	}
+	return b.String()
+}
+
+func (m *Monitor) stat() string {
+	c := m.CPU
+	s := c.Stats
+	u := c.MMU.Stats
+	return fmt.Sprintf(
+		"instructions %d  cycles %d\nexceptions %d  interrupts %d  vm-traps %d  priv-traps %d\nchm %d  rei %d  movpsl %d  probe %d\ntlb %d/%d hit/miss  tnv %d  prot %d  modify %d  m-sets %d\n",
+		s.Instructions, c.Cycles, s.Exceptions, s.Interrupts, s.VMTraps, s.PrivTraps,
+		s.CHMs, s.REIs, s.MOVPSLs, s.Probes,
+		u.TLBHits, u.TLBMisses, u.TNVFaults, u.ProtFaults, u.ModifyFaults, u.MSets)
+}

@@ -1,0 +1,154 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/vax"
+)
+
+func testMachine(t *testing.T) (*Monitor, *asm.Program) {
+	t.Helper()
+	prog, err := asm.Assemble(`
+start:	movl #5, r0
+loop:	addl2 #1, r1
+	sobgtr r0, loop
+	movl #0xABCD, r2
+	halt
+data:	.long 0x11111111, 0x22222222
+`, 0x400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(64 * 1024)
+	if err := m.StoreBytes(prog.Origin, prog.Code); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(m, cpu.StandardVAX)
+	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
+	c.SetStackFor(vax.Kernel, 0x8000)
+	c.SetPC(prog.MustSymbol("start"))
+	mon := New(c)
+	mon.Symbols = prog.Symbols
+	return mon, prog
+}
+
+func run(t *testing.T, m *Monitor, cmd string) string {
+	t.Helper()
+	out, quit := m.Execute(cmd)
+	if quit {
+		t.Fatalf("%q ended the session", cmd)
+	}
+	return out
+}
+
+func TestStepAndRegs(t *testing.T) {
+	m, _ := testMachine(t)
+	out := run(t, m, "step")
+	if !strings.Contains(out, "pc=0x403") {
+		t.Errorf("step output %q", out)
+	}
+	if m.CPU.R[0] != 5 {
+		t.Errorf("r0 = %d", m.CPU.R[0])
+	}
+	out = run(t, m, "regs")
+	if !strings.Contains(out, "r0  00000005") {
+		t.Errorf("regs output:\n%s", out)
+	}
+	run(t, m, "step 100") // runs to the halt
+	if !m.CPU.Halted {
+		t.Error("machine should have halted")
+	}
+}
+
+func TestContinueAndBreakpoints(t *testing.T) {
+	m, prog := testMachine(t)
+	target := prog.MustSymbol("loop")
+	out := run(t, m, "break loop")
+	if !strings.Contains(out, "breakpoint at") {
+		t.Errorf("break output %q", out)
+	}
+	out = run(t, m, "continue")
+	if !strings.Contains(out, "breakpoint") || m.CPU.PC() != target {
+		t.Errorf("continue stopped at %#x: %q", m.CPU.PC(), out)
+	}
+	out = run(t, m, "break")
+	if !strings.Contains(out, "loop") {
+		t.Errorf("break list %q", out)
+	}
+	out = run(t, m, "del loop")
+	if out != "deleted" {
+		t.Errorf("del output %q", out)
+	}
+	out = run(t, m, "continue")
+	if !strings.Contains(out, "halted") {
+		t.Errorf("final continue %q", out)
+	}
+	if m.CPU.R[2] != 0xABCD {
+		t.Errorf("program did not complete: r2=%#x", m.CPU.R[2])
+	}
+}
+
+func TestDisassembleAndMem(t *testing.T) {
+	m, _ := testMachine(t)
+	out := run(t, m, "dis start 3")
+	for _, want := range []string{"movl #5, r0", "addl2 #1, r1", "sobgtr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dis missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "<start>") {
+		t.Errorf("dis missing symbol:\n%s", out)
+	}
+	out = run(t, m, "mem data 2")
+	if !strings.Contains(out, "11111111") || !strings.Contains(out, "22222222") {
+		t.Errorf("mem output:\n%s", out)
+	}
+}
+
+func TestSymbolsAndStat(t *testing.T) {
+	m, _ := testMachine(t)
+	out := run(t, m, "sym")
+	for _, want := range []string{"start", "loop", "data"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sym missing %q", want)
+		}
+	}
+	out = run(t, m, "sym lo")
+	if strings.Contains(out, "start") || !strings.Contains(out, "loop") {
+		t.Errorf("prefix filter broken: %q", out)
+	}
+	run(t, m, "step 3")
+	out = run(t, m, "stat")
+	if !strings.Contains(out, "instructions 3") {
+		t.Errorf("stat output %q", out)
+	}
+}
+
+func TestErrorsAndHelp(t *testing.T) {
+	m, _ := testMachine(t)
+	if out := run(t, m, "bogus"); !strings.Contains(out, "unknown command") {
+		t.Errorf("got %q", out)
+	}
+	if out := run(t, m, "help"); !strings.Contains(out, "break") {
+		t.Errorf("help %q", out)
+	}
+	if out := run(t, m, "mem"); !strings.Contains(out, "usage") {
+		t.Errorf("mem usage %q", out)
+	}
+	if out := run(t, m, "mem zzz"); !strings.Contains(out, "bad address") {
+		t.Errorf("bad addr %q", out)
+	}
+	if out := run(t, m, "del 0x999"); !strings.Contains(out, "no breakpoint") {
+		t.Errorf("del %q", out)
+	}
+	if out, _ := m.Execute(""); out != "" {
+		t.Errorf("empty line produced %q", out)
+	}
+	if _, quit := m.Execute("quit"); !quit {
+		t.Error("quit did not end session")
+	}
+}

@@ -1,0 +1,165 @@
+// Package trace collects and formats the event counters scattered
+// through the simulator (CPU, MMU, VMM, per-VM) into uniform snapshots,
+// so harness code can diff two points in a run and render counter
+// tables without reaching into each subsystem's Stats struct.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mmu"
+)
+
+// Snapshot is a named set of counters at one instant.
+type Snapshot struct {
+	Name     string
+	Counters map[string]uint64
+}
+
+// CaptureCPU snapshots a processor's counters.
+func CaptureCPU(c *cpu.CPU) Snapshot {
+	s := c.Stats
+	return Snapshot{Name: "cpu", Counters: map[string]uint64{
+		"cycles":       c.Cycles,
+		"instructions": s.Instructions,
+		"exceptions":   s.Exceptions,
+		"interrupts":   s.Interrupts,
+		"vm_traps":     s.VMTraps,
+		"priv_traps":   s.PrivTraps,
+		"chm":          s.CHMs,
+		"rei":          s.REIs,
+		"movpsl":       s.MOVPSLs,
+		"probe":        s.Probes,
+	}}
+}
+
+// CaptureMMU snapshots memory-management counters.
+func CaptureMMU(u *mmu.MMU) Snapshot {
+	s := u.Stats
+	return Snapshot{Name: "mmu", Counters: map[string]uint64{
+		"translations":  s.Translations,
+		"tlb_hits":      s.TLBHits,
+		"tlb_misses":    s.TLBMisses,
+		"tnv_faults":    s.TNVFaults,
+		"prot_faults":   s.ProtFaults,
+		"modify_faults": s.ModifyFaults,
+		"m_sets":        s.MSets,
+	}}
+}
+
+// CaptureVMM snapshots monitor-level counters.
+func CaptureVMM(k *core.VMM) Snapshot {
+	s := k.Stats
+	return Snapshot{Name: "vmm", Counters: map[string]uint64{
+		"entries":        s.VMMEntries,
+		"world_switches": s.WorldSwitches,
+		"virtual_irqs":   s.VirtualIRQs,
+		"clock_ticks":    s.ClockTicks,
+		"deliveries":     s.ReflectedTraps,
+	}}
+}
+
+// CaptureVM snapshots one virtual machine's counters.
+func CaptureVM(vm *core.VM) Snapshot {
+	s := vm.Stats
+	return Snapshot{Name: vm.Name, Counters: map[string]uint64{
+		"vm_traps":         s.VMTraps,
+		"chm":              s.CHMs,
+		"rei":              s.REIs,
+		"mtpr_ipl":         s.MTPRIPL,
+		"mtpr_other":       s.MTPROther,
+		"mfpr":             s.MFPRs,
+		"context_switches": s.ContextSwitches,
+		"shadow_fills":     s.ShadowFills,
+		"prefetch_fills":   s.PrefetchFills,
+		"shadow_clears":    s.ShadowClears,
+		"cache_hits":       s.CacheHits,
+		"cache_misses":     s.CacheMisses,
+		"modify_faults":    s.ModifyFaults,
+		"reflected":        s.ReflectedFaults,
+		"virtual_irqs":     s.VirtualIRQs,
+		"kcalls":           s.KCALLs,
+		"mmio_emuls":       s.MMIOEmuls,
+		"waits":            s.Waits,
+		"probe_fills":      s.ProbeFills,
+	}}
+}
+
+// Delta returns after minus before, counter by counter (counters absent
+// from before count from zero).
+func Delta(before, after Snapshot) Snapshot {
+	out := Snapshot{Name: after.Name, Counters: make(map[string]uint64, len(after.Counters))}
+	for k, v := range after.Counters {
+		out.Counters[k] = v - before.Counters[k]
+	}
+	return out
+}
+
+// NonZero returns a copy holding only counters with non-zero values.
+func (s Snapshot) NonZero() Snapshot {
+	out := Snapshot{Name: s.Name, Counters: make(map[string]uint64)}
+	for k, v := range s.Counters {
+		if v != 0 {
+			out.Counters[k] = v
+		}
+	}
+	return out
+}
+
+// Get returns a counter value (0 if absent).
+func (s Snapshot) Get(name string) uint64 { return s.Counters[name] }
+
+// Format renders the snapshot as aligned "name value" lines, sorted.
+func (s Snapshot) Format() string {
+	keys := make([]string, 0, len(s.Counters))
+	width := 0
+	for k := range s.Counters {
+		keys = append(keys, k)
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]\n", s.Name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-*s %d\n", width, k, s.Counters[k])
+	}
+	return b.String()
+}
+
+// Table renders several snapshots side by side: one row per counter
+// name, one column per snapshot — the layout used for scheme and
+// configuration comparisons.
+func Table(snaps ...Snapshot) string {
+	names := map[string]bool{}
+	for _, s := range snaps {
+		for k := range s.Counters {
+			names[k] = true
+		}
+	}
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "counter")
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "%14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-18s", k)
+		for _, s := range snaps {
+			fmt.Fprintf(&b, "%14d", s.Counters[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

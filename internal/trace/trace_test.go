@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func TestCaptureAndDelta(t *testing.T) {
+	c := cpu.New(mem.New(64*1024), cpu.StandardVAX)
+	before := CaptureCPU(c)
+	c.AddCycles(100)
+	c.Stats.Instructions = 7
+	after := CaptureCPU(c)
+	d := Delta(before, after)
+	if d.Get("cycles") != 100 || d.Get("instructions") != 7 {
+		t.Errorf("delta: %v", d.Counters)
+	}
+	if d.Get("nonexistent") != 0 {
+		t.Error("missing counters must read 0")
+	}
+	nz := d.NonZero()
+	if len(nz.Counters) != 2 {
+		t.Errorf("NonZero kept %d counters", len(nz.Counters))
+	}
+	if !strings.Contains(d.Format(), "cycles") {
+		t.Error("Format missing counter")
+	}
+}
+
+func TestCaptureMMUAndVMM(t *testing.T) {
+	k := core.New(8<<20, core.Config{})
+	vmm := CaptureVMM(k)
+	if _, ok := vmm.Counters["entries"]; !ok {
+		t.Error("VMM snapshot incomplete")
+	}
+	m := CaptureMMU(k.CPU.MMU)
+	if _, ok := m.Counters["tlb_hits"]; !ok {
+		t.Error("MMU snapshot incomplete")
+	}
+	vm, err := k.CreateVM(core.VMConfig{MemBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CaptureVM(vm)
+	if s.Name != vm.Name {
+		t.Errorf("snapshot name %q", s.Name)
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := Snapshot{Name: "a", Counters: map[string]uint64{"x": 1, "y": 2}}
+	b := Snapshot{Name: "b", Counters: map[string]uint64{"x": 3, "z": 4}}
+	out := Table(a, b)
+	for _, want := range []string{"counter", "a", "b", "x", "y", "z"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + x, y, z
+		t.Errorf("table has %d lines", len(lines))
+	}
+}

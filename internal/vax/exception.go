@@ -1,0 +1,91 @@
+package vax
+
+import "fmt"
+
+// ExcKind classifies exceptional events by their restart semantics
+// (Section 3.3 of the paper treats trap and fault as synonyms; the
+// simulator keeps the distinction because it decides the saved PC).
+type ExcKind uint8
+
+const (
+	// Fault: the saved PC names the faulting instruction, which is
+	// retried after the handler returns (page faults, access violations,
+	// modify faults).
+	Fault ExcKind = iota
+	// Trap: the saved PC names the next instruction (CHM, breakpoint,
+	// arithmetic traps, VM-emulation traps).
+	Trap
+	// Abort: the instruction cannot be restarted; the machine halts or
+	// the VMM terminates the VM (machine check, kernel stack not valid).
+	Abort
+	// Interrupt: asynchronous; delivered between instructions.
+	Interrupt
+)
+
+func (k ExcKind) String() string {
+	switch k {
+	case Fault:
+		return "fault"
+	case Trap:
+		return "trap"
+	case Abort:
+		return "abort"
+	case Interrupt:
+		return "interrupt"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Exception describes a synchronous or asynchronous transfer of control
+// through the SCB. Params are pushed on the new stack above the saved
+// PC/PSL pair, first parameter at the lowest address (on top).
+type Exception struct {
+	Vector Vector
+	Kind   ExcKind
+	Params []uint32
+	// FromVM is set by the processor when the event was raised while
+	// PSL<VM> was set, i.e. it interrupted a virtual machine. Microcode
+	// clears PSL<VM> on any exception or interrupt (Section 4.2), so the
+	// VMM learns the origin from this flag rather than from the PSL.
+	FromVM bool
+	// VMInfo is non-nil only for VM-emulation traps on the modified VAX;
+	// it carries the microcode-decoded instruction (Section 4.2).
+	VMInfo *VMTrapInfo
+}
+
+// Error satisfies the error interface so memory and execution routines
+// can return exceptions up to the instruction loop.
+func (e *Exception) Error() string {
+	return fmt.Sprintf("%s %s %v", e.Vector, e.Kind, e.Params)
+}
+
+// VMTrapInfo is the information the modified microcode hands the VMM
+// with every VM-emulation trap: "complete information about the
+// instruction and its decoded operands, as well as the PSL of the VM
+// ... at the time the sensitive instruction was executed. Thus the VMM
+// need not engage in any probing of the instruction stream or parsing
+// of instruction operands" (Section 4.2).
+type VMTrapInfo struct {
+	Opcode   uint16   // full opcode (two bytes for FD-prefixed)
+	PC       uint32   // address of the sensitive instruction
+	NextPC   uint32   // address of the following instruction
+	GuestPSL PSL      // the VM's composite PSL at the time of the trap
+	Operands []uint32 // decoded operand values (source operands)
+	// WriteBack, when non-nil, tells the VMM where a result operand
+	// should be stored: either a register number or a virtual address.
+	WriteBack *OperandRef
+}
+
+// OperandRef names a result operand location decoded by microcode.
+type OperandRef struct {
+	IsRegister bool
+	Register   int    // significant when IsRegister
+	Address    uint32 // virtual address when !IsRegister
+}
+
+func (r OperandRef) String() string {
+	if r.IsRegister {
+		return fmt.Sprintf("R%d", r.Register)
+	}
+	return fmt.Sprintf("@%#x", r.Address)
+}

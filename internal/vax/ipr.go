@@ -1,0 +1,147 @@
+package vax
+
+import "fmt"
+
+// IPR numbers the internal processor registers accessed by MTPR and MFPR.
+// Numbers follow the VAX Architecture Reference Manual where a register
+// exists there; the virtual-VAX registers of Section 5 of the paper
+// (MEMSIZE, KCALL, IORESET) are given numbers in the implementation-
+// reserved range.
+type IPR uint32
+
+const (
+	IPRKSP  IPR = 0  // kernel stack pointer
+	IPRESP  IPR = 1  // executive stack pointer
+	IPRSSP  IPR = 2  // supervisor stack pointer
+	IPRUSP  IPR = 3  // user stack pointer
+	IPRISP  IPR = 4  // interrupt stack pointer
+	IPRP0BR IPR = 8  // P0 base register (virtual address in S space)
+	IPRP0LR IPR = 9  // P0 length register (number of PTEs)
+	IPRP1BR IPR = 10 // P1 base register
+	IPRP1LR IPR = 11 // P1 length register
+	IPRSBR  IPR = 12 // system base register (physical address)
+	IPRSLR  IPR = 13 // system length register
+	IPRPCBB IPR = 16 // process control block base (physical)
+	IPRSCBB IPR = 17 // system control block base (physical)
+	IPRIPL  IPR = 18 // interrupt priority level
+	IPRASTL IPR = 19 // AST level
+	IPRSIRR IPR = 20 // software interrupt request (write only)
+	IPRSISR IPR = 21 // software interrupt summary
+	IPRICCS IPR = 24 // interval clock control/status
+	IPRNICR IPR = 25 // next interval count
+	IPRICR  IPR = 26 // interval count
+	IPRTODR IPR = 27 // time of year
+	IPRRXCS IPR = 32 // console receive control/status
+	IPRRXDB IPR = 33 // console receive data buffer
+	IPRTXCS IPR = 34 // console transmit control/status
+	IPRTXDB IPR = 35 // console transmit data buffer
+	IPRMPEN IPR = 56 // memory management enable (MAPEN)
+	IPRTBIA IPR = 57 // translation buffer invalidate all
+	IPRTBIS IPR = 58 // translation buffer invalidate single
+	IPRSID  IPR = 62 // system identification
+
+	// Virtual-VAX registers (paper Section 5). These exist only inside a
+	// virtual machine; on real processors they are reserved and MTPR/MFPR
+	// to them takes a reserved operand fault.
+	IPRMEMSIZE IPR = 200 // total VM physical memory in bytes (read only)
+	IPRKCALL   IPR = 201 // start-I/O / VMM service request (write only)
+	IPRIORESET IPR = 202 // reset all virtual I/O devices (write only)
+)
+
+// VirtualOnly reports whether r exists only on the virtual VAX.
+func (r IPR) VirtualOnly() bool {
+	return r == IPRMEMSIZE || r == IPRKCALL || r == IPRIORESET
+}
+
+func (r IPR) String() string {
+	switch r {
+	case IPRKSP:
+		return "KSP"
+	case IPRESP:
+		return "ESP"
+	case IPRSSP:
+		return "SSP"
+	case IPRUSP:
+		return "USP"
+	case IPRISP:
+		return "ISP"
+	case IPRP0BR:
+		return "P0BR"
+	case IPRP0LR:
+		return "P0LR"
+	case IPRP1BR:
+		return "P1BR"
+	case IPRP1LR:
+		return "P1LR"
+	case IPRSBR:
+		return "SBR"
+	case IPRSLR:
+		return "SLR"
+	case IPRPCBB:
+		return "PCBB"
+	case IPRSCBB:
+		return "SCBB"
+	case IPRIPL:
+		return "IPL"
+	case IPRASTL:
+		return "ASTLVL"
+	case IPRSIRR:
+		return "SIRR"
+	case IPRSISR:
+		return "SISR"
+	case IPRICCS:
+		return "ICCS"
+	case IPRNICR:
+		return "NICR"
+	case IPRICR:
+		return "ICR"
+	case IPRTODR:
+		return "TODR"
+	case IPRRXCS:
+		return "RXCS"
+	case IPRRXDB:
+		return "RXDB"
+	case IPRTXCS:
+		return "TXCS"
+	case IPRTXDB:
+		return "TXDB"
+	case IPRMPEN:
+		return "MAPEN"
+	case IPRTBIA:
+		return "TBIA"
+	case IPRTBIS:
+		return "TBIS"
+	case IPRSID:
+		return "SID"
+	case IPRMEMSIZE:
+		return "MEMSIZE"
+	case IPRKCALL:
+		return "KCALL"
+	case IPRIORESET:
+		return "IORESET"
+	}
+	return fmt.Sprintf("IPR(%d)", uint32(r))
+}
+
+// Interval clock control/status bits (ICCS).
+const (
+	ICCSRun      uint32 = 1 << 0 // clock running
+	ICCSTransfer uint32 = 1 << 4 // transfer NICR to ICR
+	ICCSIE       uint32 = 1 << 6 // interrupt enable
+	ICCSInt      uint32 = 1 << 7 // interrupt pending / acknowledge
+)
+
+// Console control/status bits (RXCS/TXCS).
+const (
+	ConsoleReady uint32 = 1 << 7 // receiver done / transmitter ready
+	ConsoleIE    uint32 = 1 << 6 // interrupt enable
+)
+
+// Interrupt priority levels used by the simulated hardware.
+const (
+	IPLSoftwareMax = 15 // software interrupt levels 1..15
+	IPLConsole     = 20
+	IPLDisk        = 21
+	IPLClock       = 22
+	IPLMax         = 31
+)

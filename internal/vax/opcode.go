@@ -1,0 +1,140 @@
+package vax
+
+// Opcodes for the implemented VAX instruction subset, using the real VAX
+// encodings. Two-byte opcodes use the FD extension prefix; the WAIT and
+// PROBEVM instructions added by the modified architecture are assigned
+// FD-prefixed codes in the implementation-reserved space.
+const (
+	OpHALT   uint16 = 0x00
+	OpNOP    uint16 = 0x01
+	OpREI    uint16 = 0x02
+	OpBPT    uint16 = 0x03
+	OpRET    uint16 = 0x04
+	OpRSB    uint16 = 0x05
+	OpLDPCTX uint16 = 0x06
+	OpSVPCTX uint16 = 0x07
+
+	OpINSQUE uint16 = 0x0E
+	OpREMQUE uint16 = 0x0F
+	OpMOVC3  uint16 = 0x28
+	OpCMPC3  uint16 = 0x29
+
+	OpPROBER uint16 = 0x0C
+	OpPROBEW uint16 = 0x0D
+	OpBSBB   uint16 = 0x10
+	OpBRB    uint16 = 0x11
+	OpBNEQ   uint16 = 0x12
+	OpBEQL   uint16 = 0x13
+	OpBGTR   uint16 = 0x14
+	OpBLEQ   uint16 = 0x15
+	OpJSB    uint16 = 0x16
+	OpJMP    uint16 = 0x17
+	OpBGEQ   uint16 = 0x18
+	OpBLSS   uint16 = 0x19
+	OpBGTRU  uint16 = 0x1A
+	OpBLEQU  uint16 = 0x1B
+	OpBVC    uint16 = 0x1C
+	OpBVS    uint16 = 0x1D
+	OpBCC    uint16 = 0x1E // also BGEQU
+	OpBCS    uint16 = 0x1F // also BLSSU
+
+	OpBSBW   uint16 = 0x30
+	OpBRW    uint16 = 0x31
+	OpCVTWL  uint16 = 0x32
+	OpCVTWB  uint16 = 0x33
+	OpMOVZWL uint16 = 0x3C
+
+	OpASHL uint16 = 0x78
+
+	OpMOVB   uint16 = 0x90
+	OpCMPB   uint16 = 0x91
+	OpMCOMB  uint16 = 0x92
+	OpCLRB   uint16 = 0x94
+	OpTSTB   uint16 = 0x95
+	OpCVTBL  uint16 = 0x98
+	OpCVTBW  uint16 = 0x99
+	OpMOVZBL uint16 = 0x9A
+	OpMOVAB  uint16 = 0x9E
+
+	OpMOVW uint16 = 0xB0
+	OpCMPW uint16 = 0xB1
+	OpCLRW uint16 = 0xB4
+	OpTSTW uint16 = 0xB5
+
+	OpADDL2 uint16 = 0xC0
+	OpADDL3 uint16 = 0xC1
+	OpSUBL2 uint16 = 0xC2
+	OpSUBL3 uint16 = 0xC3
+	OpMULL2 uint16 = 0xC4
+	OpMULL3 uint16 = 0xC5
+	OpDIVL2 uint16 = 0xC6
+	OpDIVL3 uint16 = 0xC7
+	OpBISL2 uint16 = 0xC8
+	OpBISL3 uint16 = 0xC9
+	OpBICL2 uint16 = 0xCA
+	OpBICL3 uint16 = 0xCB
+	OpXORL2 uint16 = 0xCC
+	OpXORL3 uint16 = 0xCD
+	OpCASEL uint16 = 0xCF
+
+	OpMOVL  uint16 = 0xD0
+	OpCMPL  uint16 = 0xD1
+	OpMNEGL uint16 = 0xD2
+	OpBITL  uint16 = 0xD3
+	OpCLRL  uint16 = 0xD4
+	OpTSTL  uint16 = 0xD5
+	OpINCL  uint16 = 0xD6
+	OpDECL  uint16 = 0xD7
+	OpBLBS  uint16 = 0xE8
+	OpBLBC  uint16 = 0xE9
+
+	OpBBS   uint16 = 0xE0
+	OpBBC   uint16 = 0xE1
+	OpCALLG uint16 = 0xFA
+	OpCALLS uint16 = 0xFB
+
+	OpMOVPSL uint16 = 0xDC
+	OpPUSHL  uint16 = 0xDD
+	OpMOVAL  uint16 = 0xDE
+	OpMFPR   uint16 = 0xDB
+	OpMTPR   uint16 = 0xDA
+
+	OpACBL   uint16 = 0xF1
+	OpCVTLB  uint16 = 0xF6
+	OpCVTLW  uint16 = 0xF7
+	OpAOBLSS uint16 = 0xF2
+	OpAOBLEQ uint16 = 0xF3
+	OpSOBGEQ uint16 = 0xF4
+	OpSOBGTR uint16 = 0xF5
+
+	OpCHMK uint16 = 0xBC
+	OpCHME uint16 = 0xBD
+	OpCHMS uint16 = 0xBE
+	OpCHMU uint16 = 0xBF
+
+	OpXFC uint16 = 0xFC // customer reserved
+
+	// ExtPrefix introduces a two-byte opcode.
+	ExtPrefix byte = 0xFD
+
+	// Modified-architecture instructions (two-byte, FD-prefixed).
+	OpWAIT     uint16 = 0xFD30
+	OpPROBEVMR uint16 = 0xFD31
+	OpPROBEVMW uint16 = 0xFD32
+)
+
+// CHMTarget returns the target mode of a CHM opcode, and whether op is a
+// CHM instruction at all.
+func CHMTarget(op uint16) (Mode, bool) {
+	switch op {
+	case OpCHMK:
+		return Kernel, true
+	case OpCHME:
+		return Executive, true
+	case OpCHMS:
+		return Supervisor, true
+	case OpCHMU:
+		return User, true
+	}
+	return 0, false
+}

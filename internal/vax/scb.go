@@ -1,0 +1,120 @@
+package vax
+
+import "fmt"
+
+// SCB vector offsets (bytes from SCBB). Each longword in the system
+// control block holds the virtual address of the handler for that event;
+// the low two bits select the stack (0 = stack of the new mode, 1 =
+// interrupt stack). This subset follows the VAX Architecture Reference
+// Manual, plus the two modified-VAX vectors of Sections 4.2 and 4.4.2.
+type Vector uint32
+
+const (
+	VecMachineCheck  Vector = 0x04
+	VecKernelStkInv  Vector = 0x08
+	VecPowerFail     Vector = 0x0C
+	VecPrivInstr     Vector = 0x10 // reserved/privileged instruction fault
+	VecCustReserved  Vector = 0x14 // XFC customer reserved instruction
+	VecRsvdOperand   Vector = 0x18 // reserved operand fault
+	VecRsvdAddrMode  Vector = 0x1C // reserved addressing mode fault
+	VecAccessViol    Vector = 0x20 // access control violation fault
+	VecTransNotValid Vector = 0x24 // translation not valid (page) fault
+	VecTracePending  Vector = 0x28
+	VecBreakpoint    Vector = 0x2C
+	VecCompatibility Vector = 0x30
+	VecArithmetic    Vector = 0x34
+
+	// Modified-VAX vectors (paper Sections 4.2, 4.4.2). VecVMEmulation
+	// receives every sensitive instruction executed with PSL<VM> set;
+	// VecModifyFault receives the first legal write to a page whose
+	// PTE<M> is clear.
+	VecVMEmulation Vector = 0x38
+	VecModifyFault Vector = 0x3C
+
+	VecCHMK Vector = 0x40
+	VecCHME Vector = 0x44
+	VecCHMS Vector = 0x48
+	VecCHMU Vector = 0x4C
+
+	// Software interrupt vectors: level n uses 0x80 + 4n, n = 1..15.
+	VecSoftwareBase Vector = 0x80
+
+	VecClock   Vector = 0xC0
+	VecConsole Vector = 0xF8
+	VecDisk    Vector = 0xA4
+
+	// SCBSize is the number of bytes of SCB the simulator dispatches
+	// through (one page, as on most VAX processors' first SCB page).
+	SCBSize = 512
+)
+
+// SoftwareVector returns the SCB vector for software interrupt level n
+// (1..15).
+func SoftwareVector(level uint8) Vector {
+	return VecSoftwareBase + Vector(level)*4
+}
+
+func (v Vector) String() string {
+	switch v {
+	case VecMachineCheck:
+		return "machine check"
+	case VecKernelStkInv:
+		return "kernel stack not valid"
+	case VecPowerFail:
+		return "power fail"
+	case VecPrivInstr:
+		return "privileged instruction"
+	case VecCustReserved:
+		return "customer reserved instruction"
+	case VecRsvdOperand:
+		return "reserved operand"
+	case VecRsvdAddrMode:
+		return "reserved addressing mode"
+	case VecAccessViol:
+		return "access violation"
+	case VecTransNotValid:
+		return "translation not valid"
+	case VecTracePending:
+		return "trace pending"
+	case VecBreakpoint:
+		return "breakpoint"
+	case VecArithmetic:
+		return "arithmetic"
+	case VecVMEmulation:
+		return "VM emulation"
+	case VecModifyFault:
+		return "modify fault"
+	case VecCHMK:
+		return "CHMK"
+	case VecCHME:
+		return "CHME"
+	case VecCHMS:
+		return "CHMS"
+	case VecCHMU:
+		return "CHMU"
+	case VecClock:
+		return "interval clock"
+	case VecConsole:
+		return "console"
+	case VecDisk:
+		return "disk"
+	}
+	if v >= VecSoftwareBase && v < VecSoftwareBase+16*4 {
+		return fmt.Sprintf("software level %d", (v-VecSoftwareBase)/4)
+	}
+	return fmt.Sprintf("vector %#x", uint32(v))
+}
+
+// CHMVector returns the SCB vector for a change-mode instruction whose
+// target mode is m.
+func CHMVector(m Mode) Vector {
+	return VecCHMK + Vector(m)*4
+}
+
+// Access-violation / translation-fault parameter word bits. The fault
+// pushes (param, va, PC, PSL); param describes the reference.
+const (
+	FaultParamLength uint32 = 1 << 0 // length violation (beyond xLR)
+	FaultParamPTERef uint32 = 1 << 1 // fault occurred referencing a PTE
+	FaultParamWrite  uint32 = 1 << 2 // reference was a write or modify intent
+)

@@ -1,0 +1,379 @@
+package vax
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestModeOrdering(t *testing.T) {
+	if !Kernel.MorePrivileged(Executive) {
+		t.Error("kernel should be more privileged than executive")
+	}
+	if !Executive.MorePrivileged(Supervisor) || !Supervisor.MorePrivileged(User) {
+		t.Error("privilege order must be K > E > S > U")
+	}
+	if User.MorePrivileged(Kernel) {
+		t.Error("user must not outrank kernel")
+	}
+	if got := LeastPrivileged(Kernel, User); got != User {
+		t.Errorf("LeastPrivileged(K,U) = %s, want user", got)
+	}
+	if got := LeastPrivileged(Supervisor, Executive); got != Supervisor {
+		t.Errorf("LeastPrivileged(S,E) = %s, want supervisor", got)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{Kernel: "kernel", Executive: "executive", Supervisor: "supervisor", User: "user"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+		if !m.Valid() {
+			t.Errorf("%s should be valid", s)
+		}
+	}
+	if Mode(7).Valid() {
+		t.Error("mode 7 should be invalid")
+	}
+}
+
+func TestPSLFields(t *testing.T) {
+	var p PSL
+	p = p.WithCur(User).WithPrv(Supervisor).WithIPL(22)
+	if p.Cur() != User || p.Prv() != Supervisor || p.IPL() != 22 {
+		t.Fatalf("round trip failed: %s", p)
+	}
+	if p.VM() {
+		t.Error("VM bit should start clear")
+	}
+	p = p.WithVM(true)
+	if !p.VM() {
+		t.Error("WithVM(true) failed")
+	}
+	if uint32(p)&PSLVM == 0 {
+		t.Error("VM bit must be bit 28")
+	}
+	p = p.WithVM(false)
+	if p.VM() {
+		t.Error("WithVM(false) failed")
+	}
+}
+
+func TestPSLFieldIndependence(t *testing.T) {
+	f := func(raw uint32, cur, prv uint8, ipl uint8) bool {
+		p := PSL(raw).WithCur(Mode(cur % 4)).WithPrv(Mode(prv % 4)).WithIPL(ipl % 32)
+		// Setting mode fields must not disturb IPL and vice versa.
+		return p.Cur() == Mode(cur%4) && p.Prv() == Mode(prv%4) && p.IPL() == ipl%32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPTERoundTrip(t *testing.T) {
+	f := func(valid, modified bool, prot uint8, pfn uint32) bool {
+		p := NewPTE(valid, Protection(prot%16), modified, pfn&0x1FFFFF)
+		return p.Valid() == valid && p.Modified() == modified &&
+			p.Prot() == Protection(prot%16) && p.PFN() == pfn&0x1FFFFF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPTEWith(t *testing.T) {
+	p := NewPTE(false, ProtURKW, false, 42)
+	p = p.WithValid(true)
+	if !p.Valid() || p.PFN() != 42 || p.Prot() != ProtURKW {
+		t.Fatalf("WithValid disturbed other fields: %s", p)
+	}
+	p = p.WithModify(true)
+	if !p.Modified() || !p.Valid() {
+		t.Fatalf("WithModify disturbed valid: %s", p)
+	}
+	p = p.WithProt(ProtUR)
+	if p.Prot() != ProtUR || p.PFN() != 42 || !p.Modified() {
+		t.Fatalf("WithProt disturbed other fields: %s", p)
+	}
+}
+
+// TestProtectionTable checks the example from Section 3.2.1 of the paper:
+// "Executive Mode Write, Supervisor Mode Read" (SREW) gives user no
+// access, supervisor read, executive and kernel read/write.
+func TestProtectionTable(t *testing.T) {
+	p := ProtSREW
+	cases := []struct {
+		mode  Mode
+		read  bool
+		write bool
+	}{
+		{User, false, false},
+		{Supervisor, true, false},
+		{Executive, true, true},
+		{Kernel, true, true},
+	}
+	for _, c := range cases {
+		if p.CanRead(c.mode) != c.read {
+			t.Errorf("SREW CanRead(%s) = %t, want %t", c.mode, p.CanRead(c.mode), c.read)
+		}
+		if p.CanWrite(c.mode) != c.write {
+			t.Errorf("SREW CanWrite(%s) = %t, want %t", c.mode, p.CanWrite(c.mode), c.write)
+		}
+	}
+}
+
+// TestWriteImpliesRead checks the architectural rule that for any mode,
+// write access implies read access, over every code and mode.
+func TestWriteImpliesRead(t *testing.T) {
+	for code := 0; code < 16; code++ {
+		p := Protection(code)
+		for m := Kernel; m <= User; m++ {
+			if p.CanWrite(m) && !p.CanRead(m) {
+				t.Errorf("%s: mode %s can write but not read", p, m)
+			}
+		}
+	}
+}
+
+// TestPrivilegeMonotonic checks that access never decreases with more
+// privilege: if mode m can read/write, every more privileged mode can too.
+func TestPrivilegeMonotonic(t *testing.T) {
+	for code := 0; code < 16; code++ {
+		p := Protection(code)
+		for m := Executive; m <= User; m++ {
+			if p.CanRead(m) && !p.CanRead(m-1) {
+				t.Errorf("%s: %s can read but %s cannot", p, m, m-1)
+			}
+			if p.CanWrite(m) && !p.CanWrite(m-1) {
+				t.Errorf("%s: %s can write but %s cannot", p, m, m-1)
+			}
+		}
+	}
+}
+
+func TestNoAccessAndReserved(t *testing.T) {
+	for m := Kernel; m <= User; m++ {
+		if ProtNA.CanRead(m) || ProtNA.CanWrite(m) {
+			t.Errorf("NA grants access to %s", m)
+		}
+		if ProtRsvd.CanRead(m) || ProtRsvd.CanWrite(m) {
+			t.Errorf("reserved code grants access to %s", m)
+		}
+	}
+	if !ProtRsvd.Reserved() || ProtNA.Reserved() {
+		t.Error("Reserved() misclassifies")
+	}
+}
+
+// TestCompressMap checks the compression table of DESIGN.md §6.
+func TestCompressMap(t *testing.T) {
+	want := map[Protection]Protection{
+		ProtKW:   ProtEW,
+		ProtKR:   ProtER,
+		ProtERKW: ProtEW,
+		ProtSRKW: ProtSREW,
+		ProtURKW: ProtUREW,
+	}
+	for code := 0; code < 16; code++ {
+		p := Protection(code)
+		got := p.Compress()
+		if w, ok := want[p]; ok {
+			if got != w {
+				t.Errorf("Compress(%s) = %s, want %s", p, got, w)
+			}
+		} else if got != p {
+			t.Errorf("Compress(%s) = %s, want fixed point", p, got)
+		}
+	}
+}
+
+// TestCompressInvariants checks the two defining properties of memory
+// ring compression (Section 4.3.1): (1) executive mode gains exactly the
+// access kernel mode had, and (2) supervisor and user access is
+// unchanged.
+func TestCompressInvariants(t *testing.T) {
+	for code := 0; code < 16; code++ {
+		p := Protection(code)
+		if p.Reserved() {
+			continue
+		}
+		c := p.Compress()
+		if c.CanRead(Executive) != p.CanRead(Kernel) {
+			t.Errorf("%s→%s: executive read %t != kernel read %t", p, c,
+				c.CanRead(Executive), p.CanRead(Kernel))
+		}
+		if c.CanWrite(Executive) != p.CanWrite(Kernel) {
+			t.Errorf("%s→%s: executive write %t != kernel write %t", p, c,
+				c.CanWrite(Executive), p.CanWrite(Kernel))
+		}
+		for _, m := range []Mode{Supervisor, User} {
+			if c.CanRead(m) != p.CanRead(m) || c.CanWrite(m) != p.CanWrite(m) {
+				t.Errorf("%s→%s: %s access changed", p, c, m)
+			}
+		}
+	}
+}
+
+func TestCompressIdempotent(t *testing.T) {
+	for code := 0; code < 16; code++ {
+		p := Protection(code)
+		if p.Compress().Compress() != p.Compress() {
+			t.Errorf("Compress not idempotent at %s", p)
+		}
+		if p.Compress().KernelOnly() {
+			t.Errorf("Compress(%s) still kernel-only", p)
+		}
+	}
+}
+
+func TestKernelOnly(t *testing.T) {
+	want := map[Protection]bool{
+		ProtKW: true, ProtKR: true, ProtERKW: true, ProtSRKW: true, ProtURKW: true,
+	}
+	for code := 0; code < 16; code++ {
+		p := Protection(code)
+		if p.KernelOnly() != want[p] {
+			t.Errorf("KernelOnly(%s) = %t", p, p.KernelOnly())
+		}
+	}
+}
+
+func TestRegionDecoding(t *testing.T) {
+	cases := []struct {
+		va     uint32
+		region int
+		vpn    uint32
+	}{
+		{0x00000000, RegionP0, 0},
+		{0x00000200, RegionP0, 1},
+		{0x3FFFFFFF, RegionP0, 0x1FFFFF},
+		{0x40000000, RegionP1, 0},
+		{0x7FFFFE00, RegionP1, 0x1FFFFF},
+		{0x80000000, RegionSystem, 0},
+		{0x80000400, RegionSystem, 2},
+		{0xC0000000, RegionReserved, 0},
+	}
+	for _, c := range cases {
+		if Region(c.va) != c.region {
+			t.Errorf("Region(%#x) = %d, want %d", c.va, Region(c.va), c.region)
+		}
+		if VPN(c.va) != c.vpn {
+			t.Errorf("VPN(%#x) = %#x, want %#x", c.va, VPN(c.va), c.vpn)
+		}
+	}
+	if PageBase(0x80000473) != 0x80000400 {
+		t.Errorf("PageBase wrong: %#x", PageBase(0x80000473))
+	}
+}
+
+func TestCHMVectorAndTarget(t *testing.T) {
+	if CHMVector(Kernel) != VecCHMK || CHMVector(User) != VecCHMU {
+		t.Error("CHMVector mapping wrong")
+	}
+	for op, m := range map[uint16]Mode{OpCHMK: Kernel, OpCHME: Executive, OpCHMS: Supervisor, OpCHMU: User} {
+		got, ok := CHMTarget(op)
+		if !ok || got != m {
+			t.Errorf("CHMTarget(%#x) = %s,%t", op, got, ok)
+		}
+	}
+	if _, ok := CHMTarget(OpMOVL); ok {
+		t.Error("MOVL is not a CHM")
+	}
+}
+
+func TestSoftwareVector(t *testing.T) {
+	if SoftwareVector(1) != 0x84 || SoftwareVector(15) != 0xBC {
+		t.Error("software vectors wrong")
+	}
+}
+
+func TestExceptionError(t *testing.T) {
+	e := &Exception{Vector: VecAccessViol, Kind: Fault, Params: []uint32{4, 0x200}}
+	if e.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestOperandRefString(t *testing.T) {
+	r := OperandRef{IsRegister: true, Register: 3}
+	if r.String() != "R3" {
+		t.Errorf("got %q", r.String())
+	}
+	r = OperandRef{Address: 0x1234}
+	if r.String() != "@0x1234" {
+		t.Errorf("got %q", r.String())
+	}
+}
+
+func TestVectorStrings(t *testing.T) {
+	for _, v := range []Vector{VecMachineCheck, VecPrivInstr, VecAccessViol,
+		VecTransNotValid, VecVMEmulation, VecModifyFault, VecCHMK, VecClock,
+		SoftwareVector(3), Vector(0x1F0)} {
+		if v.String() == "" {
+			t.Errorf("vector %#x has empty name", uint32(v))
+		}
+	}
+}
+
+// TestStringers sweeps every String method over its values.
+func TestStringers(t *testing.T) {
+	for m := Mode(0); m < 6; m++ {
+		if m.String() == "" {
+			t.Error("empty mode name")
+		}
+	}
+	for p := Protection(0); p < 17; p++ {
+		if p.String() == "" {
+			t.Error("empty protection name")
+		}
+	}
+	for r := IPR(0); r < 210; r++ {
+		if r.String() == "" {
+			t.Errorf("empty IPR name for %d", uint32(r))
+		}
+	}
+	for k := ExcKind(0); k < 6; k++ {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+	psl := PSL(0).WithCur(Executive).WithPrv(User).WithIPL(5).WithVM(true)
+	if psl.String() == "" {
+		t.Error("empty PSL string")
+	}
+	pte := NewPTE(true, ProtURKW, true, 99)
+	if pte.String() == "" {
+		t.Error("empty PTE string")
+	}
+}
+
+func TestVirtualOnlyIPRs(t *testing.T) {
+	for _, r := range []IPR{IPRMEMSIZE, IPRKCALL, IPRIORESET} {
+		if !r.VirtualOnly() {
+			t.Errorf("%s should be virtual-only", r)
+		}
+	}
+	if IPRIPL.VirtualOnly() {
+		t.Error("IPL is not virtual-only")
+	}
+}
+
+func TestReadOnlyProtection(t *testing.T) {
+	// ReadOnly removes exactly write access and preserves the read set.
+	for code := 0; code < 16; code++ {
+		p := Protection(code)
+		if p.Reserved() {
+			continue
+		}
+		ro := p.ReadOnly()
+		for m := Kernel; m <= User; m++ {
+			if ro.CanWrite(m) {
+				t.Errorf("ReadOnly(%s)=%s still writable by %s", p, ro, m)
+			}
+			if ro.CanRead(m) != p.CanRead(m) {
+				t.Errorf("ReadOnly(%s)=%s changed read access for %s", p, ro, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package vmos
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dev"
+	"repro/internal/mem"
+	"repro/internal/vax"
+)
+
+// Machine is a bare VAX (standard or modified) booted with MiniOS —
+// the role of the console boot path on a real processor.
+type Machine struct {
+	CPU     *cpu.CPU
+	Console *dev.Console
+	Clock   *dev.Clock
+	Disk    *dev.Disk
+	Image   *Image
+}
+
+// BootBare loads a MiniOS image on a bare machine of the given variant
+// and leaves it ready to Run: mapping on, kernel mode, PC at the kernel
+// entry point.
+func BootBare(im *Image, variant cpu.Variant, diskBlocks int) (*Machine, error) {
+	if im.Config.Target != TargetBare {
+		return nil, fmt.Errorf("vmos: image built for %s cannot boot bare", im.Config.Target)
+	}
+	if diskBlocks <= 0 {
+		diskBlocks = 64
+	}
+	m := mem.New(MemBytes)
+	if err := m.StoreBytes(0, im.Bytes); err != nil {
+		return nil, err
+	}
+	c := cpu.New(m, variant)
+	ma := &Machine{
+		CPU:     c,
+		Console: dev.NewConsole(),
+		Clock:   dev.NewClock(),
+		Disk:    dev.NewDisk(BareDiskCSR, diskBlocks),
+		Image:   im,
+	}
+	c.AddDevice(ma.Console)
+	c.AddDevice(ma.Clock)
+	c.AddDevice(ma.Disk)
+
+	c.SCBB = SCBPhys
+	c.MMU.SBR = SPTPhys
+	c.MMU.SLR = SPTEntries
+	c.MMU.Enabled = true
+	if im.Config.SoftwareModifyBits {
+		// Footnote 9: the base-architecture modify-fault option; the
+		// kernel's mf_h handler maintains PTE<M>.
+		c.EnableModifyFault(true)
+	}
+	c.SetStackFor(vax.Kernel, KernelVA(BootKSP))
+	c.ISP = KernelVA(BootKSP) + 0x200
+	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel).WithPrv(vax.Kernel))
+	c.SetPC(im.EntryPC)
+	return ma, nil
+}
+
+// Run executes until the machine halts or maxSteps pass; it reports
+// whether the machine halted.
+func (ma *Machine) Run(maxSteps uint64) bool {
+	ma.CPU.Run(maxSteps)
+	return ma.CPU.Halted
+}
+
+// ReadCell reads a kernel data cell from the live machine.
+func (ma *Machine) ReadCell(name string) uint32 {
+	v, err := ma.CPU.Mem.LoadLong(ma.Image.CellPhys(name))
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BootVM creates a virtual machine under the given VMM running the
+// MiniOS image, pre-booted the same way.
+func BootVM(k *core.VMM, im *Image, diskBlocks int) (*core.VM, error) {
+	if im.Config.Target == TargetBare {
+		return nil, fmt.Errorf("vmos: bare-target image cannot boot in a VM")
+	}
+	if diskBlocks <= 0 {
+		diskBlocks = 64
+	}
+	vm, err := k.CreateVM(core.VMConfig{
+		Name:       "minios",
+		MemBytes:   MemBytes,
+		Image:      im.Bytes,
+		LoadAt:     0,
+		StartPC:    im.EntryPC,
+		DiskBlocks: diskBlocks,
+		PreMapped:  true,
+		SBR:        SPTPhys,
+		SLR:        SPTEntries,
+		SCBB:       SCBPhys,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vm.SPs[vax.Kernel] = KernelVA(BootKSP)
+	vm.ISP = KernelVA(BootKSP) + 0x200
+	return vm, nil
+}
+
+// ReadVMCell reads a kernel data cell from a running VM.
+func ReadVMCell(vm *core.VM, im *Image, name string) uint32 {
+	dump := vm.DumpMemory()
+	if dump == nil {
+		return 0
+	}
+	return im.ReadCell(dump, name)
+}

@@ -1,0 +1,694 @@
+// Package vmos is MiniOS, a miniature VAX operating system in the role
+// the paper gives VMS and ULTRIX-32: a guest that uses the privileged
+// architecture — four access modes, CHMK system calls, REI, per-process
+// P0 address spaces, demand paging, an interval clock and a disk driver
+// — and runs unchanged on the standard VAX, on the modified VAX, and
+// inside a virtual VAX. Only its device drivers differ between the bare
+// and virtual targets, "no more changes than would be expected for any
+// new VAX model" (paper Section 1, goals).
+//
+// The kernel is real VAX machine code assembled by internal/asm from a
+// template parameterized by target and process set.
+package vmos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/vax"
+)
+
+// Target selects the device drivers linked into the kernel.
+type Target int
+
+const (
+	// TargetBare drives the console through the console IPRs, the disk
+	// through its memory-mapped CSRs at 0x20000000, and counts uptime
+	// from clock interrupts. For standard or modified bare machines.
+	TargetBare Target = iota
+	// TargetVM uses the virtual VAX interface: KCALL start-I/O for
+	// console and disk, and the VMM-maintained uptime cell (Section 5).
+	TargetVM
+	// TargetVMMMIO runs in a VM but drives the disk through emulated
+	// memory-mapped registers — the expensive baseline of Section 4.4.3.
+	TargetVMMMIO
+)
+
+func (t Target) String() string {
+	switch t {
+	case TargetVM:
+		return "virtual VAX (KCALL I/O)"
+	case TargetVMMMIO:
+		return "virtual VAX (emulated MMIO)"
+	}
+	return "bare machine"
+}
+
+// Physical layout (identical in bare-physical and VM-physical terms).
+const (
+	SCBPhys    uint32 = 0x0000
+	SPTPhys    uint32 = 0x0200 // 1024 PTEs -> ends 0x1200
+	SPTEntries uint32 = 1024
+	PTabPhys   uint32 = 0x1400 // P0 page tables, 64 PTEs (256 B) per process
+	KernelPhys uint32 = 0x2000 // kernel code + data
+	KBufPhys   uint32 = 0x8200 // disk bounce buffer (one block)
+	PCBPhys    uint32 = 0x8400 // process control blocks
+	PCBStride  uint32 = 128    // bytes reserved per PCB (96 used)
+	BootKSP    uint32 = 0xA000 // boot-time kernel stack top
+	KStackArea uint32 = 0xA000 // process i kernel stack top = KStackArea + (i+1)*0x400
+	UserPhys   uint32 = 0x10000
+	UserStride uint32 = 0x4000 // per-process user memory
+	MemBytes   uint32 = 0x40000
+
+	// Per-process user address space: code and data in P0, the user
+	// stack in the P1 control region with its own per-process page
+	// table, as VMS arranges things.
+	UserCodePages  = 4 // P0 pages 0..3, read-only
+	UserDataPage   = 4 // P0 pages 4..19, read/write
+	UserDataPages  = 16
+	UserP0Len      = 64
+	UserDataVA     = UserDataPage * vax.PageSize
+	UserStackPages = 16 // P1 pages 0..15 (8 KB stack)
+	UserP1Len      = UserStackPages
+	UserStackTop   = vax.P1Base + UserStackPages*vax.PageSize
+
+	// P1TabPhys holds the per-process P1 page tables (64 bytes each).
+	P1TabPhys uint32 = 0x8A00
+
+	// DiskSPage is the S page mapped at the disk controller's frame on
+	// the MMIO targets.
+	DiskSPage uint32 = 1000
+
+	// BareDiskCSR is the physical CSR window on the bare machine.
+	BareDiskCSR uint32 = 0x20000000
+	// VMDiskCSR is the VM-physical window of the virtual controller.
+	VMDiskCSR uint32 = 0x00F00000
+
+	// ClockPeriod is the bare-machine interval timer period in cycles.
+	ClockPeriod = 5000
+)
+
+// KernelVA converts a kernel physical address to its S-space address.
+func KernelVA(phys uint32) uint32 { return vax.SystemBase + phys }
+
+// System call numbers (CHMK codes).
+const (
+	SysExit      = 0
+	SysPutc      = 1 // r1 = character
+	SysGetc      = 2 // result r0
+	SysYield     = 3
+	SysDiskRead  = 4 // r1 = block, r2 = user buffer va (512 bytes)
+	SysDiskWrite = 5
+	SysGetPid    = 6 // result r0
+	SysUptime    = 7 // result r0 (ticks)
+	SysFaults    = 8 // result r0: cumulative page-fault count
+	SysSleep     = 9 // r1 = clock ticks to sleep
+)
+
+// Process describes one user-mode program.
+type Process struct {
+	// Source is a user-mode assembly program, assembled at P0 address
+	// 0. It must finish with "chmk #0" (exit). Data lives at UserDataVA;
+	// the stack top is UserStackTop. R6/R7 are clobbered by system
+	// calls.
+	Source string
+	// DemandPaging leaves the data pages invalid so first touches page
+	// fault into the kernel.
+	DemandPaging bool
+}
+
+// Config describes a MiniOS instance.
+type Config struct {
+	Target    Target
+	Processes []Process
+	// Preempt makes the clock handler round-robin user processes.
+	Preempt bool
+	// KernelPrelude is assembly run once in kernel mode at boot, before
+	// processes start (used for kernel-path experiments such as the
+	// MTPR-to-IPL loop).
+	KernelPrelude string
+	// NoClock leaves the interval timer off (pure CPU experiments).
+	NoClock bool
+	// SoftwareModifyBits opts the bare machine into the base-architecture
+	// modify fault (paper footnote 9): the kernel maintains PTE<M>
+	// itself through a modify-fault handler. Bare targets only — inside
+	// a VM the VMM already virtualizes PTE<M> transparently.
+	SoftwareModifyBits bool
+}
+
+// Image is a built MiniOS memory image.
+type Image struct {
+	Config Config
+	Bytes  []byte
+	Kernel *asm.Program
+	// EntryPC is the kernel entry point (an S-space address).
+	EntryPC uint32
+}
+
+// Symbol returns the S-space address of a kernel symbol.
+func (im *Image) Symbol(name string) uint32 { return im.Kernel.MustSymbol(name) }
+
+// CellPhys returns the physical address of a kernel data cell.
+func (im *Image) CellPhys(name string) uint32 {
+	return im.Kernel.MustSymbol(name) - vax.SystemBase
+}
+
+// ReadCell reads a kernel data cell out of a memory dump of the
+// instance (bare physical or VM physical).
+func (im *Image) ReadCell(memory []byte, name string) uint32 {
+	return binary.LittleEndian.Uint32(memory[im.CellPhys(name):])
+}
+
+// Build assembles a MiniOS image.
+func Build(cfg Config) (*Image, error) {
+	n := len(cfg.Processes)
+	if n > 10 {
+		return nil, fmt.Errorf("vmos: at most 10 processes (%d requested)", n)
+	}
+	src := kernelSource(cfg)
+	prog, err := asm.Assemble(src, KernelVA(KernelPhys))
+	if err != nil {
+		return nil, fmt.Errorf("vmos kernel: %w", err)
+	}
+	if prog.End() >= KernelVA(KBufPhys) {
+		return nil, fmt.Errorf("vmos: kernel too large (%#x)", prog.End())
+	}
+	img := make([]byte, MemBytes)
+	putLong := func(at, v uint32) { binary.LittleEndian.PutUint32(img[at:], v) }
+
+	// System page table: identity map every RAM page; the disk window
+	// page on MMIO targets; everything else no-access.
+	ramPages := MemBytes / vax.PageSize
+	for i := uint32(0); i < SPTEntries; i++ {
+		pte := vax.NewPTE(false, vax.ProtNA, false, 0)
+		if i < ramPages {
+			// Kernel-write, user-read would hide kernel data from user
+			// probes; MiniOS protects S space kernel-write/kernel-read
+			// except the console-visible areas. URKW lets user code
+			// read (for PROBE experiments) but not write.
+			pte = vax.NewPTE(true, vax.ProtURKW, true, i)
+		}
+		if i == DiskSPage && cfg.Target != TargetVM {
+			base := BareDiskCSR
+			if cfg.Target == TargetVMMMIO {
+				base = VMDiskCSR
+			}
+			pte = vax.NewPTE(true, vax.ProtKW, true, base/vax.PageSize)
+		}
+		putLong(SPTPhys+4*i, uint32(pte))
+	}
+
+	// SCB vectors.
+	vecs := map[vax.Vector]string{
+		vax.VecModifyFault:   "mf_h",
+		vax.VecCHMK:          "chmk_h",
+		vax.VecTransNotValid: "pf_h",
+		vax.VecAccessViol:    "av_h",
+		vax.VecPrivInstr:     "bad_h",
+		vax.VecRsvdOperand:   "bad_h",
+		vax.VecRsvdAddrMode:  "bad_h",
+		vax.VecArithmetic:    "bad_h",
+		vax.VecBreakpoint:    "bad_h",
+		vax.VecMachineCheck:  "bad_h",
+		vax.VecClock:         "clk_h",
+		vax.VecDisk:          "dsk_h",
+	}
+	for vec, label := range vecs {
+		putLong(uint32(vec), prog.MustSymbol(label))
+	}
+
+	copy(img[KernelPhys:], prog.Code)
+
+	// Per-process structures.
+	for i, p := range cfg.Processes {
+		uprog, err := asm.Assemble(p.Source, 0)
+		if err != nil {
+			return nil, fmt.Errorf("vmos process %d: %w", i, err)
+		}
+		ubase := UserPhys + uint32(i)*UserStride
+		if uint32(len(uprog.Code)) > UserCodePages*vax.PageSize {
+			return nil, fmt.Errorf("vmos process %d: code too large", i)
+		}
+		copy(img[ubase:], uprog.Code)
+
+		// P0 page table: code and data.
+		pt := PTabPhys + uint32(i)*256
+		codeFrame := ubase / vax.PageSize
+		dataFrame := codeFrame + UserCodePages
+		stackFrame := dataFrame + UserDataPages
+		for pg := 0; pg < UserP0Len; pg++ {
+			pte := vax.NewPTE(false, vax.ProtNA, false, 0)
+			switch {
+			case pg < UserCodePages:
+				pte = vax.NewPTE(true, vax.ProtUR, true, codeFrame+uint32(pg))
+			case pg >= UserDataPage && pg < UserDataPage+UserDataPages:
+				// Data pages start with PTE<M> clear, as a paging OS
+				// would leave them: the first write is what the modify
+				// fault machinery (Section 4.4.2) tracks.
+				pte = vax.NewPTE(!p.DemandPaging, vax.ProtUW, false,
+					dataFrame+uint32(pg-UserDataPage))
+			}
+			putLong(pt+uint32(4*pg), uint32(pte))
+		}
+		// P1 page table: the user stack.
+		p1t := P1TabPhys + uint32(i)*64
+		for pg := 0; pg < UserP1Len; pg++ {
+			pte := vax.NewPTE(true, vax.ProtUW, false, stackFrame+uint32(pg))
+			putLong(p1t+uint32(4*pg), uint32(pte))
+		}
+
+		// Initialize the process control block: empty kernel stack,
+		// user stack at its top, user entry PC 0 with a user PSL, the
+		// process's P0 map. LDPCTX pushes PC/PSL on the kernel stack
+		// and REI enters the process.
+		pcb := PCBPhys + uint32(i)*PCBStride
+		kspTop := KStackArea + uint32(i+1)*0x400
+		putLong(pcb+cpu.PCBKSP, KernelVA(kspTop))
+		putLong(pcb+cpu.PCBESP, KernelVA(kspTop-0x80))
+		putLong(pcb+cpu.PCBSSP, KernelVA(kspTop-0x100))
+		putLong(pcb+cpu.PCBUSP, UserStackTop)
+		putLong(pcb+cpu.PCBPC, 0)
+		putLong(pcb+cpu.PCBPSL, uint32(vax.PSL(0).WithCur(vax.User).WithPrv(vax.User)))
+		putLong(pcb+cpu.PCBP0BR, KernelVA(pt))
+		putLong(pcb+cpu.PCBP0LR, UserP0Len)
+		putLong(pcb+cpu.PCBP1BR, KernelVA(p1t))
+		putLong(pcb+cpu.PCBP1LR, UserP1Len)
+	}
+
+	return &Image{
+		Config:  cfg,
+		Bytes:   img,
+		Kernel:  prog,
+		EntryPC: prog.MustSymbol("start"),
+	}, nil
+}
+
+// kernelSource renders the kernel template for cfg.
+func kernelSource(cfg Config) string {
+	n := len(cfg.Processes)
+	var b strings.Builder
+	p := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+
+	diskCSR := KernelVA(DiskSPage * vax.PageSize)
+	// The scheduler's clock: the bare machine counts its own timer
+	// interrupts; a virtual VAX must read the VMM-maintained uptime
+	// cell instead (Section 5, "Time": interrupts arrive only while the
+	// VM runs, so counting them undercounts).
+	nowCell := "ticks"
+	if cfg.Target != TargetBare {
+		nowCell = "vmtime"
+	}
+
+	p("; MiniOS kernel — generated for target %s, %d processes", cfg.Target, n)
+	p("diskcsr = %#x", diskCSR)
+	p("kbuf = %#x", KernelVA(KBufPhys))
+	p("ptab0 = %#x", KernelVA(PTabPhys))
+
+	// --- data cells ---
+	p("\tbrw start")
+	p("\t.align 4")
+	p("ticks:\t.long 0")
+	p("vmtime:\t.long 0          ; uptime cell maintained by the VMM")
+	p("curproc:\t.long 0")
+	p("alive:\t.long %d", n)
+	p("faults:\t.long 0")
+	p("switches:\t.long 0")
+	p("syscalls:\t.long 0")
+	p("mfaults:\t.long 0")
+	p("ioops:\t.long 0")
+	p("ptab_pcbb:")
+	for i := 0; i < n; i++ {
+		// PCBB holds the physical address of the process control block.
+		p("\t.long %#x", PCBPhys+uint32(i)*PCBStride)
+	}
+	if n == 0 {
+		p("\t.long 0")
+	}
+	p("ptab_alive:")
+	for i := 0; i < n; i++ {
+		p("\t.long 1")
+	}
+	if n == 0 {
+		p("\t.long 0")
+	}
+	p("ptab_wake:")
+	for i := 0; i < n; i++ {
+		p("\t.long 0")
+	}
+	if n == 0 {
+		p("\t.long 0")
+	}
+
+	// --- boot ---
+	p("\t.align 4")
+	p("start:")
+	if cfg.Target != TargetBare {
+		// Register the uptime cell with the VMM (Section 5, "Time").
+		p("\tmovl #%d, r0", 6 /* KCallSetUptime */)
+		p("\tmovl #vmtime-%#x, r1 ; cell's VM-physical address", vax.SystemBase)
+		p("\tmtpr #0, #201")
+	}
+	if !cfg.NoClock {
+		if cfg.Target == TargetBare {
+			p("\tmtpr #%d, #25       ; NICR = -period", -ClockPeriod&0xFFFFFFFF)
+			p("\tmtpr #0x51, #24     ; ICCS: run | transfer | interrupt enable")
+		} else {
+			p("\tmtpr #0x41, #24     ; virtual clock: run | interrupt enable")
+		}
+	}
+	if cfg.KernelPrelude != "" {
+		p("; --- kernel prelude workload ---")
+		p(cfg.KernelPrelude)
+		p("; --- end prelude ---")
+	}
+	if n == 0 {
+		p("\thalt")
+	} else {
+		// Enter the first process: schednext advances curproc first.
+		p("\tmovl #%d, @#curproc", n-1)
+		p("\tjmp @#schednext")
+	}
+
+	// --- scheduler: pick the next alive process and LDPCTX into it.
+	// Context switching is done with LDPCTX/SVPCTX, as VMS does; in a
+	// VM this is what lets the VMM's multi-process shadow-table cache
+	// (Section 7.2) preserve a suspended process's shadow PTEs.
+	p("\t.align 4")
+	p("schednext:")
+	p("\ttstl @#alive")
+	p("\tbneq sn1")
+	p("\thalt                 ; all processes exited")
+	p("sn1:\tmovl @#curproc, r6")
+	p("\tmovl #%d, r10        ; candidates left this scan", n)
+	p("sn2:\tincl r6")
+	p("\tcmpl r6, #%d", n)
+	p("\tblss sn3")
+	p("\tclrl r6")
+	p("sn3:\tashl #2, r6, r7")
+	p("\tmoval @#ptab_alive, r8")
+	p("\taddl2 r7, r8")
+	p("\tblbc (r8), sn4       ; skip dead processes")
+	p("\tmoval @#ptab_wake, r8")
+	p("\taddl2 r7, r8")
+	p("\tmovl @#%s, r9", nowCell)
+	p("\tcmpl r9, (r8)")
+	p("\tbgequ snfound        ; awake: now >= wake time")
+	p("sn4:\tsobgtr r10, sn2")
+	// Everyone alive is sleeping: idle. A virtual VAX gives the
+	// processor back with the WAIT handshake (Section 5); the bare
+	// machine spins until the interval timer advances the clock.
+	if cfg.Target != TargetBare {
+		p("\twait                 ; idle: let the VMM run someone else")
+	} else {
+		p("\tnop                  ; idle: wait for a clock interrupt")
+	}
+	p("\tbrb sn1")
+	p("snfound:")
+	p("\tmovl r6, @#curproc")
+	p("\tincl @#switches")
+	p("\tmoval @#ptab_pcbb, r8")
+	p("\taddl2 r7, r8")
+	p("\tmtpr (r8), #16       ; PCBB")
+	p("\tldpctx               ; load registers, stacks, P0 map")
+	p("\trei                  ; resume where the process left off")
+
+	// --- CHMK system call dispatcher ---
+	p("\t.align 4")
+	p("chmk_h:")
+	p("\tmtpr #2, #18         ; block rescheduling, as VMS raises IPL")
+	p("\tincl @#syscalls")
+	p("\tmovl (sp)+, r7       ; syscall code")
+	p("\tbneq s_not0")
+	p("\tjmp @#sys_exit")
+	p("s_not0:")
+	p("\tcmpl r7, #%d", SysPutc)
+	p("\tbneq s_n1")
+	p("\tjmp @#sys_putc")
+	p("s_n1:\tcmpl r7, #%d", SysGetc)
+	p("\tbneq s_n2")
+	p("\tjmp @#sys_getc")
+	p("s_n2:\tcmpl r7, #%d", SysYield)
+	p("\tbneq s_n3")
+	p("\tjmp @#sys_yield")
+	p("s_n3:\tcmpl r7, #%d", SysDiskRead)
+	p("\tbneq s_n4")
+	p("\tjmp @#sys_dread")
+	p("s_n4:\tcmpl r7, #%d", SysDiskWrite)
+	p("\tbneq s_n5")
+	p("\tjmp @#sys_dwrite")
+	p("s_n5:\tcmpl r7, #%d", SysGetPid)
+	p("\tbneq s_n6")
+	p("\tmovl @#curproc, r0")
+	p("\trei")
+	p("s_n6:\tcmpl r7, #%d", SysUptime)
+	p("\tbneq s_n7")
+	if cfg.Target == TargetBare {
+		p("\tmovl @#ticks, r0")
+	} else {
+		p("\tmovl @#vmtime, r0    ; the VMM-maintained cell, not counted interrupts")
+	}
+	p("\trei")
+	p("s_n7:\tcmpl r7, #%d", SysFaults)
+	p("\tbneq s_n8")
+	p("\tmovl @#faults, r0")
+	p("\trei")
+	p("s_n8:\tcmpl r7, #%d", SysSleep)
+	p("\tbneq s_bad")
+	p("\tjmp @#sys_sleep")
+	p("s_bad:\thalt              ; unknown system call")
+
+	// --- exit ---
+	p("\t.align 4")
+	p("sys_exit:")
+	p("\tdecl @#alive")
+	p("\tmovl @#curproc, r6")
+	p("\tashl #2, r6, r7")
+	p("\tmoval @#ptab_alive, r8")
+	p("\taddl2 r7, r8")
+	p("\tclrl (r8)")
+	p("\tjmp @#schednext")
+
+	// --- sleep: record the wake time, then yield the processor ---
+	p("\t.align 4")
+	p("sys_sleep:")
+	p("\tmovl @#curproc, r6")
+	p("\tashl #2, r6, r7")
+	p("\tmoval @#ptab_wake, r8")
+	p("\taddl2 r7, r8")
+	p("\taddl3 @#%s, r1, r9", nowCell)
+	p("\tmovl r9, (r8)        ; wake at now + r1")
+	p("\tjmp @#sys_yield")
+
+	// --- yield: SVPCTX captures the full context into the PCB ---
+	p("\t.align 4")
+	p("sys_yield:")
+	p("\tsvpctx               ; consumes the trap PC/PSL from the stack")
+	p("\tjmp @#schednext")
+
+	// --- console ---
+	p("\t.align 4")
+	p("sys_putc:")
+	if cfg.Target == TargetBare {
+		p("\tmtpr r1, #35         ; TXDB")
+	} else {
+		p("\tmovl #1, r0")
+		p("\tmtpr #0, #201        ; KCALL console put")
+	}
+	p("\trei")
+	p("\t.align 4")
+	p("sys_getc:")
+	if cfg.Target == TargetBare {
+		p("\tmfpr #33, r0         ; RXDB")
+	} else {
+		p("\tmovl #2, r0")
+		p("\tmtpr #0, #201")
+		p("\tmovl r1, r0")
+	}
+	p("\trei")
+
+	// --- disk: r1 = block, r2 = user buffer va ---
+	// The kernel probes the user buffer as the caller (the classic
+	// PROBE pattern of Section 3.2.2), transfers through the bounce
+	// buffer, and copies in the user's address space.
+	p("\t.align 4")
+	p("sys_dread:")
+	p("\tincl @#ioops")
+	p("\tprobew #3, #512, (r2)")
+	p("\tbneq drd_ok")
+	p("\tmnegl #1, r0")
+	p("\trei")
+	p("drd_ok:")
+	diskReadOp(&b, cfg.Target, false)
+	// copy kbuf -> user buffer
+	p("\tmoval @#kbuf, r6")
+	p("\tmovl r2, r7")
+	p("\tmovl #128, r8")
+	p("drd_cp:\tmovl (r6)+, (r7)+")
+	p("\tsobgtr r8, drd_cp")
+	p("\tclrl r0")
+	p("\trei")
+
+	p("\t.align 4")
+	p("sys_dwrite:")
+	p("\tincl @#ioops")
+	p("\tprober #3, #512, (r2)")
+	p("\tbneq dwr_ok")
+	p("\tmnegl #1, r0")
+	p("\trei")
+	p("dwr_ok:")
+	// copy user buffer -> kbuf
+	p("\tmovl r2, r6")
+	p("\tmoval @#kbuf, r7")
+	p("\tmovl #128, r8")
+	p("dwr_cp:\tmovl (r6)+, (r7)+")
+	p("\tsobgtr r8, dwr_cp")
+	diskReadOp(&b, cfg.Target, true)
+	p("\tclrl r0")
+	p("\trei")
+
+	// --- page fault: validate the preloaded PTE ---
+	p("\t.align 4")
+	p("pf_h:")
+	p("\tincl @#faults")
+	p("\tmovl (sp)+, r6       ; fault parameter")
+	p("\tmovl (sp)+, r7       ; faulting va")
+	p("\tcmpl r7, #0x40000000")
+	p("\tbgequ pf_bad          ; only P0 demand pages expected")
+	p("\tashl #-9, r7, r8     ; vpn")
+	p("\tashl #2, r8, r8")
+	p("\tmfpr #8, r9          ; P0BR")
+	p("\taddl2 r8, r9")
+	p("\tbisl2 #0x80000000, (r9) ; set PTE<V>")
+	p("\tmtpr r7, #58         ; TBIS")
+	p("\trei")
+	p("pf_bad:\thalt")
+
+	// --- access violation: kill the offending process ---
+	p("\t.align 4")
+	p("av_h:")
+	p("\tmovl (sp)+, r6")
+	p("\tmovl (sp)+, r7")
+	p("\tmovl 4(sp), r8       ; saved PSL")
+	p("\tashl #-24, r8, r8")
+	p("\tbicl2 #0xFFFFFFFC, r8")
+	p("\tcmpl r8, #3")
+	p("\tbeql av_user")
+	p("\tjmp @#bad_h          ; kernel-mode AV is a kernel bug")
+	p("av_user:")
+	p("\tjmp @#sys_exit       ; kill the process")
+
+	// --- clock ---
+	p("\t.align 4")
+	p("clk_h:")
+	p("\tincl @#ticks")
+	if cfg.Target == TargetBare {
+		p("\tmtpr #0xD1, #24      ; ack, keep run|transfer|IE")
+	} else {
+		p("\tmtpr #0xC1, #24      ; ack virtual clock")
+	}
+	if cfg.Preempt && n > 1 {
+		// Preempt only if the interrupt arrived in user mode; an
+		// interrupted kernel path must get its registers back intact.
+		p("\tpushl r6")
+		p("\tmovl 8(sp), r6       ; interrupted PSL")
+		p("\tashl #-24, r6, r6")
+		p("\tbicl2 #0xFFFFFFFC, r6")
+		p("\tcmpl r6, #3")
+		p("\tbneq clk_done")
+		p("\taddl2 #4, sp         ; user registers r6-r10 are volatile")
+		p("\tjmp @#sys_yield")
+		p("clk_done:")
+		p("\tmovl (sp)+, r6")
+	}
+	p("\trei")
+
+	// --- disk completion interrupt (KCALL path): nothing to do ---
+	p("\t.align 4")
+	p("dsk_h:")
+	p("\trei")
+
+	// --- modify fault (base-architecture option, footnote 9): set
+	// PTE<M> for the page and retry. Faults arrive with (param, va) on
+	// the stack like other memory-management faults.
+	p("\t.align 4")
+	p("mf_h:")
+	p("\tincl @#mfaults")
+	p("\tmovl (sp)+, r6       ; fault parameter")
+	p("\tmovl (sp)+, r7       ; faulting va")
+	p("\tcmpl r7, #0x40000000")
+	p("\tbgequ mf_s")
+	p("\tashl #-9, r7, r8     ; P0 page: PTE via P0BR")
+	p("\tashl #2, r8, r8")
+	p("\tmfpr #8, r9")
+	p("\taddl2 r8, r9")
+	p("\tbisl2 #0x04000000, (r9) ; set PTE<M>")
+	p("\tbrb mf_done")
+	p("mf_s:\tcmpl r7, #0x80000000")
+	p("\tbgequ mf_s2")
+	p("\tbicl3 #0x40000000, r7, r8 ; P1: the user stack")
+	p("\tashl #-9, r8, r8")
+	p("\tashl #2, r8, r8")
+	p("\tmfpr #10, r9         ; P1BR")
+	p("\taddl2 r8, r9")
+	p("\tbisl2 #0x04000000, (r9)")
+	p("\tbrb mf_done")
+	p("mf_s2:\tbicl3 #0x80000000, r7, r8")
+	p("\tashl #-9, r8, r8     ; S page number")
+	p("\tashl #2, r8, r8")
+	p("\tmfpr #12, r9         ; SBR (physical)")
+	p("\taddl2 r8, r9")
+	p("\tbisl2 #0x80000000, r9  ; reach the SPT through the identity map")
+	p("\tbisl2 #0x04000000, (r9) ; set PTE<M>")
+	p("mf_done:")
+	p("\tmtpr r7, #58         ; TBIS the page")
+	p("\trei")
+
+	// --- fatal ---
+	p("\t.align 4")
+	p("bad_h:")
+	p("\thalt")
+
+	return b.String()
+}
+
+// diskReadOp emits the driver sequence moving one block between the
+// bounce buffer and the disk: the MMIO register dance on bare/MMIO
+// targets, a single KCALL on the virtual VAX (Section 4.4.3).
+func diskReadOp(b *strings.Builder, target Target, write bool) {
+	p := func(format string, args ...interface{}) {
+		fmt.Fprintf(b, format+"\n", args...)
+	}
+	if target == TargetVM {
+		fn := 3
+		if write {
+			fn = 4
+		}
+		p("\tmovl r2, r9          ; keep the user buffer address")
+		p("\tmovl #%d, r0", fn)
+		p("\tmovl #%#x, r2        ; bounce buffer (VM-physical)", KBufPhys)
+		p("\tmtpr #0, #201        ; KCALL start-I/O")
+		p("\tmovl r9, r2")
+		p("\ttstl r0")
+		p("\tbeql dk_ok%d", fn)
+		p("\tmnegl #2, r0         ; device error")
+		p("\trei")
+		p("dk_ok%d:", fn)
+		return
+	}
+	fn := uint32(3) // GO | read
+	if write {
+		fn = 5 // GO | write
+	}
+	p("\tmovl r1, @#diskcsr+4 ; block register")
+	p("\tmovl #%#x, @#diskcsr+8 ; physical buffer", KBufPhys)
+	p("\tmovl #512, @#diskcsr+12")
+	p("\tmovl #%d, @#diskcsr  ; CSR: go", fn)
+	p("dpoll%d:\tmovl @#diskcsr, r6", fn)
+	p("\tbitl #0x80, r6       ; ready?")
+	p("\tbeql dpoll%d", fn)
+}

@@ -1,0 +1,522 @@
+package vmos_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/vmos"
+	"repro/internal/workload"
+)
+
+func buildImage(t *testing.T, cfg vmos.Config) *vmos.Image {
+	t.Helper()
+	im, err := vmos.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func bootBare(t *testing.T, variant cpu.Variant, cfg vmos.Config) *vmos.Machine {
+	t.Helper()
+	cfg.Target = vmos.TargetBare
+	ma, err := vmos.BootBare(buildImage(t, cfg), variant, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ma
+}
+
+func runBare(t *testing.T, ma *vmos.Machine, maxSteps uint64) {
+	t.Helper()
+	if !ma.Run(maxSteps) {
+		t.Fatalf("MiniOS did not halt: pc=%#x psl=%s", ma.CPU.PC(), ma.CPU.PSL())
+	}
+}
+
+func bootVM(t *testing.T, kcfg core.Config, cfg vmos.Config) (*core.VMM, *core.VM, *vmos.Image) {
+	t.Helper()
+	if cfg.Target == vmos.TargetBare {
+		cfg.Target = vmos.TargetVM
+	}
+	im := buildImage(t, cfg)
+	k := core.New(16<<20, kcfg)
+	vm, err := vmos.BootVM(k, im, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, vm, im
+}
+
+func runVM(t *testing.T, k *core.VMM, vm *core.VM, maxSteps uint64) {
+	t.Helper()
+	k.Run(maxSteps)
+	if h, msg := vm.Halted(); !h {
+		t.Fatalf("VM MiniOS did not halt: pc=%#x vmpsl=%s", k.CPU.PC(), k.CPU.VMPSL)
+	} else if !strings.Contains(msg, "HALT") {
+		t.Fatalf("VM MiniOS died: %s (pc=%#x)", msg, k.CPU.PC())
+	}
+}
+
+func TestMiniOSBoatloadOfTargetsBuild(t *testing.T) {
+	for _, target := range []vmos.Target{vmos.TargetBare, vmos.TargetVM, vmos.TargetVMMMIO} {
+		im := buildImage(t, vmos.Config{Target: target, Processes: []vmos.Process{workload.Compute(10)}})
+		if len(im.Bytes) != int(vmos.MemBytes) {
+			t.Errorf("%s: image size %d", target, len(im.Bytes))
+		}
+		if im.EntryPC < vmos.KernelVA(vmos.KernelPhys) {
+			t.Errorf("%s: entry %#x", target, im.EntryPC)
+		}
+	}
+}
+
+func TestComputeOnStandardBareVAX(t *testing.T) {
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: []vmos.Process{workload.Compute(500)}})
+	runBare(t, ma, 1_000_000)
+	if got := ma.ReadCell("syscalls"); got != 1 { // just the exit
+		t.Errorf("syscalls = %d", got)
+	}
+	if ma.ReadCell("ticks") == 0 {
+		t.Error("clock never ticked")
+	}
+}
+
+// TestSameImageRunsOnModifiedBareMachine verifies paper goal 2: a
+// standard operating system runs unchanged on the modified real
+// machine.
+func TestSameImageRunsOnModifiedBareMachine(t *testing.T) {
+	cfg := vmos.Config{Processes: []vmos.Process{workload.Compute(500), workload.Syscall(100)}}
+	std := bootBare(t, cpu.StandardVAX, cfg)
+	runBare(t, std, 5_000_000)
+	mod := bootBare(t, cpu.ModifiedVAX, cfg)
+	runBare(t, mod, 5_000_000)
+	for _, cell := range []string{"syscalls", "switches", "faults"} {
+		if std.ReadCell(cell) != mod.ReadCell(cell) {
+			t.Errorf("%s differs: standard=%d modified=%d",
+				cell, std.ReadCell(cell), mod.ReadCell(cell))
+		}
+	}
+	// The modified machine must not take VM-emulation traps outside VMs.
+	if mod.CPU.Stats.VMTraps != 0 {
+		t.Errorf("VM traps on bare modified machine: %d", mod.CPU.Stats.VMTraps)
+	}
+}
+
+// TestSameWorkloadRunsInVM is paper goal 3: the OS runs in the virtual
+// VAX with only a driver change, producing identical computational
+// results.
+func TestSameWorkloadRunsInVM(t *testing.T) {
+	procs := []vmos.Process{workload.Compute(500), workload.Syscall(200)}
+	bare := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs})
+	runBare(t, bare, 10_000_000)
+
+	k, vm, im := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: procs})
+	runVM(t, k, vm, 50_000_000)
+
+	if b, v := bare.ReadCell("syscalls"), vmos.ReadVMCell(vm, im, "syscalls"); b != v {
+		t.Errorf("syscalls differ: bare=%d vm=%d", b, v)
+	}
+	// The Compute process publishes its result at UserDataVA; compare
+	// through the first process's data frame.
+	dataPhys := vmos.UserPhys + vmos.UserCodePages*512
+	bareVal, _ := bare.CPU.Mem.LoadLong(dataPhys)
+	vmVal := ReadVMCellAt(vm, dataPhys)
+	if bareVal != vmVal {
+		t.Errorf("compute result differs: bare=%#x vm=%#x", bareVal, vmVal)
+	}
+}
+
+func ReadVMCellAt(vm *core.VM, phys uint32) uint32 {
+	dump := vm.DumpMemory()
+	if dump == nil || int(phys)+4 > len(dump) {
+		return 0
+	}
+	return uint32(dump[phys]) | uint32(dump[phys+1])<<8 |
+		uint32(dump[phys+2])<<16 | uint32(dump[phys+3])<<24
+}
+
+func TestConsoleOutputBareAndVM(t *testing.T) {
+	procs := []vmos.Process{workload.Edit(5)}
+	bare := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs})
+	runBare(t, bare, 10_000_000)
+	if got := bare.Console.Output(); got != "....." {
+		t.Errorf("bare console %q", got)
+	}
+	k, vm, _ := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: procs})
+	runVM(t, k, vm, 50_000_000)
+	if got := vm.ConsoleOutput(); got != "....." {
+		t.Errorf("vm console %q", got)
+	}
+}
+
+func TestDiskRoundTripBare(t *testing.T) {
+	procs := []vmos.Process{workload.TP(4, 8)}
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs})
+	runBare(t, ma, 20_000_000)
+	if got := ma.ReadCell("ioops"); got != 8 { // 4 txns x (read+write)
+		t.Errorf("ioops = %d", got)
+	}
+	if ma.Disk.Reads != 4 || ma.Disk.Writes != 4 {
+		t.Errorf("disk reads=%d writes=%d", ma.Disk.Reads, ma.Disk.Writes)
+	}
+	// Each transaction increments 16 longwords in its block; blocks
+	// cycle 0..3 here, so block 0 longword 0 ends at 1.
+	v := uint32(ma.Disk.Image()[0]) | uint32(ma.Disk.Image()[1])<<8
+	if v != 1 {
+		t.Errorf("block 0 field = %d", v)
+	}
+}
+
+func TestDiskRoundTripVMKCALL(t *testing.T) {
+	procs := []vmos.Process{workload.TP(4, 8)}
+	k, vm, im := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: procs})
+	runVM(t, k, vm, 50_000_000)
+	if got := vmos.ReadVMCell(vm, im, "ioops"); got != 8 {
+		t.Errorf("ioops = %d", got)
+	}
+	if vm.Disk().Reads != 4 || vm.Disk().Writes != 4 {
+		t.Errorf("vdisk reads=%d writes=%d", vm.Disk().Reads, vm.Disk().Writes)
+	}
+	if vm.Stats.KCALLs < 8 {
+		t.Errorf("KCALLs = %d", vm.Stats.KCALLs)
+	}
+}
+
+func TestDiskRoundTripVMMMIO(t *testing.T) {
+	procs := []vmos.Process{workload.TP(2, 4)}
+	k, vm, im := bootVM(t, core.Config{MMIOEmulatedIO: true},
+		vmos.Config{Target: vmos.TargetVMMMIO, Processes: procs})
+	runVM(t, k, vm, 50_000_000)
+	if got := vmos.ReadVMCell(vm, im, "ioops"); got != 4 {
+		t.Errorf("ioops = %d", got)
+	}
+	if vm.Stats.MMIOEmuls == 0 {
+		t.Error("no MMIO emulations counted")
+	}
+	// Many more traps per I/O than the KCALL interface (Section 4.4.3).
+	if vm.Stats.MMIOEmuls < 4*5 {
+		t.Errorf("MMIOEmuls = %d, want >= 20", vm.Stats.MMIOEmuls)
+	}
+}
+
+func TestDemandPagingBareAndVM(t *testing.T) {
+	procs := []vmos.Process{workload.PageStress(3, true)}
+	bare := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs})
+	runBare(t, bare, 20_000_000)
+	// 16 data pages, faulted once each on first touch.
+	if got := bare.ReadCell("faults"); got != 16 {
+		t.Errorf("bare faults = %d", got)
+	}
+	k, vm, im := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: procs})
+	runVM(t, k, vm, 50_000_000)
+	if got := vmos.ReadVMCell(vm, im, "faults"); got != 16 {
+		t.Errorf("vm faults = %d", got)
+	}
+	if vm.Stats.ShadowFills == 0 {
+		t.Error("no shadow fills recorded")
+	}
+}
+
+func TestMultiprocessRoundRobin(t *testing.T) {
+	procs := []vmos.Process{
+		workload.PageStress(4, false),
+		workload.PageStress(4, false),
+		workload.PageStress(4, false),
+	}
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs})
+	runBare(t, ma, 20_000_000)
+	if got := ma.ReadCell("switches"); got < 12 {
+		t.Errorf("switches = %d", got)
+	}
+	if got := ma.ReadCell("alive"); got != 0 {
+		t.Errorf("alive = %d", got)
+	}
+}
+
+func TestPreemptiveScheduling(t *testing.T) {
+	// Two compute-bound processes with no voluntary yields still both
+	// finish under preemption.
+	procs := []vmos.Process{workload.Compute(20000), workload.Compute(20000)}
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs, Preempt: true})
+	runBare(t, ma, 50_000_000)
+	if got := ma.ReadCell("switches"); got == 0 {
+		t.Error("no preemptive switches")
+	}
+	// Both published results (frames differ per process).
+	p0, _ := ma.CPU.Mem.LoadLong(vmos.UserPhys + vmos.UserCodePages*512)
+	p1, _ := ma.CPU.Mem.LoadLong(vmos.UserPhys + vmos.UserStride + vmos.UserCodePages*512)
+	if p0 == 0 || p0 != p1 {
+		t.Errorf("results %#x %#x", p0, p1)
+	}
+}
+
+func TestKernelPreludeIPL(t *testing.T) {
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{
+		KernelPrelude: workload.KernelIPL(100),
+		NoClock:       true,
+	})
+	runBare(t, ma, 1_000_000)
+	// Prelude with no processes ends in HALT.
+	if ma.CPU.Reason != cpu.HaltInstruction {
+		t.Errorf("reason = %d", ma.CPU.Reason)
+	}
+}
+
+func TestKernelPreludeIPLInVM(t *testing.T) {
+	k, vm, _ := bootVM(t, core.Config{}, vmos.Config{
+		Target:        vmos.TargetVM,
+		KernelPrelude: workload.KernelIPL(100),
+		NoClock:       true,
+	})
+	runVM(t, k, vm, 10_000_000)
+	if vm.Stats.MTPRIPL != 200 {
+		t.Errorf("MTPRIPL = %d, want 200", vm.Stats.MTPRIPL)
+	}
+}
+
+func TestUptimeSyscall(t *testing.T) {
+	// A process that spins until uptime advances, on both targets.
+	spin := vmos.Process{Source: `
+loop:	chmk #7              ; uptime
+	tstl r0
+	beql loop
+	chmk #0
+`}
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: []vmos.Process{spin}})
+	runBare(t, ma, 20_000_000)
+	if ma.ReadCell("ticks") == 0 {
+		t.Error("bare ticks = 0")
+	}
+	k, vm, im := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: []vmos.Process{spin}})
+	runVM(t, k, vm, 50_000_000)
+	if vmos.ReadVMCell(vm, im, "vmtime") == 0 {
+		t.Error("VMM did not maintain the uptime cell")
+	}
+}
+
+func TestAccessViolationKillsProcess(t *testing.T) {
+	// A process writing its read-only code page dies; a sibling
+	// finishes normally.
+	bad := vmos.Process{Source: `
+	movl #1, @#0         ; code page is UR: access violation
+	chmk #0
+`}
+	procs := []vmos.Process{bad, workload.Compute(100)}
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs})
+	runBare(t, ma, 10_000_000)
+	if got := ma.ReadCell("alive"); got != 0 {
+		t.Errorf("alive = %d", got)
+	}
+}
+
+func TestProbeLoopWorkload(t *testing.T) {
+	procs := []vmos.Process{workload.ProbeLoop(200)}
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs})
+	runBare(t, ma, 10_000_000)
+	if ma.CPU.Stats.Probes < 200 {
+		t.Errorf("probes = %d", ma.CPU.Stats.Probes)
+	}
+	k, vm, _ := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: procs})
+	runVM(t, k, vm, 50_000_000)
+	// PROBE completes in microcode once the shadow PTE is valid: the
+	// VMM sees at most a handful of fills, not one per probe.
+	if vm.Stats.ProbeFills > 5 {
+		t.Errorf("ProbeFills = %d, PROBE not using microcode path", vm.Stats.ProbeFills)
+	}
+}
+
+func TestMOVPSLWorkloadNeverTrapsInVM(t *testing.T) {
+	procs := []vmos.Process{workload.MOVPSLLoop(500)}
+	k, vm, _ := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: procs})
+	before := vm.Stats.VMTraps
+	runVM(t, k, vm, 50_000_000)
+	if k.CPU.Stats.MOVPSLs < 500 {
+		t.Errorf("MOVPSLs = %d", k.CPU.Stats.MOVPSLs)
+	}
+	_ = before
+	// Every VM trap must be attributable to something other than
+	// MOVPSL; the loop itself adds none beyond the syscall/HALT paths.
+	if vm.Stats.VMTraps > 60 {
+		t.Errorf("VMTraps = %d — MOVPSL appears to trap", vm.Stats.VMTraps)
+	}
+}
+
+func TestMixWorkloadRunsEverywhere(t *testing.T) {
+	procs := workload.Mix(3, 2, 8)
+	bare := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs, Preempt: true})
+	runBare(t, bare, 100_000_000)
+	k, vm, im := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: procs, Preempt: true})
+	runVM(t, k, vm, 200_000_000)
+	if b, v := bare.ReadCell("ioops"), vmos.ReadVMCell(vm, im, "ioops"); b != v {
+		t.Errorf("ioops differ: %d vs %d", b, v)
+	}
+	// Preemption interleaves processes differently on the two machines;
+	// the set of characters written must nonetheless match.
+	count := func(s string) (dots, stars int) {
+		for _, r := range s {
+			switch r {
+			case '.':
+				dots++
+			case '*':
+				stars++
+			}
+		}
+		return
+	}
+	bd, bs := count(bare.Console.Output())
+	vd, vs := count(vm.ConsoleOutput())
+	if bd != vd || bs != vs {
+		t.Errorf("console output differs: %q vs %q", bare.Console.Output(), vm.ConsoleOutput())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := vmos.Build(vmos.Config{Processes: make([]vmos.Process, 11)}); err == nil {
+		t.Error("11 processes should fail")
+	}
+	if _, err := vmos.Build(vmos.Config{Processes: []vmos.Process{{Source: "bogus"}}}); err == nil {
+		t.Error("bad user source should fail")
+	}
+	im := buildImage(t, vmos.Config{Target: vmos.TargetVM})
+	if _, err := vmos.BootBare(im, cpu.StandardVAX, 8); err == nil {
+		t.Error("VM image must not boot bare")
+	}
+	bareIm := buildImage(t, vmos.Config{Target: vmos.TargetBare})
+	k := core.New(8<<20, core.Config{})
+	if _, err := vmos.BootVM(k, bareIm, 8); err == nil {
+		t.Error("bare image must not boot in a VM")
+	}
+}
+
+// TestSoftwareModifyBits exercises footnote 9: the base-architecture
+// modify-fault option, with MiniOS maintaining PTE<M> in software.
+func TestSoftwareModifyBits(t *testing.T) {
+	procs := []vmos.Process{workload.PageStress(3, false)}
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{
+		Processes:          procs,
+		SoftwareModifyBits: true,
+	})
+	runBare(t, ma, 20_000_000)
+	// Each of the 16 data pages starts with PTE<M> clear: one modify
+	// fault per page on the first write, none after.
+	if got := ma.ReadCell("mfaults"); got < 16 || got > 20 {
+		t.Errorf("software modify faults = %d, want ~16", got)
+	}
+	if ma.CPU.MMU.Stats.ModifyFaults == 0 {
+		t.Error("MMU recorded no modify faults")
+	}
+	if ma.CPU.MMU.Stats.MSets != 0 {
+		t.Errorf("hardware still set M bits %d times", ma.CPU.MMU.Stats.MSets)
+	}
+
+	// The same image with the option off: hardware sets M, no faults.
+	ma2 := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs})
+	runBare(t, ma2, 20_000_000)
+	if got := ma2.ReadCell("mfaults"); got != 0 {
+		t.Errorf("modify faults without opt-in: %d", got)
+	}
+	if ma2.CPU.MMU.Stats.MSets == 0 {
+		t.Error("hardware M-setting not observed")
+	}
+	// Both runs compute the same result.
+	p0, _ := ma.CPU.Mem.LoadLong(vmos.UserPhys + vmos.UserCodePages*512)
+	p1, _ := ma2.CPU.Mem.LoadLong(vmos.UserPhys + vmos.UserCodePages*512)
+	if p0 != p1 {
+		t.Errorf("results differ: %#x vs %#x", p0, p1)
+	}
+}
+
+// TestConsoleInput drives the getc path on both targets.
+func TestConsoleInput(t *testing.T) {
+	echo := vmos.Process{Source: `
+loop:	chmk #2              ; getc
+	tstl r0
+	beql done            ; 0 = no more input
+	movl r0, r1
+	chmk #1              ; putc (echo)
+	brb loop
+done:	chmk #0
+`}
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: []vmos.Process{echo}})
+	ma.Console.Feed("abc")
+	runBare(t, ma, 10_000_000)
+	if got := ma.Console.Output(); got != "abc" {
+		t.Errorf("bare echo %q", got)
+	}
+
+	k, vm, _ := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: []vmos.Process{echo}})
+	vm.FeedConsole("xyz")
+	runVM(t, k, vm, 10_000_000)
+	if got := vm.ConsoleOutput(); got != "xyz" {
+		t.Errorf("vm echo %q", got)
+	}
+}
+
+// TestCallHeavyUsesP1Stack runs the CALLS/RET recursion workload whose
+// frames live on the P1 user stack, bare and in a VM.
+func TestCallHeavyUsesP1Stack(t *testing.T) {
+	procs := []vmos.Process{workload.CallHeavy(20, 10)}
+	bare := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: procs})
+	runBare(t, bare, 20_000_000)
+	dataPhys := vmos.UserPhys + vmos.UserCodePages*512
+	want, _ := bare.CPU.Mem.LoadLong(dataPhys)
+	if want != 3628800 { // 10!
+		t.Fatalf("bare result %d, want 10!", want)
+	}
+
+	k, vm, _ := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: procs})
+	runVM(t, k, vm, 100_000_000)
+	if got := ReadVMCellAt(vm, dataPhys); got != want {
+		t.Errorf("vm result %d, want %d", got, want)
+	}
+	// The frames lived in P1: its shadow took fills.
+	if vm.Stats.ShadowFills == 0 {
+		t.Error("no shadow fills at all")
+	}
+}
+
+// TestSleepAndIdleWAIT: a sleeping guest's idle loop gives the
+// processor back with the WAIT handshake on the virtual VAX (paper
+// Section 5), while the same image simply spins on the bare machine.
+func TestSleepAndIdleWAIT(t *testing.T) {
+	sleeper := vmos.Process{Source: `
+	movl #3, r1
+	chmk #9              ; sleep 3 ticks
+	chmk #7              ; uptime
+	movl r0, @#0x800     ; publish wake time
+	chmk #0
+`}
+	// Bare machine: sleeps via the spinning idle loop.
+	ma := bootBare(t, cpu.StandardVAX, vmos.Config{Processes: []vmos.Process{sleeper}})
+	runBare(t, ma, 50_000_000)
+	woke, _ := ma.CPU.Mem.LoadLong(vmos.UserPhys + vmos.UserCodePages*512)
+	if woke < 3 {
+		t.Errorf("bare sleeper woke at tick %d", woke)
+	}
+
+	// Virtual VAX: the idle loop executes WAIT, observed by the VMM.
+	k, vm, _ := bootVM(t, core.Config{WaitTimeout: 4},
+		vmos.Config{Target: vmos.TargetVM, Processes: []vmos.Process{sleeper}})
+	runVM(t, k, vm, 50_000_000)
+	if vm.Stats.Waits == 0 {
+		t.Error("guest idle loop never used the WAIT handshake")
+	}
+	if vmWoke := ReadVMCellAt(vm, vmos.UserPhys+vmos.UserCodePages*512); vmWoke < 3 {
+		t.Errorf("vm sleeper woke at tick %d", vmWoke)
+	}
+}
+
+// TestSleeperSharesWithWorker: while one process sleeps, another runs.
+func TestSleeperSharesWithWorker(t *testing.T) {
+	procs := []vmos.Process{
+		{Source: "\tmovl #5, r1\n\tchmk #9\n\tchmk #0"}, // sleeper
+		workload.Compute(2000),
+	}
+	k, vm, im := bootVM(t, core.Config{}, vmos.Config{Target: vmos.TargetVM, Processes: procs})
+	runVM(t, k, vm, 100_000_000)
+	if got := vmos.ReadVMCell(vm, im, "alive"); got != 0 {
+		t.Errorf("alive = %d", got)
+	}
+}

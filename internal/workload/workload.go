@@ -1,0 +1,290 @@
+// Package workload provides the guest programs driving the evaluation:
+// the interactive-editing and transaction-processing mix of Section 7.3,
+// plus targeted microworkloads for each architectural path (system
+// calls, MTPR-to-IPL, MOVPSL, PROBE, demand paging, context switching,
+// disk I/O).
+//
+// User programs run as MiniOS processes (assembled at P0 address 0,
+// data at vmos.UserDataVA, stack below vmos.UserStackTop) and must
+// preserve their state only in r1-r5/r11 and memory: r0 and r6-r10 are
+// clobbered by system calls and preemption.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/vmos"
+)
+
+// Compute is a pure user-mode integer workload: no sensitive
+// instructions at all, so it must run at native speed inside a VM (the
+// efficiency property, paper Section 2).
+func Compute(iters int) vmos.Process {
+	return vmos.Process{Source: fmt.Sprintf(`
+	movl #%d, r11
+	clrl r2
+	movl #7, r3
+loop:	addl2 r3, r2
+	mull3 r2, #3, r4
+	xorl2 r4, r2
+	ashl #1, r2, r2
+	sobgtr r11, loop
+	movl r2, @#%#x       ; publish the result
+	chmk #0
+`, iters, vmos.UserDataVA)}
+}
+
+// Syscall issues getpid system calls in a tight loop: the CHM/REI round
+// trip is the measured path.
+func Syscall(iters int) vmos.Process {
+	return vmos.Process{Source: fmt.Sprintf(`
+	movl #%d, r11
+loop:	chmk #%d
+	sobgtr r11, loop
+	chmk #0
+`, iters, vmos.SysGetPid)}
+}
+
+// MOVPSLLoop reads the PSL repeatedly: sensitive but never trapping on
+// the modified VAX (microcode merge, Section 4.2.1).
+func MOVPSLLoop(iters int) vmos.Process {
+	return vmos.Process{Source: fmt.Sprintf(`
+	movl #%d, r11
+loop:	movpsl r2
+	sobgtr r11, loop
+	movl r2, @#%#x
+	chmk #0
+`, iters, vmos.UserDataVA)}
+}
+
+// ProbeLoop probes the accessibility of the process's own buffer: PROBE
+// completes in microcode whenever the shadow PTE is valid
+// (Section 4.3.2).
+func ProbeLoop(iters int) vmos.Process {
+	return vmos.Process{Source: fmt.Sprintf(`
+	movl #%d, r11
+	movl #1, @#%#x       ; touch the buffer so its PTE is live
+loop:	prober #3, #64, @#%#x
+	sobgtr r11, loop
+	chmk #0
+`, iters, vmos.UserDataVA, vmos.UserDataVA)}
+}
+
+// Edit models the interactive-editing half of the Section 7.3 mix:
+// string manipulation with the VAX character instructions (fill a line,
+// MOVC3 it into the file buffer, CMPC3 to verify) punctuated by console
+// echo and yields — user-mode work with a moderate syscall rate.
+func Edit(iters int) vmos.Process {
+	return vmos.Process{Source: fmt.Sprintf(`
+line = %#x
+file = %#x
+	movl #%d, r11
+outer:	movl #line, r2       ; compose a line of text
+	movl #150, r3
+fill:	movb r3, (r2)+
+	sobgtr r3, fill
+	movc3 #150, @#line, @#file   ; "save" it into the buffer
+	movc3 #150, @#file, @#file+512 ; and into the undo buffer
+	cmpc3 #150, @#line, @#file   ; verify the save
+	bneq corrupt
+	movl #40, r3         ; re-justify part of the line
+just:	movzbl @#line, r4
+	mcomb r4, r5
+	sobgtr r3, just
+	movl #46, r1         ; '.'
+	chmk #%d             ; echo progress
+	chmk #%d             ; give up the keyboard (yield)
+	sobgtr r11, outer
+	chmk #0
+corrupt:
+	movl #33, r1         ; '!'
+	chmk #%d
+	chmk #0
+`, vmos.UserDataVA, vmos.UserDataVA+1024, iters,
+		vmos.SysPutc, vmos.SysYield, vmos.SysPutc)}
+}
+
+// TP models the transaction-processing half of the mix: read a record
+// from disk, update it in memory, write it back, log, yield.
+func TP(txns, blocks int) vmos.Process {
+	return vmos.Process{Source: fmt.Sprintf(`
+	movl #%d, r11
+	clrl r5              ; block cursor
+txn:	movl r5, r1          ; block number
+	movl #%#x, r2        ; record buffer
+	chmk #%d             ; disk read
+	movl #%#x, r2
+	movl #16, r3
+upd:	incl (r2)+           ; update 16 fields
+	sobgtr r3, upd
+	movl r5, r1
+	movl #%#x, r2
+	chmk #%d             ; disk write
+	movl #42, r1
+	chmk #%d             ; commit log mark
+	chmk #%d             ; yield
+	incl r5
+	cmpl r5, #%d
+	blss nowrap
+	clrl r5
+nowrap:	sobgtr r11, txn
+	chmk #0
+`, txns, vmos.UserDataVA, vmos.SysDiskRead, vmos.UserDataVA,
+		vmos.UserDataVA, vmos.SysDiskWrite, vmos.SysPutc, vmos.SysYield, blocks)}
+}
+
+// PageStress touches pages across the data region round after round
+// with yields in between — the workload behind the shadow-table
+// measurements (Sections 4.3.1 and 7.2). With DemandPaging set the
+// first round also exercises the VMOS's own page-fault path.
+func PageStress(rounds int, demand bool) vmos.Process {
+	return vmos.Process{
+		DemandPaging: demand,
+		Source: fmt.Sprintf(`
+	movl #%d, r11
+round:	movl #%#x, r2        ; data base
+	movl #%d, r3         ; pages
+touch:	incl (r2)            ; write one long per page
+	addl2 #512, r2
+	sobgtr r3, touch
+	chmk #%d             ; yield: context switch
+	sobgtr r11, round
+	chmk #0
+`, rounds, vmos.UserDataVA, vmos.UserDataPages, vmos.SysYield),
+	}
+}
+
+// PageSparse touches every fourth page of the data region, then
+// yields: the access pattern for which prefetching shadow PTE groups
+// fills mostly-unused entries (Section 4.3.1: "many of which were not
+// used before the next context switch").
+func PageSparse(rounds int) vmos.Process {
+	return vmos.Process{Source: fmt.Sprintf(`
+	movl #%d, r11
+round:	movl #%#x, r2
+	movl #%d, r3         ; touches per round
+touch:	incl (r2)
+	addl2 #2048, r2      ; stride 4 pages
+	sobgtr r3, touch
+	chmk #%d             ; yield
+	sobgtr r11, round
+	chmk #0
+`, rounds, vmos.UserDataVA, vmos.UserDataPages/4, vmos.SysYield)}
+}
+
+// KernelNop is a kernel prelude with the same loop skeleton as
+// KernelIPL but no privileged work — the calibration baseline for E4.
+func KernelNop(iters int) string {
+	return fmt.Sprintf(`
+	movl #%d, r11
+nploop:	nop
+	nop
+	sobgtr r11, nploop
+`, iters)
+}
+
+// KernelIPL is a kernel prelude running the MTPR-to-IPL loop of
+// Section 7.3 ("VMS changes interrupt priority levels frequently").
+func KernelIPL(iters int) string {
+	return fmt.Sprintf(`
+	movl #%d, r11
+iploop:	mtpr #8, #18
+	mtpr #0, #18
+	sobgtr r11, iploop
+`, iters)
+}
+
+// KernelMOVPSL is a kernel prelude of bare MOVPSL reads.
+func KernelMOVPSL(iters int) string {
+	return fmt.Sprintf(`
+	movl #%d, r11
+mploop:	movpsl r2
+	sobgtr r11, mploop
+`, iters)
+}
+
+// ReadThenDiskWrite first reads every data page (warming translations
+// without writing) and then disk-reads a record into each — so the
+// kernel PROBEWs pages whose first write has not happened yet. This is
+// the access pattern that separates the modify fault from the rejected
+// read-only-shadow design (Section 4.4.2): the read-only shadow makes
+// each of those PROBEWs trap.
+func ReadThenDiskWrite(blocks int) vmos.Process {
+	pages := vmos.UserDataPages
+	if blocks < pages {
+		pages = blocks
+	}
+	return vmos.Process{Source: fmt.Sprintf(`
+	movl #%#x, r2        ; phase 1: read every data page
+	movl #%d, r3
+warm:	movzbl (r2), r4
+	addl2 #512, r2
+	sobgtr r3, warm
+	clrl r5              ; phase 2: disk-read into each page
+io:	movl r5, r1          ; block = page index
+	ashl #9, r5, r2
+	addl2 #%#x, r2       ; buffer = data + page*512
+	chmk #%d
+	aoblss #%d, r5, io
+	chmk #0
+`, vmos.UserDataVA, vmos.UserDataPages,
+		vmos.UserDataVA, vmos.SysDiskRead, pages)}
+}
+
+// CallHeavy computes factorials with the VAX procedure call standard:
+// CALLS frames grow down the user stack (in the P1 control region), so
+// the workload exercises P1 translation, the P1 shadow table and
+// CALLS/RET in user mode.
+func CallHeavy(iters, depth int) vmos.Process {
+	return vmos.Process{Source: fmt.Sprintf(`
+	movl #%d, r11
+outer:	pushl #%d
+	calls #1, fact
+	movl r0, @#%#x       ; publish depth!
+	sobgtr r11, outer
+	chmk #0
+
+	.align 4
+fact:	.word 0x0004         ; save r2
+	movl 4(ap), r2
+	cmpl r2, #1
+	bgtr recurse
+	movl #1, r0
+	ret
+recurse:
+	subl3 #1, r2, r0
+	pushl r0
+	calls #1, fact
+	mull2 r2, r0
+	ret
+`, iters, depth, vmos.UserDataVA)}
+}
+
+// DiskBound performs back-to-back disk reads with no think time: the
+// workload for the I/O-virtualization comparison (Section 4.4.3).
+func DiskBound(ops, blocks int) vmos.Process {
+	return vmos.Process{Source: fmt.Sprintf(`
+	movl #%d, r11
+	clrl r5
+io:	movl r5, r1
+	movl #%#x, r2
+	chmk #%d
+	incl r5
+	cmpl r5, #%d
+	blss ok
+	clrl r5
+ok:	sobgtr r11, io
+	chmk #0
+`, ops, vmos.UserDataVA, vmos.SysDiskRead, blocks)}
+}
+
+// Mix assembles the Section 7.3 benchmark set: a mix of interactive
+// editing and transaction processing.
+func Mix(editIters, txns, diskBlocks int) []vmos.Process {
+	return []vmos.Process{
+		Edit(editIters),
+		TP(txns, diskBlocks),
+		Edit(editIters),
+		TP(txns, diskBlocks),
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/vmos"
+)
+
+// Every generator must produce assemblable user code (the behavioural
+// assertions live in the vmos and exp test suites, which actually run
+// these programs on the simulated machines).
+func TestGeneratorsAssemble(t *testing.T) {
+	procs := map[string]vmos.Process{
+		"compute":    Compute(10),
+		"syscall":    Syscall(10),
+		"movpsl":     MOVPSLLoop(10),
+		"probe":      ProbeLoop(10),
+		"edit":       Edit(3),
+		"tp":         TP(2, 4),
+		"pagestress": PageStress(2, true),
+		"pagesparse": PageSparse(2),
+		"diskbound":  DiskBound(3, 4),
+		"readthendw": ReadThenDiskWrite(8),
+		"callheavy":  CallHeavy(2, 5),
+	}
+	for name, p := range procs {
+		prog, err := asm.Assemble(p.Source, 0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(prog.Code) == 0 {
+			t.Errorf("%s: empty program", name)
+		}
+		if uint32(len(prog.Code)) > vmos.UserCodePages*512 {
+			t.Errorf("%s: %d bytes exceeds the user code window", name, len(prog.Code))
+		}
+	}
+}
+
+func TestKernelPreludesAssembleInKernel(t *testing.T) {
+	for name, prelude := range map[string]string{
+		"ipl":    KernelIPL(5),
+		"nop":    KernelNop(5),
+		"movpsl": KernelMOVPSL(5),
+	} {
+		if _, err := vmos.Build(vmos.Config{KernelPrelude: prelude, NoClock: true}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMixShape(t *testing.T) {
+	procs := Mix(5, 3, 8)
+	if len(procs) != 4 {
+		t.Fatalf("Mix has %d processes", len(procs))
+	}
+	for i, p := range procs {
+		if p.Source == "" {
+			t.Errorf("process %d empty", i)
+		}
+	}
+}

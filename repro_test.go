@@ -1,0 +1,65 @@
+package repro
+
+import "testing"
+
+// TestFacade exercises the public API end to end: assemble a guest, run
+// it bare and in a VM, and check the experiment registry.
+func TestFacade(t *testing.T) {
+	prog, err := Assemble("start:\tmovl #7, r0\n\thalt", 0x400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMemory(64 * 1024)
+	if err := m.StoreBytes(prog.Origin, prog.Code); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCPU(m, StandardVAX)
+	c.SetPSL(PSL(0).WithCur(Kernel))
+	c.SetPC(prog.MustSymbol("start"))
+	c.Run(100)
+	if !c.Halted || c.R[0] != 7 {
+		t.Fatalf("bare run failed: halted=%t r0=%d", c.Halted, c.R[0])
+	}
+
+	if len(Experiments()) != 16 {
+		t.Errorf("Experiments() = %d entries", len(Experiments()))
+	}
+	if _, ok := ExperimentByID("E1"); !ok {
+		t.Error("ExperimentByID(E1) failed")
+	}
+
+	im, err := BuildOS(OSConfig{Target: TargetVM, Processes: []Process{{
+		Source: "\tmovl #1, r2\n\tchmk #0",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewVMM(16<<20, Config{})
+	vm, err := BootVM(k, im, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10_000_000)
+	if h, _ := vm.Halted(); !h {
+		t.Fatal("VM did not halt")
+	}
+}
+
+func TestFacadeBareOS(t *testing.T) {
+	im, err := BuildOS(OSConfig{Target: TargetBare, Processes: []Process{{
+		Source: "\tmovl #1, r2\n\tchmk #0",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := BootBare(im, ModifiedVAX, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ma.Run(10_000_000) {
+		t.Fatal("bare MiniOS did not halt")
+	}
+	if ma.ReadCell("syscalls") != 1 {
+		t.Errorf("syscalls = %d", ma.ReadCell("syscalls"))
+	}
+}
