@@ -3,7 +3,11 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/asm"
+	"repro/internal/cpu"
 	"repro/internal/exp"
+	"repro/internal/mem"
+	"repro/internal/vax"
 )
 
 // One benchmark per table and figure in the paper. Each iteration
@@ -77,3 +81,52 @@ func BenchmarkE8ModifyFaultAblation(b *testing.B) { benchExperiment(b, "E8") }
 
 // Methodology: conclusions are stable under cost-model perturbation.
 func BenchmarkE9CostSensitivity(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkInterpreterThroughput measures the raw fetch-decode-execute
+// rate of the interpreter on a tight guest compute loop, after the
+// decoded-instruction cache is warm. It reports guest instructions per
+// second and, via ReportAllocs, holds the steady-state hot path to zero
+// allocations per iteration.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	prog, err := asm.Assemble(`
+start:	clrl r0
+	movl #1000, r1
+loop:	addl2 #7, r0
+	sobgtr r1, loop
+	halt
+`, 0x400)
+	if err != nil {
+		b.Fatalf("assemble: %v", err)
+	}
+	m := mem.New(64 * 1024)
+	if err := m.StoreBytes(prog.Origin, prog.Code); err != nil {
+		b.Fatal(err)
+	}
+	c := cpu.New(m, cpu.StandardVAX)
+	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
+	c.SetSP(0x8000)
+	start := prog.MustSymbol("start")
+
+	// Warm-up run: populates the decode cache so the timed iterations
+	// measure the replay path.
+	c.SetPC(start)
+	c.Run(0)
+	if !c.Halted {
+		b.Fatal("warm-up run did not halt")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	before := c.Stats.Instructions
+	for i := 0; i < b.N; i++ {
+		c.ClearHalt()
+		c.SetPC(start)
+		c.Run(0)
+	}
+	b.StopTimer()
+	executed := c.Stats.Instructions - before
+	if c.R[0] != 7000 {
+		b.Fatalf("guest computed %d, want 7000", c.R[0])
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "instr/sec")
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Repository CI gate: formatting, static analysis, build, tests, and a
+# race-detector pass over the monitor (the package that mixes guest
+# execution with host-side VMM state). Run from the repository root.
+set -eu
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (core)"
+go test -race ./internal/core/...
+
+echo "CI OK"

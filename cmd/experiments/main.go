@@ -8,28 +8,67 @@
 //	experiments -run E4    # run one experiment
 //	experiments -list      # list experiment IDs
 //	experiments -md        # emit Markdown (the body of EXPERIMENTS.md)
+//	experiments -cpuprofile cpu.pprof -run E6   # profile the hot path
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/exp"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main so deferred profile writers execute before
+// the process exits (os.Exit in main would skip them).
+func run() int {
 	runID := flag.String("run", "", "run a single experiment by ID (e.g. T1, F2, E4)")
 	list := flag.Bool("list", false, "list experiments")
 	md := flag.Bool("md", false, "emit Markdown")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, s := range exp.All() {
 			fmt.Printf("%-4s %s\n", s.ID, s.Title)
 		}
-		return
+		return 0
 	}
 
 	specs := exp.All()
@@ -37,7 +76,7 @@ func main() {
 		s, ok := exp.ByID(*runID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *runID)
-			os.Exit(2)
+			return 2
 		}
 		specs = []exp.Spec{s}
 	}
@@ -61,8 +100,9 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func printMarkdown(r *exp.Result) {

@@ -50,6 +50,8 @@ func (k *VMM) kcall(vm *VM, _ uint32) {
 		if fn == KCallDiskRead {
 			data := make([]byte, vax.PageSize)
 			if err = vm.disk.readBlock(block, data); err == nil {
+				// DMA into guest memory: drop cached decodes it overlaps.
+				k.CPU.InvalidateDecode(host, vax.PageSize)
 				err = k.Mem.StoreBytes(host, data)
 			}
 		} else {
@@ -178,6 +180,7 @@ func (k *VMM) diskRegWrite(vm *VM, off, v uint32) {
 			switch v & devCSRFunc {
 			case devFuncRead:
 				if d.readBlock(d.block, buf[:min32len(buf, d)]) == nil {
+					k.CPU.InvalidateDecode(host, d.count)
 					if k.Mem.StoreBytes(host, buf) == nil {
 						d.stat = KCallStatusOK
 					}

@@ -134,6 +134,9 @@ func (k *VMM) Restore(name string, image []byte) (*VM, error) {
 	if err != nil {
 		return nil, err
 	}
+	// All of the restored VM's memory just changed underneath any
+	// existing mappings: no cached decode can be trusted.
+	k.CPU.FlushDecodeCache()
 	copy(vm.disk.image, diskImg)
 
 	vm.regs = h.Regs

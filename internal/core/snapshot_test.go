@@ -94,6 +94,46 @@ spin:	brb spin
 	}
 }
 
+// TestRestoreFlushesDecodeCache restores a snapshot into a monitor that
+// has been executing VM code: every cached decoded instruction must be
+// dropped, and the restored VM must still run to the right answer.
+func TestRestoreFlushesDecodeCache(t *testing.T) {
+	src := `
+start:	clrl r2
+	movl #20000, r11
+loop:	addl2 r11, r2
+	sobgtr r11, loop
+	movl r2, @#0x80006000
+	halt
+`
+	k, vm, _ := bootVM(t, Config{}, src, nil)
+	k.Run(5000) // partway through the loop, decode cache warm
+	if k.CPU.Stats.DecodeHits == 0 {
+		t.Fatal("guest loop produced no decode-cache hits")
+	}
+	snap, err := k.Snapshot(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	invBefore := k.CPU.Stats.DecodeInvalidations
+	vm2, err := k.Restore("revived", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.CPU.Stats.DecodeInvalidations == invBefore {
+		t.Error("restore into a warm monitor invalidated no decodes")
+	}
+	k.Run(50_000_000)
+	if h, msg := vm2.Halted(); !h || !strings.Contains(msg, "HALT") {
+		t.Fatalf("restored VM did not finish: %t %q", h, msg)
+	}
+	want := uint32(20000) * 20001 / 2
+	if got := guestLong(t, vm2, 0x6000); got != want {
+		t.Errorf("restored result %#x, want %#x", got, want)
+	}
+}
+
 func TestSnapshotErrors(t *testing.T) {
 	k, vm, _ := bootVM(t, Config{}, "start:\thalt", nil)
 	runVM(t, k, vm, 1000)

@@ -43,7 +43,10 @@ func (k *VMM) HandleException(c *cpu.CPU, e *vax.Exception) bool {
 			return true
 		}
 		k.resumeVM(vm)
-		k.reflect(vm, &guestFault{vec: vax.VecAccessViol, params: e.Params})
+		// Copy the parameters: e may be backed by the MMU's scratch
+		// exception, whose storage is reused at the next fault.
+		k.reflect(vm, &guestFault{vec: vax.VecAccessViol,
+			params: append([]uint32(nil), e.Params...)})
 	case vax.VecModifyFault:
 		k.handleModifyFault(vm, e)
 	case vax.VecMachineCheck:
@@ -61,7 +64,9 @@ func (k *VMM) HandleException(c *cpu.CPU, e *vax.Exception) bool {
 			k.record(vm, AuditPrivFault, "")
 		}
 		k.resumeVM(vm)
-		k.reflect(vm, &guestFault{vec: e.Vector, params: e.Params})
+		// As above: copy out of the scratch exception's storage.
+		k.reflect(vm, &guestFault{vec: e.Vector,
+			params: append([]uint32(nil), e.Params...)})
 	}
 	return true
 }

@@ -149,6 +149,7 @@ func (k *VMM) CreateVM(cfg VMConfig) (*VM, error) {
 		if !ok {
 			return nil, fmt.Errorf("vmm: image does not fit in VM memory")
 		}
+		k.CPU.InvalidateDecode(host, uint32(len(cfg.Image)))
 		if err := k.Mem.StoreBytes(host, cfg.Image); err != nil {
 			return nil, err
 		}
@@ -191,12 +192,15 @@ func (vm *VM) readPhys(vmPhys uint32) (uint32, bool) {
 	return v, err == nil
 }
 
-// writePhys writes a longword of VM-physical memory.
+// writePhys writes a longword of VM-physical memory. The write bypasses
+// the CPU's store path, so it must drop any cached decoded instructions
+// on the host page itself.
 func (vm *VM) writePhys(vmPhys, v uint32) bool {
 	host, ok := vm.hostAddr(vmPhys, 4)
 	if !ok {
 		return false
 	}
+	vm.k.CPU.InvalidateDecode(host, 4)
 	return vm.k.Mem.StoreLong(host, v) == nil
 }
 

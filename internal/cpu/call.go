@@ -50,7 +50,7 @@ func (c *CPU) execCALLS() error {
 	if mask&0xF000 != 0 {
 		// Entry mask bits 12-13 are reserved; 14-15 enable traps we do
 		// not model as maskable here.
-		return rsvdOperand()
+		return c.rsvdOperand()
 	}
 	// Save registers R11..R0 named in the mask, highest first so they
 	// pop back lowest-first.
@@ -149,7 +149,7 @@ func (c *CPU) execBB(set bool) error {
 	if err != nil {
 		return err
 	}
-	spec, err := c.fetchByte()
+	spec, err := c.fetchStream8()
 	if err != nil {
 		return err
 	}
@@ -157,7 +157,7 @@ func (c *CPU) execBB(set bool) error {
 	var bit uint32
 	if spec>>4 == 5 { // register
 		if pos > 31 {
-			return rsvdOperand()
+			return c.rsvdOperand()
 		}
 		bit = c.R[spec&0xF] >> pos & 1
 	} else {

@@ -5,23 +5,10 @@ import "repro/internal/vax"
 // Integer convert and add-compare-branch instructions.
 
 // execCVT implements the integer convert family: sign-extend on
-// widening, truncate with overflow detection on narrowing.
-func (c *CPU) execCVT(op uint16) error {
-	var srcSize, dstSize int
-	switch op {
-	case vax.OpCVTBL:
-		srcSize, dstSize = 1, 4
-	case vax.OpCVTBW:
-		srcSize, dstSize = 1, 2
-	case vax.OpCVTWL:
-		srcSize, dstSize = 2, 4
-	case vax.OpCVTWB:
-		srcSize, dstSize = 2, 1
-	case vax.OpCVTLB:
-		srcSize, dstSize = 4, 1
-	default: // CVTLW
-		srcSize, dstSize = 4, 2
-	}
+// widening, truncate with overflow detection on narrowing. The source
+// and destination sizes come from the dispatch entry (opSize/opSize2).
+func (c *CPU) execCVT(e *instrEntry) error {
+	srcSize, dstSize := int(e.opSize), int(e.opSize2)
 	src, err := c.decodeOperand(srcSize, false)
 	if err != nil {
 		return err
@@ -84,7 +71,7 @@ func (c *CPU) execACBL() error {
 	}
 	ovf := (add^r)&(idx^r)&0x80000000 != 0
 	c.setNZVC(int32(r) < 0, r == 0, ovf, c.cc(vax.PSLC))
-	d, err := c.fetchWord()
+	d, err := c.fetchStream16()
 	if err != nil {
 		return err
 	}

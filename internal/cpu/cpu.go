@@ -86,6 +86,11 @@ type Stats struct {
 	REIs         uint64
 	MOVPSLs      uint64
 	Probes       uint64
+
+	// Decoded-instruction cache counters (see dcache.go).
+	DecodeHits          uint64
+	DecodeMisses        uint64
+	DecodeInvalidations uint64
 }
 
 // HaltReason explains why the processor stopped.
@@ -166,6 +171,17 @@ type CPU struct {
 	// instStartPC is the address of the instruction being executed.
 	regSnapshot [16]uint32
 	instStartPC uint32
+
+	// scratch backs the preallocated exceptions of the common fault
+	// paths (see DESIGN.md, "Allocation-free fault path"): a scratch
+	// *Exception is valid only until this CPU's next fault and must
+	// never be retained across instructions.
+	scratch vax.ExcScratch
+
+	// dc is the decoded-instruction cache; cur is the record/replay
+	// cursor of the instruction currently executing (dcache.go).
+	dc  dcache
+	cur cursor
 }
 
 // New creates a processor over the given memory with mapping disabled,
@@ -179,6 +195,12 @@ func New(m *mem.Memory, variant Variant) *CPU {
 	c.MMU.ModifyFaultEnabled = func() bool {
 		return (c.Variant == ModifiedVAX && c.psl.VM()) || c.modifyFaultOptIn
 	}
+	c.initDecodeCache()
+	// Straddling decode entries cache a second translation, so TLB
+	// invalidates must drop them (single-page entries revalidate their
+	// translation on every execution and need no hook).
+	c.MMU.OnTBIA = c.flushStraddleDecodes
+	c.MMU.OnTBIS = func(uint32) { c.flushStraddleDecodes() }
 	c.psl = vax.PSL(0).WithCur(vax.Kernel).WithIPL(31)
 	c.onISP = true
 	c.psl = vax.PSL(uint32(c.psl) | vax.PSLIS)

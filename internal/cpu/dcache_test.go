@@ -1,0 +1,155 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vax"
+)
+
+// TestDecodeCacheHitsLoop checks that a tight loop replays from the
+// decoded-instruction cache instead of re-parsing every iteration.
+func TestDecodeCacheHitsLoop(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	clrl r0
+	movl #100, r1
+loop:	addl2 #3, r0
+	sobgtr r1, loop
+	halt
+`)
+	ma.run(t, 10000)
+	if ma.c.R[0] != 300 {
+		t.Fatalf("r0 = %d, want 300", ma.c.R[0])
+	}
+	s := ma.c.Stats
+	if s.DecodeHits == 0 {
+		t.Fatal("loop produced no decode-cache hits")
+	}
+	if s.DecodeHits <= s.DecodeMisses {
+		t.Errorf("hits (%d) should dominate misses (%d) in a loop",
+			s.DecodeHits, s.DecodeMisses)
+	}
+}
+
+// TestSelfModifyingCode overwrites an instruction's literal between two
+// executions: the store must invalidate the cached decode so the second
+// execution sees the new bytes.
+func TestSelfModifyingCode(t *testing.T) {
+	ma := newMachine(t, StandardVAX, `
+start:	clrl r2
+patch:	movl #5, r1
+	tstl r2
+	bneq done
+	incl r2
+	movb #9, @#patch+1    ; rewrite the short literal 5 -> 9
+	brb patch
+done:	halt
+`)
+	ma.run(t, 10000)
+	if ma.c.R[1] != 9 {
+		t.Fatalf("r1 = %d, want 9 (stale decode executed)", ma.c.R[1])
+	}
+	if ma.c.Stats.DecodeInvalidations == 0 {
+		t.Error("store to code produced no decode invalidations")
+	}
+}
+
+// straddleMachine builds a mapped machine whose single instruction
+// (MOVL #imm32, R0 followed by HALT) starts on the last byte of S page
+// 2, so all its operand bytes live on S page 3. Frame frameB backs page
+// 3 initially; frameB2 holds an alternative operand page with a
+// different immediate.
+const (
+	strSPT     = 0x1000
+	strFrameA  = 18 // backs S page 2 (the opcode byte)
+	strFrameB  = 19 // backs S page 3 (immediate + HALT), initially
+	strFrameB2 = 40 // alternative backing for S page 3
+	strImm1    = 0x11111111
+	strImm2    = 0x22222222
+)
+
+func newStraddleMachine(t *testing.T) (*CPU, *mem.Memory, uint32) {
+	t.Helper()
+	m := mem.New(256 * 1024)
+	wr := func(pa uint32, b byte) {
+		if err := m.StoreByte(pa, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Operand bytes at the start of a frame: 8F (immediate) imm32 50
+	// (r0) 00 (HALT).
+	operands := func(frame, imm uint32) {
+		pa := frame * vax.PageSize
+		wr(pa, 0x8F)
+		for i := uint32(0); i < 4; i++ {
+			wr(pa+1+i, byte(imm>>(8*i)))
+		}
+		wr(pa+5, 0x50)
+		wr(pa+6, 0x00)
+	}
+	wr(strFrameA*vax.PageSize+vax.PageSize-1, 0xD0) // MOVL opcode
+	operands(strFrameB, strImm1)
+	operands(strFrameB2, strImm2)
+
+	for i, frame := range []uint32{16, 17, strFrameA, strFrameB} {
+		pte := vax.NewPTE(true, vax.ProtUW, true, frame)
+		if err := m.StoreLong(strSPT+4*uint32(i), uint32(pte)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := New(m, StandardVAX)
+	c.MMU.SBR = strSPT
+	c.MMU.SLR = 4
+	c.MMU.Enabled = true
+	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
+	instVA := uint32(vax.SystemBase) + 2*vax.PageSize + vax.PageSize - 1
+	return c, m, instVA
+}
+
+func runStraddle(t *testing.T, c *CPU, instVA, want uint32) {
+	t.Helper()
+	c.ClearHalt()
+	c.SetPC(instVA)
+	c.Run(10)
+	if !c.Halted {
+		t.Fatalf("did not halt; pc=%#x", c.PC())
+	}
+	if c.R[0] != want {
+		t.Fatalf("r0 = %#x, want %#x", c.R[0], want)
+	}
+}
+
+// TestStraddleRemapTBIS remaps the second page of a page-straddling
+// cached instruction: after TBIS the replay must not use the stale
+// operand bytes.
+func TestStraddleRemapTBIS(t *testing.T) {
+	c, m, instVA := newStraddleMachine(t)
+	runStraddle(t, c, instVA, strImm1)
+	runStraddle(t, c, instVA, strImm1) // warm: replays the straddle entry
+	if c.Stats.DecodeHits == 0 {
+		t.Fatal("straddling instruction never hit the cache")
+	}
+
+	pte := vax.NewPTE(true, vax.ProtUW, true, strFrameB2)
+	if err := m.StoreLong(strSPT+4*3, uint32(pte)); err != nil {
+		t.Fatal(err)
+	}
+	c.MMU.TBIS(uint32(vax.SystemBase) + 3*vax.PageSize)
+	runStraddle(t, c, instVA, strImm2)
+	if c.Stats.DecodeInvalidations == 0 {
+		t.Error("TBIS flushed no straddling decode entries")
+	}
+}
+
+// TestStraddleRemapTBIA is the same scenario through a full TLB
+// invalidate.
+func TestStraddleRemapTBIA(t *testing.T) {
+	c, m, instVA := newStraddleMachine(t)
+	runStraddle(t, c, instVA, strImm1)
+	pte := vax.NewPTE(true, vax.ProtUW, true, strFrameB2)
+	if err := m.StoreLong(strSPT+4*3, uint32(pte)); err != nil {
+		t.Fatal(err)
+	}
+	c.MMU.TBIA()
+	runStraddle(t, c, instVA, strImm2)
+}

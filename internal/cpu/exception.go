@@ -92,11 +92,7 @@ func (c *CPU) deliverInterrupt(level uint8) {
 		c.SISR &^= 1 << level
 	}
 	c.Stats.Interrupts++
-	c.raise(&vax.Exception{
-		Vector: vec,
-		Kind:   vax.Interrupt,
-		Params: []uint32{uint32(level)},
-	})
+	c.raise(c.scratch.Set1(vec, vax.Interrupt, uint32(level)))
 }
 
 // handleError converts an execution error into the architectural

@@ -2,12 +2,16 @@ package cpu
 
 import "repro/internal/vax"
 
-// Instruction execution: the main dispatch switch and the unprivileged
-// data-movement, arithmetic, logical and control-flow instructions.
-// Sensitive and privileged instructions live in system.go.
+// Instruction execution: the unprivileged data-movement, arithmetic,
+// logical and control-flow handlers reached through the dispatch tables
+// of dispatch.go. Sensitive and privileged instructions live in
+// system.go; the fetch/decode front end (decoded-instruction cache)
+// lives in dcache.go.
 
-func reservedInstruction() *vax.Exception {
-	return &vax.Exception{Vector: vax.VecPrivInstr, Kind: vax.Fault}
+// reservedInstruction raises the fault taken for a reserved or
+// unimplemented opcode.
+func (c *CPU) reservedInstruction() *vax.Exception {
+	return c.scratch.Set(vax.VecPrivInstr, vax.Fault)
 }
 
 // setNZVC replaces all four condition codes.
@@ -39,7 +43,7 @@ func (c *CPU) cc(bit uint32) bool { return uint32(c.psl)&bit != 0 }
 
 // branchIf fetches a byte displacement and branches when cond holds.
 func (c *CPU) branchIf(cond bool) error {
-	d, err := c.fetchByte()
+	d, err := c.fetchStream8()
 	if err != nil {
 		return err
 	}
@@ -47,453 +51,6 @@ func (c *CPU) branchIf(cond bool) error {
 		c.R[RegPC] += uint32(int32(int8(d)))
 	}
 	return nil
-}
-
-// execOne fetches, decodes and executes a single instruction.
-func (c *CPU) execOne() error {
-	b, err := c.fetchByte()
-	if err != nil {
-		return err
-	}
-	op := uint16(b)
-	if b == vax.ExtPrefix {
-		b2, err := c.fetchByte()
-		if err != nil {
-			return err
-		}
-		op = 0xFD00 | uint16(b2)
-	}
-	c.Cycles += CostBase
-
-	switch op {
-	case vax.OpNOP:
-		return nil
-	case vax.OpCALLS:
-		return c.execCALLS()
-	case vax.OpRET:
-		return c.execRET()
-	case vax.OpBBS:
-		return c.execBB(true)
-	case vax.OpBBC:
-		return c.execBB(false)
-	case vax.OpMOVC3:
-		return c.execMOVC3()
-	case vax.OpCMPC3:
-		return c.execCMPC3()
-	case vax.OpINSQUE:
-		return c.execINSQUE()
-	case vax.OpREMQUE:
-		return c.execREMQUE()
-	case vax.OpCVTBL, vax.OpCVTBW, vax.OpCVTWL, vax.OpCVTWB, vax.OpCVTLB, vax.OpCVTLW:
-		return c.execCVT(op)
-	case vax.OpACBL:
-		return c.execACBL()
-	case vax.OpHALT:
-		return c.execHALT()
-	case vax.OpREI:
-		return c.execREI()
-	case vax.OpBPT:
-		return &vax.Exception{Vector: vax.VecBreakpoint, Kind: vax.Trap}
-	case vax.OpLDPCTX:
-		return c.execLDPCTX()
-	case vax.OpSVPCTX:
-		return c.execSVPCTX()
-	case vax.OpPROBER, vax.OpPROBEW:
-		return c.execPROBE(op)
-	case vax.OpCHMK, vax.OpCHME, vax.OpCHMS, vax.OpCHMU:
-		return c.execCHM(op)
-	case vax.OpMOVPSL:
-		return c.execMOVPSL()
-	case vax.OpMTPR:
-		return c.execMTPR()
-	case vax.OpMFPR:
-		return c.execMFPR()
-	case vax.OpWAIT:
-		return c.execWAIT()
-	case vax.OpPROBEVMR, vax.OpPROBEVMW:
-		return c.execPROBEVM(op)
-	case vax.OpXFC:
-		return &vax.Exception{Vector: vax.VecCustReserved, Kind: vax.Fault}
-
-	// --- moves and simple unary operations ---
-	case vax.OpMOVL, vax.OpMOVW, vax.OpMOVB:
-		size := map[uint16]int{vax.OpMOVL: 4, vax.OpMOVW: 2, vax.OpMOVB: 1}[op]
-		return c.execMove(size)
-	case vax.OpMOVZBL:
-		return c.execMovz(1)
-	case vax.OpMOVZWL:
-		return c.execMovz(2)
-	case vax.OpCLRL, vax.OpCLRW, vax.OpCLRB:
-		size := map[uint16]int{vax.OpCLRL: 4, vax.OpCLRW: 2, vax.OpCLRB: 1}[op]
-		dst, err := c.decodeOperand(size, false)
-		if err != nil {
-			return err
-		}
-		if err := c.writeOp(dst, 0); err != nil {
-			return err
-		}
-		c.setNZ(0, size)
-		return nil
-	case vax.OpTSTL, vax.OpTSTW, vax.OpTSTB:
-		size := map[uint16]int{vax.OpTSTL: 4, vax.OpTSTW: 2, vax.OpTSTB: 1}[op]
-		src, err := c.decodeOperand(size, false)
-		if err != nil {
-			return err
-		}
-		v, err := c.readOp(src)
-		if err != nil {
-			return err
-		}
-		c.setNZ(v, size)
-		return nil
-	case vax.OpMNEGL:
-		src, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		dst, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		v, err := c.readOp(src)
-		if err != nil {
-			return err
-		}
-		r := uint32(-int32(v))
-		if err := c.writeOp(dst, r); err != nil {
-			return err
-		}
-		c.setNZVC(int32(r) < 0, r == 0, v == 0x80000000, v != 0)
-		return nil
-	case vax.OpMCOMB:
-		src, err := c.decodeOperand(1, false)
-		if err != nil {
-			return err
-		}
-		dst, err := c.decodeOperand(1, false)
-		if err != nil {
-			return err
-		}
-		v, err := c.readOp(src)
-		if err != nil {
-			return err
-		}
-		r := ^v & 0xFF
-		if err := c.writeOp(dst, r); err != nil {
-			return err
-		}
-		c.setNZ(r, 1)
-		return nil
-	case vax.OpINCL, vax.OpDECL:
-		dst, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		v, err := c.readOp(dst)
-		if err != nil {
-			return err
-		}
-		var r uint32
-		var ovf, carry bool
-		if op == vax.OpINCL {
-			r = v + 1
-			ovf = v == 0x7FFFFFFF
-			carry = v == 0xFFFFFFFF
-		} else {
-			r = v - 1
-			ovf = v == 0x80000000
-			carry = v == 0 // borrow
-		}
-		if err := c.writeOp(dst, r); err != nil {
-			return err
-		}
-		c.setNZVC(int32(r) < 0, r == 0, ovf, carry)
-		return nil
-	case vax.OpPUSHL:
-		src, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		v, err := c.readOp(src)
-		if err != nil {
-			return err
-		}
-		if err := c.Push(v); err != nil {
-			return err
-		}
-		c.setNZ(v, 4)
-		return nil
-	case vax.OpMOVAL, vax.OpMOVAB:
-		src, err := c.decodeOperand(4, true)
-		if err != nil {
-			return err
-		}
-		dst, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		if err := c.writeOp(dst, src.addr); err != nil {
-			return err
-		}
-		c.setNZ(src.addr, 4)
-		return nil
-
-	// --- comparison and bit test ---
-	case vax.OpCMPL, vax.OpCMPW, vax.OpCMPB:
-		size := map[uint16]int{vax.OpCMPL: 4, vax.OpCMPW: 2, vax.OpCMPB: 1}[op]
-		return c.execCompare(size)
-	case vax.OpBITL:
-		s1, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		s2, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		a, err := c.readOp(s1)
-		if err != nil {
-			return err
-		}
-		b2, err := c.readOp(s2)
-		if err != nil {
-			return err
-		}
-		r := a & b2
-		c.setNZ(r, 4)
-		return nil
-
-	// --- longword arithmetic and logic ---
-	case vax.OpADDL2, vax.OpADDL3:
-		return c.execBinop(op == vax.OpADDL3, false, func(a, b uint32) (uint32, bool, bool) {
-			r := b + a
-			ovf := (a^r)&(b^r)&0x80000000 != 0
-			return r, ovf, r < a
-		})
-	case vax.OpSUBL2, vax.OpSUBL3:
-		return c.execBinop(op == vax.OpSUBL3, false, func(a, b uint32) (uint32, bool, bool) {
-			// a is the subtrahend: result = b - a.
-			r := b - a
-			ovf := (a^b)&(b^r)&0x80000000 != 0
-			return r, ovf, b < a
-		})
-	case vax.OpMULL2, vax.OpMULL3:
-		c.Cycles += CostMul
-		return c.execBinop(op == vax.OpMULL3, false, func(a, b uint32) (uint32, bool, bool) {
-			full := int64(int32(a)) * int64(int32(b))
-			r := uint32(full)
-			return r, full != int64(int32(r)), false
-		})
-	case vax.OpDIVL2, vax.OpDIVL3:
-		c.Cycles += CostDiv
-		return c.execBinop(op == vax.OpDIVL3, true, func(a, b uint32) (uint32, bool, bool) {
-			// a is the divisor: result = b / a. Zero divisor handled by
-			// the caller via divide check.
-			if a == 0 {
-				return 0, true, false
-			}
-			if b == 0x80000000 && a == 0xFFFFFFFF {
-				return b, true, false
-			}
-			return uint32(int32(b) / int32(a)), false, false
-		})
-	case vax.OpBISL2, vax.OpBISL3:
-		return c.execBinop(op == vax.OpBISL3, false, func(a, b uint32) (uint32, bool, bool) {
-			return b | a, false, false
-		})
-	case vax.OpBICL2, vax.OpBICL3:
-		return c.execBinop(op == vax.OpBICL3, false, func(a, b uint32) (uint32, bool, bool) {
-			return b &^ a, false, false
-		})
-	case vax.OpXORL2, vax.OpXORL3:
-		return c.execBinop(op == vax.OpXORL3, false, func(a, b uint32) (uint32, bool, bool) {
-			return b ^ a, false, false
-		})
-	case vax.OpASHL:
-		cnt, err := c.decodeOperand(1, false)
-		if err != nil {
-			return err
-		}
-		src, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		dst, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		cv, err := c.readOp(cnt)
-		if err != nil {
-			return err
-		}
-		sv, err := c.readOp(src)
-		if err != nil {
-			return err
-		}
-		n := int(int8(cv))
-		var r uint32
-		ovf := false
-		switch {
-		case n >= 32:
-			r = 0
-			ovf = sv != 0
-		case n > 0:
-			r = sv << n
-			if int32(r)>>n != int32(sv) {
-				ovf = true
-			}
-		case n <= -32:
-			r = uint32(int32(sv) >> 31)
-		case n < 0:
-			r = uint32(int32(sv) >> uint(-n))
-		default:
-			r = sv
-		}
-		if err := c.writeOp(dst, r); err != nil {
-			return err
-		}
-		c.setNZVC(int32(r) < 0, r == 0, ovf, false)
-		return nil
-
-	// --- control flow ---
-	case vax.OpBRB:
-		return c.branchIf(true)
-	case vax.OpBRW:
-		d, err := c.fetchWord()
-		if err != nil {
-			return err
-		}
-		c.R[RegPC] += uint32(int32(int16(d)))
-		return nil
-	case vax.OpBNEQ:
-		return c.branchIf(!c.cc(vax.PSLZ))
-	case vax.OpBEQL:
-		return c.branchIf(c.cc(vax.PSLZ))
-	case vax.OpBGTR:
-		return c.branchIf(!c.cc(vax.PSLZ) && !c.cc(vax.PSLN))
-	case vax.OpBLEQ:
-		return c.branchIf(c.cc(vax.PSLZ) || c.cc(vax.PSLN))
-	case vax.OpBGEQ:
-		return c.branchIf(!c.cc(vax.PSLN))
-	case vax.OpBLSS:
-		return c.branchIf(c.cc(vax.PSLN))
-	case vax.OpBGTRU:
-		return c.branchIf(!c.cc(vax.PSLC) && !c.cc(vax.PSLZ))
-	case vax.OpBLEQU:
-		return c.branchIf(c.cc(vax.PSLC) || c.cc(vax.PSLZ))
-	case vax.OpBVC:
-		return c.branchIf(!c.cc(vax.PSLV))
-	case vax.OpBVS:
-		return c.branchIf(c.cc(vax.PSLV))
-	case vax.OpBCC:
-		return c.branchIf(!c.cc(vax.PSLC))
-	case vax.OpBCS:
-		return c.branchIf(c.cc(vax.PSLC))
-	case vax.OpBLBS, vax.OpBLBC:
-		src, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		v, err := c.readOp(src)
-		if err != nil {
-			return err
-		}
-		want := op == vax.OpBLBS
-		return c.branchIf(v&1 == 1 == want)
-	case vax.OpJMP:
-		dst, err := c.decodeOperand(4, true)
-		if err != nil {
-			return err
-		}
-		c.R[RegPC] = dst.addr
-		return nil
-	case vax.OpBSBB:
-		d, err := c.fetchByte()
-		if err != nil {
-			return err
-		}
-		if err := c.Push(c.R[RegPC]); err != nil {
-			return err
-		}
-		c.R[RegPC] += uint32(int32(int8(d)))
-		return nil
-	case vax.OpBSBW:
-		d, err := c.fetchWord()
-		if err != nil {
-			return err
-		}
-		if err := c.Push(c.R[RegPC]); err != nil {
-			return err
-		}
-		c.R[RegPC] += uint32(int32(int16(d)))
-		return nil
-	case vax.OpJSB:
-		dst, err := c.decodeOperand(4, true)
-		if err != nil {
-			return err
-		}
-		if err := c.Push(c.R[RegPC]); err != nil {
-			return err
-		}
-		c.R[RegPC] = dst.addr
-		return nil
-	case vax.OpRSB:
-		pc, err := c.Pop()
-		if err != nil {
-			return err
-		}
-		c.R[RegPC] = pc
-		return nil
-
-	// --- loop instructions ---
-	case vax.OpAOBLSS, vax.OpAOBLEQ:
-		limit, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		idx, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		lv, err := c.readOp(limit)
-		if err != nil {
-			return err
-		}
-		iv, err := c.readOp(idx)
-		if err != nil {
-			return err
-		}
-		r := iv + 1
-		if err := c.writeOp(idx, r); err != nil {
-			return err
-		}
-		c.setNZ(r, 4)
-		cond := int32(r) < int32(lv)
-		if op == vax.OpAOBLEQ {
-			cond = int32(r) <= int32(lv)
-		}
-		return c.branchIf(cond)
-	case vax.OpSOBGEQ, vax.OpSOBGTR:
-		idx, err := c.decodeOperand(4, false)
-		if err != nil {
-			return err
-		}
-		iv, err := c.readOp(idx)
-		if err != nil {
-			return err
-		}
-		r := iv - 1
-		if err := c.writeOp(idx, r); err != nil {
-			return err
-		}
-		c.setNZ(r, 4)
-		cond := int32(r) >= 0
-		if op == vax.OpSOBGTR {
-			cond = int32(r) > 0
-		}
-		return c.branchIf(cond)
-	}
-	return reservedInstruction()
 }
 
 func (c *CPU) execMove(size int) error {
@@ -536,6 +93,136 @@ func (c *CPU) execMovz(srcSize int) error {
 	return nil
 }
 
+func (c *CPU) execClr(size int) error {
+	dst, err := c.decodeOperand(size, false)
+	if err != nil {
+		return err
+	}
+	if err := c.writeOp(dst, 0); err != nil {
+		return err
+	}
+	c.setNZ(0, size)
+	return nil
+}
+
+func (c *CPU) execTst(size int) error {
+	src, err := c.decodeOperand(size, false)
+	if err != nil {
+		return err
+	}
+	v, err := c.readOp(src)
+	if err != nil {
+		return err
+	}
+	c.setNZ(v, size)
+	return nil
+}
+
+func (c *CPU) execMNEGL() error {
+	src, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	dst, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	v, err := c.readOp(src)
+	if err != nil {
+		return err
+	}
+	r := uint32(-int32(v))
+	if err := c.writeOp(dst, r); err != nil {
+		return err
+	}
+	c.setNZVC(int32(r) < 0, r == 0, v == 0x80000000, v != 0)
+	return nil
+}
+
+func (c *CPU) execMCOMB() error {
+	src, err := c.decodeOperand(1, false)
+	if err != nil {
+		return err
+	}
+	dst, err := c.decodeOperand(1, false)
+	if err != nil {
+		return err
+	}
+	v, err := c.readOp(src)
+	if err != nil {
+		return err
+	}
+	r := ^v & 0xFF
+	if err := c.writeOp(dst, r); err != nil {
+		return err
+	}
+	c.setNZ(r, 1)
+	return nil
+}
+
+func (c *CPU) execIncDec(inc bool) error {
+	dst, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	v, err := c.readOp(dst)
+	if err != nil {
+		return err
+	}
+	var r uint32
+	var ovf, carry bool
+	if inc {
+		r = v + 1
+		ovf = v == 0x7FFFFFFF
+		carry = v == 0xFFFFFFFF
+	} else {
+		r = v - 1
+		ovf = v == 0x80000000
+		carry = v == 0 // borrow
+	}
+	if err := c.writeOp(dst, r); err != nil {
+		return err
+	}
+	c.setNZVC(int32(r) < 0, r == 0, ovf, carry)
+	return nil
+}
+
+func (c *CPU) execPUSHL() error {
+	src, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	v, err := c.readOp(src)
+	if err != nil {
+		return err
+	}
+	if err := c.Push(v); err != nil {
+		return err
+	}
+	c.setNZ(v, 4)
+	return nil
+}
+
+// execMoveAddr handles MOVAL and MOVAB. Both decode the source in
+// longword address context (a simplification the assembler matches: the
+// byte variant only changes the index-mode scale, which this subset's
+// code never combines with MOVAB).
+func (c *CPU) execMoveAddr() error {
+	src, err := c.decodeOperand(4, true)
+	if err != nil {
+		return err
+	}
+	dst, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	if err := c.writeOp(dst, src.addr); err != nil {
+		return err
+	}
+	c.setNZ(src.addr, 4)
+	return nil
+}
+
 func (c *CPU) execCompare(size int) error {
 	s1, err := c.decodeOperand(size, false)
 	if err != nil {
@@ -555,6 +242,28 @@ func (c *CPU) execCompare(size int) error {
 	}
 	sa, sb := signExt(a, size), signExt(b, size)
 	c.setNZVC(sa < sb, sa == sb, false, a < b)
+	return nil
+}
+
+func (c *CPU) execBITL() error {
+	s1, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	s2, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	a, err := c.readOp(s1)
+	if err != nil {
+		return err
+	}
+	b, err := c.readOp(s2)
+	if err != nil {
+		return err
+	}
+	r := a & b
+	c.setNZ(r, 4)
 	return nil
 }
 
@@ -587,7 +296,7 @@ func (c *CPU) execBinop(three, divide bool, f func(a, b uint32) (uint32, bool, b
 	}
 	if divide && a == 0 {
 		// Divide by zero: arithmetic trap, destination unchanged.
-		return &vax.Exception{Vector: vax.VecArithmetic, Kind: vax.Trap, Params: []uint32{1}}
+		return c.scratch.Set1(vax.VecArithmetic, vax.Trap, 1)
 	}
 	r, ovf, carry := f(a, b)
 	if err := c.writeOp(dst, r); err != nil {
@@ -595,4 +304,180 @@ func (c *CPU) execBinop(three, divide bool, f func(a, b uint32) (uint32, bool, b
 	}
 	c.setNZVC(int32(r) < 0, r == 0, ovf, carry)
 	return nil
+}
+
+func (c *CPU) execASHL() error {
+	cnt, err := c.decodeOperand(1, false)
+	if err != nil {
+		return err
+	}
+	src, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	dst, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	cv, err := c.readOp(cnt)
+	if err != nil {
+		return err
+	}
+	sv, err := c.readOp(src)
+	if err != nil {
+		return err
+	}
+	n := int(int8(cv))
+	var r uint32
+	ovf := false
+	switch {
+	case n >= 32:
+		r = 0
+		ovf = sv != 0
+	case n > 0:
+		r = sv << n
+		if int32(r)>>n != int32(sv) {
+			ovf = true
+		}
+	case n <= -32:
+		r = uint32(int32(sv) >> 31)
+	case n < 0:
+		r = uint32(int32(sv) >> uint(-n))
+	default:
+		r = sv
+	}
+	if err := c.writeOp(dst, r); err != nil {
+		return err
+	}
+	c.setNZVC(int32(r) < 0, r == 0, ovf, false)
+	return nil
+}
+
+// --- control flow ---
+
+func (c *CPU) execBRW() error {
+	d, err := c.fetchStream16()
+	if err != nil {
+		return err
+	}
+	c.R[RegPC] += uint32(int32(int16(d)))
+	return nil
+}
+
+func (c *CPU) execBLB(set bool) error {
+	src, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	v, err := c.readOp(src)
+	if err != nil {
+		return err
+	}
+	return c.branchIf(v&1 == 1 == set)
+}
+
+func (c *CPU) execJMP() error {
+	dst, err := c.decodeOperand(4, true)
+	if err != nil {
+		return err
+	}
+	c.R[RegPC] = dst.addr
+	return nil
+}
+
+func (c *CPU) execBSBB() error {
+	d, err := c.fetchStream8()
+	if err != nil {
+		return err
+	}
+	if err := c.Push(c.R[RegPC]); err != nil {
+		return err
+	}
+	c.R[RegPC] += uint32(int32(int8(d)))
+	return nil
+}
+
+func (c *CPU) execBSBW() error {
+	d, err := c.fetchStream16()
+	if err != nil {
+		return err
+	}
+	if err := c.Push(c.R[RegPC]); err != nil {
+		return err
+	}
+	c.R[RegPC] += uint32(int32(int16(d)))
+	return nil
+}
+
+func (c *CPU) execJSB() error {
+	dst, err := c.decodeOperand(4, true)
+	if err != nil {
+		return err
+	}
+	if err := c.Push(c.R[RegPC]); err != nil {
+		return err
+	}
+	c.R[RegPC] = dst.addr
+	return nil
+}
+
+func (c *CPU) execRSB() error {
+	pc, err := c.Pop()
+	if err != nil {
+		return err
+	}
+	c.R[RegPC] = pc
+	return nil
+}
+
+// --- loop instructions ---
+
+func (c *CPU) execAOB(leq bool) error {
+	limit, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	idx, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	lv, err := c.readOp(limit)
+	if err != nil {
+		return err
+	}
+	iv, err := c.readOp(idx)
+	if err != nil {
+		return err
+	}
+	r := iv + 1
+	if err := c.writeOp(idx, r); err != nil {
+		return err
+	}
+	c.setNZ(r, 4)
+	cond := int32(r) < int32(lv)
+	if leq {
+		cond = int32(r) <= int32(lv)
+	}
+	return c.branchIf(cond)
+}
+
+func (c *CPU) execSOB(gtr bool) error {
+	idx, err := c.decodeOperand(4, false)
+	if err != nil {
+		return err
+	}
+	iv, err := c.readOp(idx)
+	if err != nil {
+		return err
+	}
+	r := iv - 1
+	if err := c.writeOp(idx, r); err != nil {
+		return err
+	}
+	c.setNZ(r, 4)
+	cond := int32(r) >= 0
+	if gtr {
+		cond = int32(r) > 0
+	}
+	return c.branchIf(cond)
 }

@@ -38,6 +38,7 @@ func (c *CPU) physStoreByte(pa uint32, v byte) error {
 			return h.StoreReg(c, pa-base, uint32(v))
 		}
 	}
+	c.invalidateDecodePA(pa)
 	return c.Mem.StoreByte(pa, v)
 }
 
@@ -60,6 +61,9 @@ func (c *CPU) physStoreLong(pa uint32, v uint32) error {
 			return h.StoreReg(c, pa-base, v)
 		}
 	}
+	// A longword store stays within one page (callers split straddling
+	// accesses), so one page invalidation covers it.
+	c.invalidateDecodePA(pa)
 	return c.Mem.StoreLong(pa, v)
 }
 
@@ -67,9 +71,13 @@ func (c *CPU) physStoreLong(pa uint32, v uint32) error {
 func (c *CPU) LoadVirt(va uint32, size int, mode vax.Mode) (uint32, error) {
 	// Fast path: within one page and aligned enough for a direct load.
 	if int(va&vax.PageMask)+size <= vax.PageSize {
-		pa, err := c.MMU.Translate(va, mmu.Read, mode)
-		if err != nil {
-			return 0, err
+		pa, ok := c.MMU.TranslateFast(va, mmu.Read, mode)
+		if !ok {
+			var err error
+			pa, err = c.MMU.Translate(va, mmu.Read, mode)
+			if err != nil {
+				return 0, err
+			}
 		}
 		switch size {
 		case 1:
@@ -109,9 +117,13 @@ func (c *CPU) LoadVirt(va uint32, size int, mode vax.Mode) (uint32, error) {
 // StoreVirt writes size bytes (1, 2 or 4) at va as mode.
 func (c *CPU) StoreVirt(va uint32, size int, v uint32, mode vax.Mode) error {
 	if int(va&vax.PageMask)+size <= vax.PageSize {
-		pa, err := c.MMU.Translate(va, mmu.Write, mode)
-		if err != nil {
-			return err
+		pa, ok := c.MMU.TranslateFast(va, mmu.Write, mode)
+		if !ok {
+			var err error
+			pa, err = c.MMU.Translate(va, mmu.Write, mode)
+			if err != nil {
+				return err
+			}
 		}
 		switch size {
 		case 1:

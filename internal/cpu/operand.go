@@ -7,6 +7,22 @@ import "repro/internal/vax"
 // autodecrement, autoincrement (and immediate), autoincrement deferred
 // (and absolute), byte/word/long displacement (and PC-relative) plus
 // their deferred forms, and index mode prefixes.
+//
+// Decoding is split in two halves so the decoded-instruction cache can
+// skip the parse on re-execution:
+//
+//   - parseSpec consumes specifier bytes from the instruction stream
+//     and produces a position-independent template (dspec). It has no
+//     register or memory side effects.
+//   - evalSpec turns a template into an operand, performing the
+//     register side effects (autoincrement/autodecrement) and deferred
+//     memory reads each execution.
+//
+// Templates store displacements and immediates, never absolute
+// addresses derived from PC, so a cached instruction replays correctly
+// even when the same physical page is mapped at several virtual
+// addresses: evalSpec reads the live PC, which decodeOperand positions
+// at the template's recorded end offset before evaluating.
 
 type opKind uint8
 
@@ -25,149 +41,242 @@ type operand struct {
 	size int    // access size in bytes
 }
 
-func rsvdAddrMode() *vax.Exception {
-	return &vax.Exception{Vector: vax.VecRsvdAddrMode, Kind: vax.Fault}
+// Specifier template kinds.
+const (
+	evLiteral    uint8 = iota // imm holds the literal/immediate value
+	evRegister                // reg
+	evRegDef                  // addr = R[reg]
+	evAutoDec                 // R[reg] -= size; addr = R[reg]
+	evAutoInc                 // addr = R[reg]; R[reg] += size
+	evAutoIncDef              // ptr = R[reg]; R[reg] += 4; addr = M[ptr]
+	evImmAddr                 // addr of the immediate datum (PC - size)
+	evAbsolute                // addr = imm
+	evDisp                    // addr = R[reg] + imm (PC-relative when reg==PC)
+	evDispDef                 // addr = M[R[reg] + imm]
+)
+
+// noIndex marks a template without an index-register prefix.
+const noIndex = 0xFF
+
+// dspec is a parsed operand-specifier template.
+type dspec struct {
+	kind   uint8
+	reg    uint8
+	xreg   uint8 // index register, noIndex if absent
+	size   uint8 // access size in bytes
+	endOff uint8 // PC offset from instruction start after this spec
+	imm    uint32
 }
 
-func rsvdOperand() *vax.Exception {
-	return &vax.Exception{Vector: vax.VecRsvdOperand, Kind: vax.Fault}
+func (c *CPU) rsvdAddrMode() *vax.Exception {
+	return c.scratch.Set(vax.VecRsvdAddrMode, vax.Fault)
 }
 
-// decodeOperand parses one operand specifier of the given access size
-// from the instruction stream. wantAddr is true for address-context
-// operands (MOVAx, JMP, JSB destinations), which forbid register and
-// literal modes.
+func (c *CPU) rsvdOperand() *vax.Exception {
+	return c.scratch.Set(vax.VecRsvdOperand, vax.Fault)
+}
+
+// decodeOperand produces one operand of the given access size from the
+// instruction stream, through the decode cursor: on replay the recorded
+// template is evaluated directly (positioning PC past the specifier
+// bytes); otherwise the specifier is parsed from the live stream and,
+// when recording, captured for the decoded-instruction cache. wantAddr
+// is true for address-context operands (MOVAx, JMP, JSB destinations),
+// which forbid register and literal modes.
 func (c *CPU) decodeOperand(size int, wantAddr bool) (operand, error) {
-	spec, err := c.fetchByte()
+	if c.cur.mode == curReplay {
+		if t, ok := c.cur.nextSpec(); ok {
+			c.R[RegPC] = c.instStartPC + uint32(t.endOff)
+			return c.evalSpec(t)
+		}
+		// Recorded items exhausted (partially recorded entry): fall back
+		// to parsing the live stream, which is always correct because
+		// every replayed item left PC at its recorded end offset.
+	}
+	t, err := c.parseSpec(size, wantAddr, true)
 	if err != nil {
 		return operand{}, err
 	}
+	c.cur.record(ditem{kind: diSpec, endOff: t.endOff, spec: t})
+	return c.evalSpec(t)
+}
+
+// parseSpec consumes one operand specifier from the instruction stream
+// and returns its template. allowIndex permits an index-mode prefix
+// (one level, as the architecture allows).
+func (c *CPU) parseSpec(size int, wantAddr, allowIndex bool) (dspec, error) {
+	spec, err := c.fetchByte()
+	if err != nil {
+		return dspec{}, err
+	}
 	mode := spec >> 4
-	rn := int(spec & 0xF)
+	rn := spec & 0xF
 
 	// Index mode: the specifier is a prefix; the base operand follows.
 	if mode == 4 {
-		if rn == RegPC {
-			return operand{}, rsvdAddrMode()
+		if rn == RegPC || !allowIndex {
+			return dspec{}, c.rsvdAddrMode()
 		}
-		base, err := c.decodeOperand(size, true)
+		base, err := c.parseSpec(size, true, false)
 		if err != nil {
-			return operand{}, err
+			return dspec{}, err
 		}
-		base.addr += c.R[rn] * uint32(size)
-		base.size = size
+		base.xreg = rn
+		base.size = uint8(size)
+		base.endOff = uint8(c.R[RegPC] - c.instStartPC)
 		return base, nil
 	}
 
+	t := dspec{reg: rn, xreg: noIndex, size: uint8(size)}
 	switch {
 	case mode < 4: // short literal 0..63
 		if wantAddr {
-			return operand{}, rsvdAddrMode()
+			return dspec{}, c.rsvdAddrMode()
 		}
-		return operand{kind: opLiteral, lit: uint32(spec & 0x3F), size: size}, nil
+		t.kind = evLiteral
+		t.imm = uint32(spec & 0x3F)
 
 	case mode == 5: // register
 		if wantAddr || rn == RegPC {
-			return operand{}, rsvdAddrMode()
+			return dspec{}, c.rsvdAddrMode()
 		}
-		return operand{kind: opRegister, reg: rn, size: size}, nil
+		t.kind = evRegister
 
 	case mode == 6: // register deferred (Rn)
-		return operand{kind: opMemory, addr: c.R[rn], size: size}, nil
+		t.kind = evRegDef
 
 	case mode == 7: // autodecrement -(Rn)
 		if rn == RegPC {
-			return operand{}, rsvdAddrMode()
+			return dspec{}, c.rsvdAddrMode()
 		}
-		c.R[rn] -= uint32(size)
-		return operand{kind: opMemory, addr: c.R[rn], size: size}, nil
+		t.kind = evAutoDec
 
 	case mode == 8: // autoincrement (Rn)+ / immediate #x
 		if rn == RegPC {
 			// Immediate: the value follows in the instruction stream.
-			addr := c.R[RegPC]
 			var v uint32
 			switch size {
 			case 1:
 				b, err := c.fetchByte()
 				if err != nil {
-					return operand{}, err
+					return dspec{}, err
 				}
 				v = uint32(b)
 			case 2:
 				w, err := c.fetchWord()
 				if err != nil {
-					return operand{}, err
+					return dspec{}, err
 				}
 				v = uint32(w)
 			default:
 				l, err := c.fetchLong()
 				if err != nil {
-					return operand{}, err
+					return dspec{}, err
 				}
 				v = l
 			}
 			if wantAddr {
-				// Address of the immediate datum itself.
-				return operand{kind: opMemory, addr: addr, size: size}, nil
+				t.kind = evImmAddr // address of the immediate datum
+			} else {
+				t.kind = evLiteral
+				t.imm = v
 			}
-			return operand{kind: opLiteral, lit: v, size: size}, nil
+			break
 		}
-		addr := c.R[rn]
-		c.R[rn] += uint32(size)
-		return operand{kind: opMemory, addr: addr, size: size}, nil
+		t.kind = evAutoInc
 
 	case mode == 9: // autoincrement deferred @(Rn)+ / absolute @#addr
 		if rn == RegPC {
 			a, err := c.fetchLong()
 			if err != nil {
-				return operand{}, err
+				return dspec{}, err
 			}
-			return operand{kind: opMemory, addr: a, size: size}, nil
+			t.kind = evAbsolute
+			t.imm = a
+			break
 		}
-		ptr := c.R[rn]
-		c.R[rn] += 4
-		a, err := c.LoadLong(ptr)
-		if err != nil {
-			return operand{}, err
-		}
-		return operand{kind: opMemory, addr: a, size: size}, nil
+		t.kind = evAutoIncDef
 
-	case mode >= 0xA: // displacement modes
+	default: // 0xA..0xF displacement modes
 		var disp uint32
 		switch mode &^ 1 {
 		case 0xA: // byte displacement
 			b, err := c.fetchByte()
 			if err != nil {
-				return operand{}, err
+				return dspec{}, err
 			}
 			disp = uint32(int32(int8(b)))
 		case 0xC: // word displacement
 			w, err := c.fetchWord()
 			if err != nil {
-				return operand{}, err
+				return dspec{}, err
 			}
 			disp = uint32(int32(int16(w)))
 		default: // 0xE long displacement
 			l, err := c.fetchLong()
 			if err != nil {
-				return operand{}, err
+				return dspec{}, err
 			}
 			disp = l
 		}
-		// For PC-relative modes, the base is PC after the displacement.
-		a := c.R[rn] + disp
-		if mode&1 == 1 { // deferred
-			ptr := a
-			var err error
-			a, err = c.LoadLong(ptr)
-			if err != nil {
-				return operand{}, err
-			}
+		t.imm = disp
+		if mode&1 == 1 {
+			t.kind = evDispDef
+		} else {
+			t.kind = evDisp
 		}
-		return operand{kind: opMemory, addr: a, size: size}, nil
 	}
-	return operand{}, rsvdAddrMode()
+	t.endOff = uint8(c.R[RegPC] - c.instStartPC)
+	return t, nil
+}
+
+// evalSpec evaluates a specifier template against the current machine
+// state. PC is already positioned at the template's end offset (either
+// by the live parse or by the replay cursor), which is what makes the
+// PC-relative and immediate kinds position-independent.
+func (c *CPU) evalSpec(t dspec) (operand, error) {
+	size := int(t.size)
+	var addr uint32
+	switch t.kind {
+	case evLiteral:
+		return operand{kind: opLiteral, lit: t.imm, size: size}, nil
+	case evRegister:
+		return operand{kind: opRegister, reg: int(t.reg), size: size}, nil
+	case evRegDef:
+		addr = c.R[t.reg]
+	case evAutoDec:
+		c.R[t.reg] -= uint32(size)
+		addr = c.R[t.reg]
+	case evAutoInc:
+		addr = c.R[t.reg]
+		c.R[t.reg] += uint32(size)
+	case evAutoIncDef:
+		ptr := c.R[t.reg]
+		c.R[t.reg] += 4
+		a, err := c.LoadLong(ptr)
+		if err != nil {
+			return operand{}, err
+		}
+		addr = a
+	case evImmAddr:
+		addr = c.R[RegPC] - uint32(size)
+	case evAbsolute:
+		addr = t.imm
+	case evDisp:
+		// For PC-relative specifiers the base is PC after the
+		// displacement bytes, which is where PC stands now.
+		addr = c.R[t.reg] + t.imm
+	case evDispDef:
+		a, err := c.LoadLong(c.R[t.reg] + t.imm)
+		if err != nil {
+			return operand{}, err
+		}
+		addr = a
+	}
+	if t.xreg != noIndex {
+		addr += c.R[t.xreg] * uint32(size)
+	}
+	return operand{kind: opMemory, addr: addr, size: size}, nil
 }
 
 // readOp fetches the value of a decoded operand, zero-extended to 32
@@ -195,7 +304,7 @@ func (c *CPU) readOp(op operand) (uint32, error) {
 func (c *CPU) writeOp(op operand, v uint32) error {
 	switch op.kind {
 	case opLiteral:
-		return rsvdOperand()
+		return c.rsvdOperand()
 	case opRegister:
 		switch op.size {
 		case 1:

@@ -10,7 +10,7 @@ import (
 
 func (c *CPU) privFault() error {
 	c.Stats.PrivTraps++
-	return &vax.Exception{Vector: vax.VecPrivInstr, Kind: vax.Fault}
+	return c.scratch.Set(vax.VecPrivInstr, vax.Fault)
 }
 
 // vmTrap raises a VM-emulation trap carrying the microcode-decoded
@@ -71,7 +71,7 @@ func (c *CPU) execCHM(op uint16) error {
 
 	if c.psl.IS() {
 		// CHM on the interrupt stack is illegal.
-		return &vax.Exception{Vector: vax.VecKernelStkInv, Kind: vax.Abort}
+		return c.scratch.Set(vax.VecKernelStkInv, vax.Abort)
 	}
 	// The new mode has privilege no lower than the current mode: CHM can
 	// only hold or increase privilege, but the vector is always that of
@@ -82,11 +82,7 @@ func (c *CPU) execCHM(op uint16) error {
 	}
 	c.Cycles += CostCHM
 	c.Stats.Exceptions++
-	return c.DispatchSCB(&vax.Exception{
-		Vector: vax.CHMVector(target),
-		Kind:   vax.Trap,
-		Params: []uint32{code},
-	}, newMode)
+	return c.DispatchSCB(c.scratch.Set1(vax.CHMVector(target), vax.Trap, code), newMode)
 }
 
 // --- REI ---
@@ -131,7 +127,7 @@ func (c *CPU) checkREIPSL(n vax.PSL) error {
 		n.IS() && n.Cur() != vax.Kernel,
 		n.IPL() > 0 && n.Cur() != vax.Kernel,
 		n.IPL() > cur.IPL():
-		return rsvdOperand()
+		return c.rsvdOperand()
 	}
 	return nil
 }
@@ -254,10 +250,10 @@ func (c *CPU) execPROBE(op uint16) error {
 
 // --- PROBEVM ---
 
+// execPROBEVM is reached only on the modified VAX: the standard
+// variant's dispatch row raises the privileged instruction trap of
+// Table 4 without decoding.
 func (c *CPU) execPROBEVM(op uint16) error {
-	if c.Variant != ModifiedVAX {
-		return c.privFault() // "privileged instruction trap" (Table 4)
-	}
 	modeOp, err := c.decodeOperand(1, false)
 	if err != nil {
 		return err
@@ -317,10 +313,8 @@ func (c *CPU) execPROBEVM(op uint16) error {
 
 // --- WAIT ---
 
+// execWAIT is reached only on the modified VAX (see execPROBEVM).
 func (c *CPU) execWAIT() error {
-	if c.Variant != ModifiedVAX {
-		return c.privFault()
-	}
 	if c.InVMMode() {
 		if c.vmKernel() {
 			// The WAIT handshake: the VM tells the VMM it is idle
@@ -459,7 +453,7 @@ func (c *CPU) WriteIPR(r vax.IPR, v uint32) error {
 	default:
 		// Nonexistent register (including the virtual-VAX registers on a
 		// real machine, Table 4): reserved operand fault.
-		return rsvdOperand()
+		return c.rsvdOperand()
 	}
 	c.Cycles += CostMTPR
 	return nil
@@ -512,7 +506,7 @@ func (c *CPU) ReadIPR(r vax.IPR) (uint32, error) {
 	case vax.IPRSID:
 		return c.SID, nil
 	}
-	return 0, rsvdOperand()
+	return 0, c.rsvdOperand()
 }
 
 // --- HALT ---

@@ -27,13 +27,14 @@ func (a Access) String() string {
 
 // Stats counts MMU events for the experiment harness.
 type Stats struct {
-	Translations uint64
-	TLBHits      uint64
-	TLBMisses    uint64
-	TNVFaults    uint64 // translation not valid
-	ProtFaults   uint64 // access violations
-	ModifyFaults uint64 // modify faults raised (modified VAX)
-	MSets        uint64 // PTE<M> set by hardware (standard VAX)
+	Translations     uint64
+	TLBHits          uint64
+	TLBMisses        uint64
+	TNVFaults        uint64 // translation not valid
+	ProtFaults       uint64 // access violations
+	ModifyFaults     uint64 // modify faults raised (modified VAX)
+	MSets            uint64 // PTE<M> set by hardware (standard VAX)
+	FastTranslations uint64 // hits on the no-fault TranslateFast path
 }
 
 type tlbEntry struct {
@@ -57,9 +58,18 @@ type MMU struct {
 	// "modified VAX variant and PSL<VM> set".
 	ModifyFaultEnabled func() bool
 
+	// OnTBIA and OnTBIS, when non-nil, are invoked after the translation
+	// buffer is invalidated. The CPU uses them to keep its decoded-
+	// instruction cache coherent with mapping changes (entries that span
+	// a page boundary depend on two translations and cannot be
+	// revalidated from a single TLB lookup).
+	OnTBIA func()
+	OnTBIS func(va uint32)
+
 	Stats Stats
 
-	tlb map[uint32]tlbEntry
+	tlb     map[uint32]tlbEntry
+	scratch vax.ExcScratch
 }
 
 // New creates an MMU over the given physical memory, with mapping
@@ -69,15 +79,29 @@ func New(m *mem.Memory) *MMU {
 }
 
 // TBIA invalidates the entire translation buffer.
-func (u *MMU) TBIA() { u.tlb = make(map[uint32]tlbEntry) }
+func (u *MMU) TBIA() {
+	u.tlb = make(map[uint32]tlbEntry)
+	if u.OnTBIA != nil {
+		u.OnTBIA()
+	}
+}
 
 // TBIS invalidates the translation for the page containing va.
-func (u *MMU) TBIS(va uint32) { delete(u.tlb, vax.PageBase(va)) }
+func (u *MMU) TBIS(va uint32) {
+	delete(u.tlb, vax.PageBase(va))
+	if u.OnTBIS != nil {
+		u.OnTBIS(va)
+	}
+}
 
 // TLBSize returns the number of cached translations (for tests).
 func (u *MMU) TLBSize() int { return len(u.tlb) }
 
-func accessViolation(va uint32, a Access, length, pteRef bool) *vax.Exception {
+// The fault constructors recycle the MMU's scratch exception cell: the
+// returned *vax.Exception is valid only until the next fault from this
+// MMU (see vax.ExcScratch). Handlers that need the parameters beyond
+// the current dispatch must copy them out.
+func (u *MMU) accessViolation(va uint32, a Access, length, pteRef bool) *vax.Exception {
 	param := uint32(0)
 	if a == Write {
 		param |= vax.FaultParamWrite
@@ -88,10 +112,10 @@ func accessViolation(va uint32, a Access, length, pteRef bool) *vax.Exception {
 	if pteRef {
 		param |= vax.FaultParamPTERef
 	}
-	return &vax.Exception{Vector: vax.VecAccessViol, Kind: vax.Fault, Params: []uint32{param, va}}
+	return u.scratch.Set2(vax.VecAccessViol, vax.Fault, param, va)
 }
 
-func tnvFault(va uint32, a Access, pteRef bool) *vax.Exception {
+func (u *MMU) tnvFault(va uint32, a Access, pteRef bool) *vax.Exception {
 	param := uint32(0)
 	if a == Write {
 		param |= vax.FaultParamWrite
@@ -99,12 +123,11 @@ func tnvFault(va uint32, a Access, pteRef bool) *vax.Exception {
 	if pteRef {
 		param |= vax.FaultParamPTERef
 	}
-	return &vax.Exception{Vector: vax.VecTransNotValid, Kind: vax.Fault, Params: []uint32{param, va}}
+	return u.scratch.Set2(vax.VecTransNotValid, vax.Fault, param, va)
 }
 
-func modifyFault(va uint32) *vax.Exception {
-	return &vax.Exception{Vector: vax.VecModifyFault, Kind: vax.Fault,
-		Params: []uint32{vax.FaultParamWrite, va}}
+func (u *MMU) modifyFault(va uint32) *vax.Exception {
+	return u.scratch.Set2(vax.VecModifyFault, vax.Fault, vax.FaultParamWrite, va)
 }
 
 // pteSlot locates the PTE describing va: its address and whether that
@@ -142,7 +165,7 @@ func (u *MMU) pteSlot(va uint32) (addr uint32, physical, ok bool) {
 func (u *MMU) fetchPTE(va uint32, a Access) (vax.PTE, uint32, bool, error) {
 	slot, physical, ok := u.pteSlot(va)
 	if !ok {
-		return 0, 0, false, accessViolation(va, a, true, false)
+		return 0, 0, false, u.accessViolation(va, a, true, false)
 	}
 	if physical {
 		raw, err := u.Mem.LoadLong(slot)
@@ -154,11 +177,11 @@ func (u *MMU) fetchPTE(va uint32, a Access) (vax.PTE, uint32, bool, error) {
 	// The process PTE resides in S space: translate its address through
 	// the system page table (one level of indirection, as on the VAX).
 	if vax.Region(slot) != vax.RegionSystem {
-		return 0, 0, false, accessViolation(va, a, true, true)
+		return 0, 0, false, u.accessViolation(va, a, true, true)
 	}
 	svpn := vax.VPN(slot)
 	if svpn >= u.SLR {
-		return 0, 0, false, accessViolation(va, a, true, true)
+		return 0, 0, false, u.accessViolation(va, a, true, true)
 	}
 	raw, err := u.Mem.LoadLong(u.SBR + 4*svpn)
 	if err != nil {
@@ -166,10 +189,10 @@ func (u *MMU) fetchPTE(va uint32, a Access) (vax.PTE, uint32, bool, error) {
 	}
 	spte := vax.PTE(raw)
 	if spte.Prot().Reserved() {
-		return 0, 0, false, accessViolation(va, a, false, true)
+		return 0, 0, false, u.accessViolation(va, a, false, true)
 	}
 	if !spte.Valid() {
-		return 0, 0, false, tnvFault(va, a, true)
+		return 0, 0, false, u.tnvFault(va, a, true)
 	}
 	pteAddr := spte.PFN()*vax.PageSize + (slot & vax.PageMask)
 	praw, err := u.Mem.LoadLong(pteAddr)
@@ -195,7 +218,7 @@ func (u *MMU) Translate(va uint32, a Access, mode vax.Mode) (uint32, error) {
 	}
 	u.Stats.Translations++
 	if vax.Region(va) == vax.RegionReserved {
-		return 0, accessViolation(va, a, true, false)
+		return 0, u.accessViolation(va, a, true, false)
 	}
 
 	page := vax.PageBase(va)
@@ -218,7 +241,7 @@ func (u *MMU) Translate(va uint32, a Access, mode vax.Mode) (uint32, error) {
 	prot := pte.Prot()
 	if prot.Reserved() {
 		u.Stats.ProtFaults++
-		return 0, accessViolation(va, a, false, false)
+		return 0, u.accessViolation(va, a, false, false)
 	}
 	// The architecture checks protection even when PTE<V> is clear
 	// (Section 3.2.1) — the property the null PTE of Section 4.3.1
@@ -229,12 +252,12 @@ func (u *MMU) Translate(va uint32, a Access, mode vax.Mode) (uint32, error) {
 	}
 	if !allowed {
 		u.Stats.ProtFaults++
-		return 0, accessViolation(va, a, false, false)
+		return 0, u.accessViolation(va, a, false, false)
 	}
 	if !pte.Valid() {
 		u.Stats.TNVFaults++
 		u.TBIS(va)
-		return 0, tnvFault(va, a, false)
+		return 0, u.tnvFault(va, a, false)
 	}
 
 	if a == Write && !pte.Modified() {
@@ -243,7 +266,7 @@ func (u *MMU) Translate(va uint32, a Access, mode vax.Mode) (uint32, error) {
 			// PTE<M> and retry (Section 4.4.2).
 			u.Stats.ModifyFaults++
 			u.TBIS(va)
-			return 0, modifyFault(va)
+			return 0, u.modifyFault(va)
 		}
 		// Standard VAX: hardware sets PTE<M> without a trap.
 		u.Stats.MSets++
@@ -263,6 +286,41 @@ func (u *MMU) Translate(va uint32, a Access, mode vax.Mode) (uint32, error) {
 
 	u.tlb[page] = tlbEntry{pte: pte}
 	return pte.PFN()*vax.PageSize + (va & vax.PageMask), nil
+}
+
+// TranslateFast is the inlined TLB-hit fast path: it maps va to a
+// physical address only when it can do so without walking page tables,
+// without faulting, and without side effects — mapping disabled, or a
+// TLB hit whose protection admits the access and (for writes) whose
+// PTE<M> is already set. Any other case returns ok == false without
+// touching the statistics, and the caller falls back to Translate,
+// which performs the walk, counts the event, and boxes the fault. On
+// success no error value exists at all, so the hot path allocates
+// nothing.
+func (u *MMU) TranslateFast(va uint32, a Access, mode vax.Mode) (uint32, bool) {
+	if !u.Enabled {
+		return va, true
+	}
+	e, hit := u.tlb[vax.PageBase(va)]
+	if !hit {
+		return 0, false
+	}
+	pte := e.pte
+	prot := pte.Prot()
+	if prot.Reserved() || !pte.Valid() {
+		return 0, false
+	}
+	if a == Write {
+		if !prot.CanWrite(mode) || !pte.Modified() {
+			return 0, false
+		}
+	} else if !prot.CanRead(mode) {
+		return 0, false
+	}
+	u.Stats.Translations++
+	u.Stats.TLBHits++
+	u.Stats.FastTranslations++
+	return pte.PFN()*vax.PageSize + (va & vax.PageMask), true
 }
 
 // ProbePTE fetches (without caching) the PTE governing va, for the PROBE

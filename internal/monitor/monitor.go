@@ -336,8 +336,9 @@ func (m *Monitor) stat() string {
 	s := c.Stats
 	u := c.MMU.Stats
 	return fmt.Sprintf(
-		"instructions %d  cycles %d\nexceptions %d  interrupts %d  vm-traps %d  priv-traps %d\nchm %d  rei %d  movpsl %d  probe %d\ntlb %d/%d hit/miss  tnv %d  prot %d  modify %d  m-sets %d\n",
+		"instructions %d  cycles %d\nexceptions %d  interrupts %d  vm-traps %d  priv-traps %d\nchm %d  rei %d  movpsl %d  probe %d\ntlb %d/%d hit/miss  tnv %d  prot %d  modify %d  m-sets %d\ndecode %d/%d hit/miss  invalidations %d  fast-xlate %d\n",
 		s.Instructions, c.Cycles, s.Exceptions, s.Interrupts, s.VMTraps, s.PrivTraps,
 		s.CHMs, s.REIs, s.MOVPSLs, s.Probes,
-		u.TLBHits, u.TLBMisses, u.TNVFaults, u.ProtFaults, u.ModifyFaults, u.MSets)
+		u.TLBHits, u.TLBMisses, u.TNVFaults, u.ProtFaults, u.ModifyFaults, u.MSets,
+		s.DecodeHits, s.DecodeMisses, s.DecodeInvalidations, u.FastTranslations)
 }

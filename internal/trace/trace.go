@@ -34,6 +34,10 @@ func CaptureCPU(c *cpu.CPU) Snapshot {
 		"rei":          s.REIs,
 		"movpsl":       s.MOVPSLs,
 		"probe":        s.Probes,
+
+		"decode_hits":          s.DecodeHits,
+		"decode_misses":        s.DecodeMisses,
+		"decode_invalidations": s.DecodeInvalidations,
 	}}
 }
 
@@ -48,6 +52,8 @@ func CaptureMMU(u *mmu.MMU) Snapshot {
 		"prot_faults":   s.ProtFaults,
 		"modify_faults": s.ModifyFaults,
 		"m_sets":        s.MSets,
+
+		"fast_translations": s.FastTranslations,
 	}}
 }
 

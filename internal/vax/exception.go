@@ -59,6 +59,45 @@ func (e *Exception) Error() string {
 	return fmt.Sprintf("%s %s %v", e.Vector, e.Kind, e.Params)
 }
 
+// ExcScratch is a reusable exception cell for hot fault paths. The
+// interpreter raises the common vectors (access violation, translation
+// not valid, modify fault, reserved operand/addressing, privileged
+// instruction) thousands of times per run; allocating an Exception and
+// a Params slice for each would dominate the allocation profile. A
+// scratch cell is embedded per CPU and per MMU, and each Set call
+// recycles it.
+//
+// Convention: a *Exception obtained from a scratch cell is valid only
+// until the owner's next fault — handlers must consume it (dispatch it
+// or copy Params out) before executing another instruction, and must
+// never retain it across instructions. See DESIGN.md, "Allocation-free
+// fault path".
+type ExcScratch struct {
+	exc    Exception
+	params [2]uint32
+}
+
+// Set recycles the scratch cell as a parameterless exception.
+func (s *ExcScratch) Set(vec Vector, kind ExcKind) *Exception {
+	s.exc = Exception{Vector: vec, Kind: kind}
+	return &s.exc
+}
+
+// Set1 recycles the scratch cell with one parameter.
+func (s *ExcScratch) Set1(vec Vector, kind ExcKind, p0 uint32) *Exception {
+	s.params[0] = p0
+	s.exc = Exception{Vector: vec, Kind: kind, Params: s.params[:1]}
+	return &s.exc
+}
+
+// Set2 recycles the scratch cell with two parameters (the fault
+// parameter / faulting VA pair of the memory-management vectors).
+func (s *ExcScratch) Set2(vec Vector, kind ExcKind, p0, p1 uint32) *Exception {
+	s.params[0], s.params[1] = p0, p1
+	s.exc = Exception{Vector: vec, Kind: kind, Params: s.params[:2]}
+	return &s.exc
+}
+
 // VMTrapInfo is the information the modified microcode hands the VMM
 // with every VM-emulation trap: "complete information about the
 // instruction and its decoded operands, as well as the PSL of the VM
