@@ -81,6 +81,7 @@ func BenchmarkE8ModifyFaultAblation(b *testing.B) { benchExperiment(b, "E8") }
 
 // Methodology: conclusions are stable under cost-model perturbation.
 func BenchmarkE9CostSensitivity(b *testing.B) { benchExperiment(b, "E9") }
+func BenchmarkE10FaultCampaign(b *testing.B)  { benchExperiment(b, "E10") }
 
 // BenchmarkInterpreterThroughput measures the raw fetch-decode-execute
 // rate of the interpreter on a tight guest compute loop, after the

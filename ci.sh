@@ -24,4 +24,7 @@ go test ./...
 echo "== go test -race (core)"
 go test -race ./internal/core/...
 
+echo "== fault-injection campaign (fixed seeds)"
+go run ./cmd/experiments -faults -seeds 8 -seedbase 1 > /dev/null
+
 echo "CI OK"

@@ -9,6 +9,7 @@
 //	experiments -list      # list experiment IDs
 //	experiments -md        # emit Markdown (the body of EXPERIMENTS.md)
 //	experiments -cpuprofile cpu.pprof -run E6   # profile the hot path
+//	experiments -faults -seeds 16 -seedbase 100 # fault campaign only
 package main
 
 import (
@@ -34,6 +35,9 @@ func run() int {
 	md := flag.Bool("md", false, "emit Markdown")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	faults := flag.Bool("faults", false, "run only the fault-injection campaign (E10) with -seeds/-seedbase")
+	seeds := flag.Int("seeds", 8, "number of campaign seeds (with -faults)")
+	seedbase := flag.Int64("seedbase", 1, "first campaign seed (with -faults)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -67,6 +71,24 @@ func run() int {
 	if *list {
 		for _, s := range exp.All() {
 			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return 0
+	}
+
+	if *faults {
+		r, err := exp.FaultCampaign(exp.DefaultCampaignSeeds(*seeds, *seedbase))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault campaign: %v\n", err)
+			return 2
+		}
+		if *md {
+			printMarkdown(r)
+		} else {
+			fmt.Println(r.Format())
+		}
+		if !r.Match {
+			fmt.Fprintln(os.Stderr, "fault campaign failed")
+			return 1
 		}
 		return 0
 	}

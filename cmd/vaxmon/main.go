@@ -65,6 +65,7 @@ func main() {
 		}
 		k.Run(1) // enter the VM so PC/PSL show guest state
 		mon = monitor.New(k.CPU)
+		mon.VMM = k
 	} else {
 		ma, err := vmos.BootBare(im, cpu.StandardVAX, 16)
 		if err != nil {

@@ -24,6 +24,13 @@ const (
 	AuditReflected     // exception forwarded to a VMOS
 	AuditWorldSwitch   // processor moved between VMs
 	AuditNonexistentVM // reference to nonexistent VM-physical memory
+
+	AuditMachineCheck    // virtual machine check delivered to a VM
+	AuditDiskRetry       // transient disk error retried by the VMM
+	AuditWatchdogTrip    // per-VM watchdog halted a VM
+	AuditSelfCheckRepair // shadow PTE repaired by the self-check pass
+	AuditFaultInjected   // fault injector applied a scheduled event
+	AuditUnknownKCALL    // KCALL with an unrecognized function code
 )
 
 func (k AuditKind) String() string {
@@ -42,6 +49,18 @@ func (k AuditKind) String() string {
 		return "world-switch"
 	case AuditNonexistentVM:
 		return "nonexistent-memory"
+	case AuditMachineCheck:
+		return "machine-check"
+	case AuditDiskRetry:
+		return "disk-retry"
+	case AuditWatchdogTrip:
+		return "watchdog-trip"
+	case AuditSelfCheckRepair:
+		return "selfcheck-repair"
+	case AuditFaultInjected:
+		return "fault-injected"
+	case AuditUnknownKCALL:
+		return "unknown-kcall"
 	}
 	return fmt.Sprintf("audit(%d)", uint8(k))
 }

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/dev"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/vax"
 )
@@ -101,6 +102,17 @@ type Config struct {
 	ClockPeriod uint32
 	TimeSlice   uint64
 	WaitTimeout uint64
+
+	// Watchdog is the per-VM progress budget: a VM that runs this many
+	// ticks of its own CPU time without a progress event (WAIT, CHM,
+	// completed I/O, context switch) is halted so its neighbors keep
+	// the processor. 0 disables the watchdog.
+	Watchdog uint64
+
+	// SelfCheckInterval runs the shadow-table self-check pass over
+	// every VM each n real ticks. 0 disables the periodic scrub
+	// (SelfCheck can still be called explicitly).
+	SelfCheckInterval uint64
 }
 
 func (cfg Config) withDefaults() Config {
@@ -143,7 +155,9 @@ type VMM struct {
 
 	nextPage uint32 // physical page bump allocator
 
-	audit *auditLog
+	audit  *auditLog
+	faults *fault.Injector // nil = no fault injection
+	ioBuf  []byte          // scratch page for KCALL disk transfers
 
 	Stats Stats
 }
@@ -160,6 +174,7 @@ func New(memBytes uint32, cfg Config) *VMM {
 		cfg:      cfg.withDefaults(),
 		cur:      -1,
 		nextPage: 1, // page 0 reserved for the (unused) real SCB
+		ioBuf:    make([]byte, vax.PageSize),
 	}
 	c.Sink = k
 	c.AddDevice(k.Clock)

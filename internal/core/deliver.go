@@ -196,6 +196,13 @@ func (k *VMM) deliverPendingIRQs(vm *VM) {
 	if vm.halted || k.cur != vm.ID {
 		return
 	}
+	// Injected clock-interrupt storm: the timer line "sticks" and the
+	// VM sees a clock interrupt at every delivery opportunity while the
+	// storm window is open. Bounded: handling the interrupts advances
+	// real time past the window.
+	if k.faults != nil && k.faults.StormHit(vm.ID, k.Stats.ClockTicks) {
+		vm.postIRQ(vax.IPLClock, vax.VecClock)
+	}
 	level := vm.pendingAbove(k.CPU.VMPSL.IPL())
 	if level == 0 {
 		return

@@ -56,6 +56,7 @@ func (k *VMM) emulate(vm *VM, info *vax.VMTrapInfo) {
 func (k *VMM) emulateCHM(vm *VM, info *vax.VMTrapInfo) {
 	vm.Stats.CHMs++
 	k.charge(cpu.CostVMMCHM)
+	k.noteProgress(vm)
 	code := info.Operands[0]
 	target := vax.Mode(info.Operands[1])
 	newMode := target
@@ -133,6 +134,7 @@ func checkGuestREI(cur, n vax.PSL) *guestFault {
 // elapses.
 func (k *VMM) emulateWAIT(vm *VM, info *vax.VMTrapInfo) {
 	vm.Stats.Waits++
+	k.noteProgress(vm)
 	vm.waiting = true
 	vm.waitDeadline = k.Stats.ClockTicks + k.cfg.WaitTimeout
 	vm.pc = info.NextPC
@@ -297,6 +299,7 @@ func (k *VMM) emulateSVPCTX(vm *VM, info *vax.VMTrapInfo) {
 	if c.VMPSL.Cur() == vax.Kernel && !c.VMPSL.IS() {
 		c.SetSP(vm.SPs[vax.Kernel])
 	}
+	k.noteProgress(vm)
 	c.SetPC(info.NextPC)
 	k.resumeVM(vm)
 }

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/vax"
+)
+
+// VMM hardening: virtual machine checks, the per-VM watchdog and the
+// shadow-table self-check scrub, plus the hooks that let an attached
+// fault.Injector exercise them. The paper's VMM hides device errors
+// from the VMOS entirely (Section 5, "Hardware errors"); the recovery
+// ladder here is the one it implies for errors that cannot be hidden:
+// retry what is transient, report what is not as a virtual machine
+// check through the VM's own SCB, and halt only the VM that stops
+// making progress.
+
+// Machine-check cause codes, passed as the second parameter longword of
+// a virtual machine check (after the byte count).
+const (
+	MCheckDiskError uint32 = 1 // device error that survived the retry loop
+	MCheckBusError  uint32 = 2 // bus error on a DMA range
+)
+
+// mcheckIPL is the guest IPL a virtual machine check is delivered at
+// (the architectural machine-check IPL).
+const mcheckIPL = 31
+
+const (
+	// maxDiskRetries bounds the KCALL retry loop: attempts 2..4 each
+	// pay an exponentially growing backoff charge before giving up.
+	maxDiskRetries = 4
+	diskRetryCost  = 120
+)
+
+// AttachFaults arms (or, with nil, disarms) a fault-injection plan.
+func (k *VMM) AttachFaults(inj *fault.Injector) { k.faults = inj }
+
+// Faults returns the armed fault plan, or nil.
+func (k *VMM) Faults() *fault.Injector { return k.faults }
+
+// SetWatchdog sets the per-VM progress budget in ticks (0 disables).
+func (k *VMM) SetWatchdog(ticks uint64) { k.cfg.Watchdog = ticks }
+
+// noteProgress stamps a progress event — WAIT, CHM, completed I/O or a
+// context switch — against the VM's own CPU time.
+func (k *VMM) noteProgress(vm *VM) { vm.lastProgress = vm.ticks }
+
+// machineCheck delivers a virtual machine check to the current VM: the
+// parameter longwords are {byte count, cause code, cause info}, so the
+// guest handler can pop the count and discard the parameters the way a
+// real machine-check handler does.
+func (k *VMM) machineCheck(vm *VM, code, info uint32) {
+	vm.Stats.MachineChecks++
+	k.record(vm, AuditMachineCheck, fmt.Sprintf("code %d info %#x", code, info))
+	k.deliverToVM(vm, vax.VecMachineCheck, []uint32{8, code, info},
+		k.CPU.PC(), vax.Kernel, mcheckIPL)
+}
+
+// checkWatchdog halts the current VM when it has run Watchdog ticks of
+// its own CPU time without a progress event, and reports whether it
+// tripped — in which case haltVM has already scheduled a neighbor and
+// the caller must not reschedule.
+func (k *VMM) checkWatchdog(vm *VM) bool {
+	if k.cfg.Watchdog == 0 || vm == nil || vm.halted || vm.waiting {
+		return false
+	}
+	idle := vm.ticks - vm.lastProgress
+	if idle <= k.cfg.Watchdog {
+		return false
+	}
+	vm.Stats.WatchdogTrips++
+	k.record(vm, AuditWatchdogTrip, fmt.Sprintf("no progress event in %d ticks", idle))
+	k.haltVM(vm, fmt.Sprintf("watchdog: no progress event in %d ticks", idle))
+	return true
+}
+
+// injectTick applies the scheduled tick-granularity faults: shadow-PTE
+// corruption events, each immediately followed by a self-check pass on
+// the corrupted VM (the plan models zero detection latency, so the
+// guest never runs on a corrupted translation).
+func (k *VMM) injectTick() {
+	tick := k.Stats.ClockTicks
+	for _, vm := range k.vms {
+		if vm.halted {
+			continue
+		}
+		for k.faults.TakeCorruption(vm.ID, tick) {
+			k.corruptShadowPTE(vm)
+			k.selfCheckVM(vm)
+		}
+	}
+}
+
+// corruptShadowPTE flips the frame number of one live shadow S-space
+// PTE of the VM — the injected divergence the self-check repairs.
+func (k *VMM) corruptShadowPTE(vm *VM) {
+	s := vm.shadow
+	var live []uint32
+	for vpn := uint32(0); vpn < VMSLimitPTEs; vpn++ {
+		if v, err := k.Mem.LoadLong(s.sptPhys + 4*vpn); err == nil && vax.PTE(v).Valid() {
+			live = append(live, vpn)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	vpn := live[k.faults.Pick(len(live))]
+	slot := s.sptPhys + 4*vpn
+	v, err := k.Mem.LoadLong(slot)
+	if err != nil {
+		return
+	}
+	pte := vax.PTE(v)
+	badPFN := (pte.PFN() ^ uint32(1+k.faults.Pick(7))) % k.Mem.Pages()
+	if badPFN == pte.PFN() {
+		badPFN = (badPFN + 1) % k.Mem.Pages()
+	}
+	va := vax.SystemBase + vpn*vax.PageSize
+	_ = k.Mem.StoreLong(slot, uint32(vax.NewPTE(true, pte.Prot(), pte.Modified(), badPFN)))
+	k.CPU.MMU.TBIS(va)
+	k.faults.NoteCorruption()
+	k.record(vm, AuditFaultInjected, fmt.Sprintf("shadow PTE for %#x repointed to frame %#x", va, badPFN))
+}
+
+// SelfCheck runs one shadow-table self-check pass over every live VM
+// and returns the number of repaired PTEs.
+func (k *VMM) SelfCheck() int {
+	repairs := 0
+	for _, vm := range k.vms {
+		repairs += k.selfCheckVM(vm)
+	}
+	return repairs
+}
+
+// selfCheckVM revalidates every valid shadow PTE of one VM against the
+// VM's own page tables. A shadow entry that no longer matches what the
+// demand fill would compute is cleared to the null PTE — the next
+// reference refills it from the guest's tables — and audited.
+func (k *VMM) selfCheckVM(vm *VM) int {
+	if vm.halted || !vm.mapen {
+		return 0
+	}
+	s := vm.shadow
+	repairs := 0
+	scanned := uint32(0)
+	scan := func(base, count uint32, vaOf func(vpn uint32) uint32) {
+		for vpn := uint32(0); vpn < count && !vm.halted; vpn++ {
+			scanned++
+			v, err := k.Mem.LoadLong(base + 4*vpn)
+			if err != nil || !vax.PTE(v).Valid() {
+				continue // null and invalid entries refill on demand
+			}
+			va := vaOf(vpn)
+			if want, ok := k.expectedShadow(vm, va); ok && want == vax.PTE(v) {
+				continue
+			}
+			if vm.halted {
+				return
+			}
+			_ = k.Mem.StoreLong(base+4*vpn, uint32(nullPTE))
+			k.CPU.MMU.TBIS(va)
+			repairs++
+			vm.Stats.SelfCheckRepairs++
+			k.record(vm, AuditSelfCheckRepair, fmt.Sprintf("shadow PTE %#x for %#x cleared", v, va))
+		}
+	}
+	scan(s.sptPhys, VMSLimitPTEs, func(vpn uint32) uint32 {
+		return vax.SystemBase + vpn*vax.PageSize
+	})
+	scan(s.slotPhys[s.active], ProcTablePTEs, func(vpn uint32) uint32 {
+		return vpn * vax.PageSize
+	})
+	scan(s.p1Phys, P1TablePTEs, func(vpn uint32) uint32 {
+		return vax.P1Base + vpn*vax.PageSize
+	})
+	k.charge(uint64(scanned) / 16) // the scrub is VMM work, not free
+	return repairs
+}
+
+// expectedShadow recomputes the shadow PTE the demand fill would
+// install for va right now, or ok=false when the guest's tables no
+// longer justify any valid shadow entry there.
+func (k *VMM) expectedShadow(vm *VM, va uint32) (vax.PTE, bool) {
+	gpte, gf := k.guestPTE(vm, va, false)
+	if gf != nil || vm.halted {
+		return 0, false
+	}
+	if gpte.Prot().Reserved() || !gpte.Valid() {
+		return 0, false
+	}
+	vmPFN := gpte.PFN()
+	if k.cfg.MMIOEmulatedIO && isDeviceFrame(vmPFN) {
+		return 0, false
+	}
+	if vmPFN*vax.PageSize >= vm.MemSize {
+		return 0, false
+	}
+	return shadowPTEFor(vm, gpte, k.cfg.ReadOnlyShadow), true
+}

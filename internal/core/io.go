@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/vax"
 )
 
@@ -37,44 +39,96 @@ func (k *VMM) kcall(vm *VM, _ uint32) {
 	switch fn {
 	case KCallConsolePut:
 		vm.cons.Put(byte(c.R[1]))
+		k.noteProgress(vm)
 	case KCallConsoleGet:
 		c.R[1] = vm.cons.Get()
+		k.noteProgress(vm)
 	case KCallDiskRead, KCallDiskWrite:
-		block, buf := c.R[1], c.R[2]
-		host, ok := vm.hostAddr(buf, vax.PageSize)
-		if !ok {
-			k.haltVM(vm, "KCALL disk buffer outside VM memory")
+		status = k.kcallDisk(vm, fn == KCallDiskWrite)
+		if vm.halted {
 			return
-		}
-		var err error
-		if fn == KCallDiskRead {
-			data := make([]byte, vax.PageSize)
-			if err = vm.disk.readBlock(block, data); err == nil {
-				// DMA into guest memory: drop cached decodes it overlaps.
-				k.CPU.InvalidateDecode(host, vax.PageSize)
-				err = k.Mem.StoreBytes(host, data)
-			}
-		} else {
-			var data []byte
-			if data, err = k.Mem.LoadBytes(host, vax.PageSize); err == nil {
-				err = vm.disk.writeBlock(block, data)
-			}
-		}
-		if err != nil {
-			status = KCallStatusError
-		} else {
-			// Completion interrupt, deliverable when the VM's IPL
-			// allows.
-			vm.postIRQ(vax.IPLDisk, vax.VecDisk)
 		}
 	case KCallUptime:
 		c.R[1] = uint32(vm.ticks)
 	case KCallSetUptime:
 		vm.uptime = c.R[1]
 	default:
+		vm.Stats.UnknownKCALLs++
+		k.record(vm, AuditUnknownKCALL, fmt.Sprintf("function code %d", fn))
 		status = KCallStatusError
 	}
 	c.R[0] = status
+}
+
+// kcallDisk services a KCALL disk transfer with the recovery ladder of
+// the paper's hardware-error policy: transient device errors are
+// retried with exponential backoff up to maxDiskRetries attempts;
+// errors that survive — and bus errors on the DMA range — surface to
+// the VM as virtual machine checks; a guest software error (block out
+// of range) is just a status error.
+func (k *VMM) kcallDisk(vm *VM, write bool) uint32 {
+	c := k.CPU
+	block, buf := c.R[1], c.R[2]
+	host, ok := vm.hostAddr(buf, vax.PageSize)
+	if !ok {
+		k.haltVM(vm, "KCALL disk buffer outside VM memory")
+		return KCallStatusError
+	}
+	if k.faults != nil && k.faults.BusErrorHit(vm.ID, k.Stats.ClockTicks, buf, vax.PageSize) {
+		k.machineCheck(vm, MCheckBusError, buf)
+		return KCallStatusError
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = k.diskTransfer(vm, write, block, host, attempt)
+		if err == nil || err == errOutOfRange || err == errDiskPermanent {
+			break
+		}
+		if attempt+1 >= maxDiskRetries {
+			break
+		}
+		vm.Stats.DiskRetries++
+		k.record(vm, AuditDiskRetry, fmt.Sprintf("block %d attempt %d: %v", block, attempt+1, err))
+		k.charge(diskRetryCost << uint(attempt))
+	}
+	switch err {
+	case nil:
+		k.noteProgress(vm)
+		vm.postIRQ(vax.IPLDisk, vax.VecDisk)
+		return KCallStatusOK
+	case errOutOfRange:
+		// The guest asked for a block that does not exist: its own
+		// software error, not a hardware condition.
+		return KCallStatusError
+	default:
+		k.machineCheck(vm, MCheckDiskError, block)
+		return KCallStatusError
+	}
+}
+
+// diskTransfer performs one attempt of a KCALL disk transfer through
+// the VMM's scratch page (no per-call allocation).
+func (k *VMM) diskTransfer(vm *VM, write bool, block, host uint32, attempt int) error {
+	if k.faults != nil {
+		switch k.faults.DiskAttempt(vm.ID, attempt, write) {
+		case fault.DiskTransient:
+			return errDiskTransient
+		case fault.DiskPermanent:
+			return errDiskPermanent
+		}
+	}
+	if write {
+		if err := k.Mem.LoadBytesInto(host, k.ioBuf); err != nil {
+			return err
+		}
+		return vm.disk.writeBlock(block, k.ioBuf)
+	}
+	if err := vm.disk.readBlock(block, k.ioBuf); err != nil {
+		return err
+	}
+	// DMA into guest memory: drop cached decodes it overlaps.
+	k.CPU.InvalidateDecode(host, vax.PageSize)
+	return k.Mem.StoreBytes(host, k.ioBuf)
 }
 
 // --- virtual disk ---
@@ -128,6 +182,16 @@ func (rangeErr) Error() string { return "vdisk: block out of range" }
 
 var errOutOfRange = rangeErr{}
 
+// devErr is an injected device error (comparable, like errOutOfRange).
+type devErr string
+
+func (e devErr) Error() string { return string(e) }
+
+const (
+	errDiskTransient devErr = "vdisk: transient device error"
+	errDiskPermanent devErr = "vdisk: permanent device error"
+)
+
 // Virtual controller register offsets mirror dev.Disk.
 const (
 	devRegCSR   = 0x00
@@ -174,8 +238,13 @@ func (k *VMM) diskRegWrite(vm *VM, off, v uint32) {
 			return
 		}
 		d.stat = KCallStatusError
+		// The MMIO baseline has no retry ladder: an injected device or
+		// bus error simply leaves the error status for the driver.
+		injected := k.faults != nil &&
+			(k.faults.DiskAttempt(vm.ID, 0, v&devCSRFunc == devFuncWrite) != fault.DiskOK ||
+				k.faults.BusErrorHit(vm.ID, k.Stats.ClockTicks, d.addr, d.count))
 		host, ok := vm.hostAddr(d.addr, d.count)
-		if ok && d.count <= vax.PageSize {
+		if ok && !injected && d.count <= vax.PageSize {
 			buf := make([]byte, d.count)
 			switch v & devCSRFunc {
 			case devFuncRead:

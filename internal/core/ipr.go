@@ -125,7 +125,13 @@ func (k *VMM) emulateMTPR(vm *VM, info *vax.VMTrapInfo) {
 	case vax.IPRKCALL:
 		vm.Stats.KCALLs++
 		k.charge(cpu.CostVMMIOStart)
+		// Complete the MTPR before servicing: the KCALL may deliver a
+		// virtual machine check, and the handler PC it establishes must
+		// not be clobbered by done()'s advance past the instruction.
+		c.SetPC(info.NextPC)
+		k.resumeVM(vm)
 		k.kcall(vm, v)
+		return
 	case vax.IPRIORESET:
 		vm.disk.reset()
 		vm.cons = vConsole{}

@@ -185,6 +185,7 @@ func (s *shadowSpace) activate(c *cpu.CPU) {
 func (s *shadowSpace) switchProcess(k *VMM, p0br uint32) error {
 	vm := s.vm
 	vm.Stats.ContextSwitches++
+	k.noteProgress(vm)
 	s.lruClock++
 	// Cache lookup.
 	for i, owner := range s.slotOwner {
@@ -281,19 +282,7 @@ func (k *VMM) fillShadow(vm *VM, va uint32, wantWrite bool) *guestFault {
 		k.haltVM(vm, fmt.Sprintf("reference to nonexistent VM-physical page %#x", vmPFN))
 		return nil
 	}
-	prot := gpte.Prot().Compress()
-	modified := gpte.Modified()
-	if k.cfg.ReadOnlyShadow {
-		// The rejected Section 4.4.2 alternative: encode "unmodified"
-		// as a write-denying protection and keep the shadow M bit set
-		// so the modify fault never fires.
-		if !modified {
-			prot = prot.ReadOnly()
-		}
-		modified = true
-	}
-	spte := vax.NewPTE(true, prot, modified,
-		vm.MemBase/vax.PageSize+vmPFN)
+	spte := shadowPTEFor(vm, gpte, k.cfg.ReadOnlyShadow)
 	_ = k.Mem.StoreLong(slot, uint32(spte))
 	vm.Stats.ShadowFills++
 	k.charge(cpu.CostVMMShadowFill)
@@ -326,6 +315,23 @@ func (k *VMM) fillShadow(vm *VM, va uint32, wantWrite bool) *guestFault {
 		k.charge(cpu.CostVMMShadowFill)
 	}
 	return nil
+}
+
+// shadowPTEFor translates a valid guest PTE into its shadow form: real
+// frame from the VM-physical frame, protection ring-compressed, or —
+// under the rejected Section 4.4.2 alternative — "unmodified" encoded
+// as a write-denying protection with the shadow M bit held set so the
+// modify fault never fires.
+func shadowPTEFor(vm *VM, gpte vax.PTE, roScheme bool) vax.PTE {
+	prot := gpte.Prot().Compress()
+	modified := gpte.Modified()
+	if roScheme {
+		if !modified {
+			prot = prot.ReadOnly()
+		}
+		modified = true
+	}
+	return vax.NewPTE(true, prot, modified, vm.MemBase/vax.PageSize+gpte.PFN())
 }
 
 // guestPTE performs the software walk of the VM's own page tables for

@@ -220,6 +220,20 @@ func (k *VMM) handleRealInterrupt(e *vax.Exception) {
 		}
 	}
 
+	// VMM hardening hooks: scheduled fault injection, the periodic
+	// shadow-table scrub, and the per-VM watchdog. Injection or the
+	// watchdog may halt the current VM (and reschedule), so refresh it.
+	if k.faults != nil {
+		k.injectTick()
+	}
+	if k.cfg.SelfCheckInterval > 0 && k.Stats.ClockTicks%k.cfg.SelfCheckInterval == 0 {
+		k.SelfCheck()
+	}
+	cur = k.Current()
+	if k.checkWatchdog(cur) {
+		return // haltVM already scheduled a neighbor
+	}
+
 	switch {
 	case cur == nil || cur.halted:
 		k.scheduleNext()

@@ -32,27 +32,32 @@ var nullPTE = vax.NewPTE(false, vax.ProtUW, false, 0)
 
 // VMStats counts per-VM events used throughout the evaluation.
 type VMStats struct {
-	VMTraps         uint64 // VM-emulation traps
-	CHMs            uint64
-	REIs            uint64
-	MTPRIPL         uint64
-	MTPROther       uint64
-	MFPRs           uint64
-	ContextSwitches uint64 // guest address-space changes (LDPCTX / MTPR P0BR)
-	ShadowFills     uint64 // demand shadow PTE fills
-	PrefetchFills   uint64 // additional PTEs filled by prefetch groups
-	ShadowClears    uint64 // shadow tables reset to null PTEs
-	CacheHits       uint64 // process shadow table found in cache
-	CacheMisses     uint64
-	ModifyFaults    uint64
-	ROWriteFaults   uint64 // write upgrades under the read-only-shadow scheme
-	ReflectedFaults uint64 // faults forwarded to the VMOS
-	VirtualIRQs     uint64
-	KCALLs          uint64
-	MMIOEmuls       uint64 // emulated memory-mapped register references
-	Waits           uint64
-	ProbeFills      uint64 // PROBE instructions completed by the VMM
-	TrapAllSteps    uint64 // instructions emulated under the trap-all scheme
+	VMTraps          uint64 // VM-emulation traps
+	CHMs             uint64
+	REIs             uint64
+	MTPRIPL          uint64
+	MTPROther        uint64
+	MFPRs            uint64
+	ContextSwitches  uint64 // guest address-space changes (LDPCTX / MTPR P0BR)
+	ShadowFills      uint64 // demand shadow PTE fills
+	PrefetchFills    uint64 // additional PTEs filled by prefetch groups
+	ShadowClears     uint64 // shadow tables reset to null PTEs
+	CacheHits        uint64 // process shadow table found in cache
+	CacheMisses      uint64
+	ModifyFaults     uint64
+	ROWriteFaults    uint64 // write upgrades under the read-only-shadow scheme
+	ReflectedFaults  uint64 // faults forwarded to the VMOS
+	VirtualIRQs      uint64
+	KCALLs           uint64
+	MMIOEmuls        uint64 // emulated memory-mapped register references
+	Waits            uint64
+	ProbeFills       uint64 // PROBE instructions completed by the VMM
+	TrapAllSteps     uint64 // instructions emulated under the trap-all scheme
+	MachineChecks    uint64 // virtual machine checks delivered to the VM
+	DiskRetries      uint64 // transient disk errors retried by the VMM
+	WatchdogTrips    uint64 // watchdog halts of this VM
+	SelfCheckRepairs uint64 // shadow PTEs repaired by the self-check pass
+	UnknownKCALLs    uint64 // KCALLs with an unrecognized function code
 }
 
 // VMConfig describes a virtual machine to create.
@@ -105,12 +110,20 @@ type VM struct {
 	ticks   uint64 // virtual uptime in ticks (advances only while running)
 	uptime  uint32 // VM-physical address of the uptime cell, 0 = unset
 
+	// CPU accounting: real cycles consumed while this VM owned the
+	// processor (including VMM emulation work done on its behalf).
+	cyclesUsed   uint64
+	resumeCycles uint64 // k.CPU.Cycles at the last resume
+
 	pendingIRQ [32]vax.Vector // virtual device interrupts by level
 
 	waiting      bool
 	waitDeadline uint64 // real tick count at which WAIT times out
 	halted       bool
 	haltMsg      string
+	haltCycles   uint64 // real cycle count at the moment of the halt
+
+	lastProgress uint64 // vm.ticks at the last progress event (watchdog)
 
 	shadow *shadowSpace
 	disk   *vDisk
@@ -232,6 +245,23 @@ func (vm *VM) Disk() *vDisk { return vm.disk }
 // Ticks returns the VM's virtual uptime in clock ticks.
 func (vm *VM) Ticks() uint64 { return vm.ticks }
 
+// HaltCycles returns the real cycle count at which the VM halted (0
+// while it is still live).
+func (vm *VM) HaltCycles() uint64 { return vm.haltCycles }
+
+// CyclesUsed returns the real cycles consumed while this VM owned the
+// processor, including VMM emulation work done on its behalf.
+func (vm *VM) CyclesUsed() uint64 {
+	if vm.k.cur == vm.ID {
+		return vm.cyclesUsed + vm.k.CPU.Cycles - vm.resumeCycles
+	}
+	return vm.cyclesUsed
+}
+
+// SinceProgress returns how many ticks of its own CPU time the VM has
+// run since its last progress event (what the watchdog budgets).
+func (vm *VM) SinceProgress() uint64 { return vm.ticks - vm.lastProgress }
+
 // runnable reports whether the VM can use the processor now.
 func (vm *VM) runnable() bool {
 	if vm.halted {
@@ -271,6 +301,7 @@ func (vm *VM) postIRQ(level uint8, vec vax.Vector) {
 // a resumable guest PC.
 func (k *VMM) suspend(vm *VM) {
 	c := k.CPU
+	vm.cyclesUsed += c.Cycles - vm.resumeCycles
 	copy(vm.regs[:], c.R[:14])
 	vm.pc = c.PC()
 	vm.pslLow = uint32(c.PSL()) & 0xFF
@@ -283,6 +314,7 @@ func (k *VMM) suspend(vm *VM) {
 func (k *VMM) resume(vm *VM) {
 	c := k.CPU
 	k.cur = vm.ID
+	vm.resumeCycles = c.Cycles
 	copy(c.R[:14], vm.regs[:])
 	c.VMPSL = vm.vmpsl
 	real := vax.PSL(vm.pslLow).
@@ -325,6 +357,7 @@ func (k *VMM) guestSP(vm *VM) uint32 {
 func (k *VMM) haltVM(vm *VM, msg string) {
 	vm.halted = true
 	vm.haltMsg = msg
+	vm.haltCycles = k.CPU.Cycles
 	k.record(vm, AuditVMHalted, msg)
 	if k.cur == vm.ID {
 		k.suspend(vm)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/vax"
 )
@@ -242,5 +243,48 @@ func TestDiskMMIOThroughCPUMemoryPath(t *testing.T) {
 	}
 	if d.RegAccesses != 2 {
 		t.Errorf("RegAccesses = %d, want 2", d.RegAccesses)
+	}
+}
+
+func TestDiskMMIOFaultInjection(t *testing.T) {
+	// With a certain-failure fault plan attached, a programmed transfer
+	// completes with an error status instead of moving data; detaching
+	// the plan restores normal service.
+	c := newCPU(t)
+	d := NewDisk(0x20000000, 16)
+	c.AddDevice(d)
+	d.Faults = fault.New(3, fault.Config{TargetVM: -1, PermanentDiskRate: 1})
+	copy(d.Image()[vax.PageSize:], []byte("block one data"))
+
+	write := func(off, v uint32) {
+		if err := d.StoreReg(c, off, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	program := func() {
+		write(DiskRegBlock, 1)
+		write(DiskRegAddr, 0x4000)
+		write(DiskRegCount, 32)
+		write(DiskRegCSR, DiskCSRGo|DiskFuncRead)
+		d.Tick(c, DiskLatency)
+	}
+	program()
+	if v, _ := d.LoadReg(c, DiskRegStat); v != DiskStatErr {
+		t.Fatalf("status = %d, want error under injection", v)
+	}
+	if d.Reads != 0 {
+		t.Errorf("Reads = %d, want 0 (failed transfer moved data)", d.Reads)
+	}
+	if got, _ := c.Mem.LoadBytes(0x4000, 4); string(got) != "\x00\x00\x00\x00" {
+		t.Errorf("memory written despite injected error: %q", got)
+	}
+
+	d.Faults = nil
+	program()
+	if v, _ := d.LoadReg(c, DiskRegStat); v != DiskStatOK {
+		t.Fatalf("status = %d after disarming, want OK", v)
+	}
+	if got, _ := c.Mem.LoadBytes(0x4000, 14); string(got) != "block one data" {
+		t.Errorf("read data %q", got)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/vax"
 )
 
@@ -51,6 +52,10 @@ type Disk struct {
 	// RegAccesses counts CSR window references, the quantity the E5
 	// experiment compares across I/O virtualization strategies.
 	RegAccesses uint64
+
+	// Faults, when set, lets a fault plan fail transfers on the MMIO
+	// path (the bare machine consults it as VM -1).
+	Faults *fault.Injector
 }
 
 // NewDisk creates a disk with the given number of 512-byte blocks whose
@@ -132,6 +137,9 @@ func (d *Disk) transfer(c *cpu.CPU) uint32 {
 	off := int(d.block) * vax.PageSize
 	n := int(d.count)
 	if off < 0 || off+n > len(d.image) {
+		return DiskStatErr
+	}
+	if d.Faults != nil && d.Faults.DiskAttempt(-1, 0, d.pendingFunc == DiskFuncWrite) != fault.DiskOK {
 		return DiskStatErr
 	}
 	switch d.pendingFunc {

@@ -114,6 +114,7 @@ func All() []Spec {
 		{"E7", "Ring virtualization schemes compared (Section 7.1)", E7RingSchemes},
 		{"E8", "Modify fault vs read-only shadow (Section 4.4.2 ablation)", E8ModifyFaultAblation},
 		{"E9", "Cost-model sensitivity (methodology check)", E9CostSensitivity},
+		{"E10", "Fault-injection campaign: isolation under injected faults", E10FaultCampaign},
 	}
 }
 

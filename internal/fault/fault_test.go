@@ -1,0 +1,147 @@
+package fault
+
+import "testing"
+
+func fullConfig(target int) Config {
+	return Config{
+		TargetVM:          target,
+		TransientDiskRate: 0.3,
+		TransientBurst:    3,
+		PermanentDiskRate: 0.1,
+		BusWindows:        2,
+		BusWindowTicks:    4,
+		BusBase:           0x1000,
+		BusSpan:           0x4000,
+		BusRangeBytes:     0x200,
+		Storms:            2,
+		StormTicks:        3,
+		PTECorruptions:    4,
+		Horizon:           50,
+	}
+}
+
+// drive records a canonical question sequence against an injector.
+func drive(i *Injector) []int {
+	var trace []int
+	for op := 0; op < 200; op++ {
+		attempt := 0
+		for {
+			out := i.DiskAttempt(0, attempt, op%2 == 0)
+			trace = append(trace, int(out))
+			if out != DiskTransient || attempt >= 3 {
+				break
+			}
+			attempt++
+		}
+	}
+	for tick := uint64(0); tick < 60; tick++ {
+		if i.BusErrorHit(0, tick, 0x2000, 512) {
+			trace = append(trace, 100)
+		}
+		if i.StormHit(0, tick) {
+			trace = append(trace, 101)
+		}
+		if i.TakeCorruption(0, tick) {
+			trace = append(trace, 102)
+		}
+	}
+	return trace
+}
+
+func TestSameSeedReplaysExactly(t *testing.T) {
+	a := drive(New(7, fullConfig(0)))
+	b := drive(New(7, fullConfig(0)))
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := drive(New(1, fullConfig(0)))
+	b := drive(New(2, fullConfig(0)))
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical traces")
+	}
+}
+
+func TestTargetingFiltersVMs(t *testing.T) {
+	i := New(3, fullConfig(1))
+	for op := 0; op < 500; op++ {
+		if out := i.DiskAttempt(0, 0, false); out != DiskOK {
+			t.Fatalf("untargeted VM got disk outcome %v", out)
+		}
+	}
+	for tick := uint64(0); tick < 100; tick++ {
+		if i.BusErrorHit(0, tick, 0, 1<<20) || i.StormHit(0, tick) || i.TakeCorruption(0, tick) {
+			t.Fatal("untargeted VM got a scheduled fault")
+		}
+	}
+	if s := i.Stats; s != (Stats{}) {
+		t.Errorf("stats recorded for untargeted VM: %+v", s)
+	}
+	wild := New(3, fullConfig(-1))
+	hit := false
+	for op := 0; op < 500 && !hit; op++ {
+		hit = wild.DiskAttempt(42, 0, false) != DiskOK
+	}
+	if !hit {
+		t.Error("TargetVM=-1 never injected")
+	}
+}
+
+func TestTransientBurstBounded(t *testing.T) {
+	i := New(11, Config{TargetVM: -1, TransientDiskRate: 1, TransientBurst: 2})
+	for op := 0; op < 100; op++ {
+		fails := 0
+		for attempt := 0; ; attempt++ {
+			out := i.DiskAttempt(0, attempt, false)
+			if out == DiskPermanent {
+				t.Fatal("permanent outcome with zero permanent rate")
+			}
+			if out == DiskOK {
+				break
+			}
+			fails++
+			if fails > 2 {
+				t.Fatalf("burst of %d exceeds TransientBurst=2", fails)
+			}
+		}
+		if fails == 0 {
+			t.Fatal("rate 1.0 produced a clean operation")
+		}
+	}
+	if i.Stats.TransientBursts != 100 {
+		t.Errorf("TransientBursts = %d, want 100", i.Stats.TransientBursts)
+	}
+}
+
+func TestCorruptionEventsConsumeOnce(t *testing.T) {
+	cfg := fullConfig(0)
+	i := New(5, cfg)
+	taken := 0
+	for tick := uint64(0); tick < cfg.Horizon+10; tick++ {
+		for i.TakeCorruption(0, tick) {
+			taken++
+		}
+	}
+	if taken != cfg.PTECorruptions {
+		t.Errorf("consumed %d corruption events, want %d", taken, cfg.PTECorruptions)
+	}
+	if i.TakeCorruption(0, 1<<30) {
+		t.Error("corruption event consumed twice")
+	}
+}

@@ -113,6 +113,16 @@ func (m *Memory) LoadBytes(addr, n uint32) ([]byte, error) {
 	return out, nil
 }
 
+// LoadBytesInto copies len(b) bytes starting at addr into b without
+// allocating (for steady-state I/O paths).
+func (m *Memory) LoadBytesInto(addr uint32, b []byte) error {
+	if !m.Contains(addr, uint32(len(b))) {
+		return &BusError{Addr: addr}
+	}
+	copy(b, m.data[addr:])
+	return nil
+}
+
 // StoreBytes copies b into memory starting at addr.
 func (m *Memory) StoreBytes(addr uint32, b []byte) error {
 	if !m.Contains(addr, uint32(len(b))) {

@@ -12,7 +12,9 @@ import (
 	"strings"
 
 	"repro/internal/asm"
+	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/vax"
 )
 
@@ -21,6 +23,8 @@ type Monitor struct {
 	CPU *cpu.CPU
 	// Symbols, when set, lets the monitor print symbolic locations.
 	Symbols map[string]uint32
+	// VMM, when set, enables the VM-level commands (fault, watchdog).
+	VMM *core.VMM
 
 	breaks map[uint32]bool
 }
@@ -62,6 +66,10 @@ func (m *Monitor) Execute(line string) (string, bool) {
 		return m.symbols(args), false
 	case "stat":
 		return m.stat(), false
+	case "fault":
+		return m.faultCmd(args), false
+	case "watchdog":
+		return m.watchdogCmd(args), false
 	}
 	return fmt.Sprintf("unknown command %q; try help", cmd), false
 }
@@ -78,6 +86,11 @@ commands:
   del addr        delete a breakpoint
   sym [prefix]    list known symbols
   stat            machine statistics
+  fault           show the armed fault plan and per-VM fault counters
+  fault seed n [vm]  arm a fault-injection plan (vm -1 = all VMs)
+  fault off       disarm fault injection
+  fault check     run the shadow-table self-check pass now
+  watchdog [n]    show or set the per-VM watchdog budget (0 = off)
   quit            leave the monitor
 addresses accept 0x hex, decimal, or a symbol name`)
 }
@@ -329,6 +342,87 @@ func (m *Monitor) symbols(args []string) string {
 		return "no symbols"
 	}
 	return b.String()
+}
+
+// faultCmd inspects and controls fault injection on the attached VMM.
+func (m *Monitor) faultCmd(args []string) string {
+	if m.VMM == nil {
+		return "no VMM attached (fault commands need -vm mode)"
+	}
+	if len(args) == 0 {
+		var b strings.Builder
+		if inj := m.VMM.Faults(); inj != nil {
+			fmt.Fprintf(&b, "armed: %s\n", inj.Summary())
+		} else {
+			b.WriteString("no fault plan armed; try: fault seed n [vm]\n")
+		}
+		for _, vm := range m.VMM.VMs() {
+			s := vm.Stats
+			fmt.Fprintf(&b, "vm%d %s: machine-checks %d  disk-retries %d  watchdog-trips %d  selfcheck-repairs %d\n",
+				vm.ID, vm.Name, s.MachineChecks, s.DiskRetries, s.WatchdogTrips, s.SelfCheckRepairs)
+		}
+		return strings.TrimRight(b.String(), "\n")
+	}
+	switch args[0] {
+	case "off":
+		m.VMM.AttachFaults(nil)
+		return "fault injection disarmed"
+	case "check":
+		return fmt.Sprintf("self-check pass: %d shadow PTEs repaired", m.VMM.SelfCheck())
+	case "seed":
+		if len(args) < 2 {
+			return "usage: fault seed n [vm]"
+		}
+		seed, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return "bad seed " + args[1]
+		}
+		target := -1
+		if len(args) > 2 {
+			t, err := strconv.Atoi(args[2])
+			if err != nil {
+				return "bad vm " + args[2]
+			}
+			target = t
+		}
+		m.VMM.AttachFaults(fault.New(seed, fault.DefaultConfig(target)))
+		return fmt.Sprintf("armed default fault plan, seed %d, target vm %d", seed, target)
+	}
+	return "usage: fault [seed n [vm] | off | check]"
+}
+
+// watchdogCmd inspects and sets the per-VM progress budget.
+func (m *Monitor) watchdogCmd(args []string) string {
+	if m.VMM == nil {
+		return "no VMM attached (watchdog needs -vm mode)"
+	}
+	if len(args) > 0 {
+		n, err := strconv.ParseUint(args[0], 0, 64)
+		if err != nil {
+			return "usage: watchdog [n]"
+		}
+		m.VMM.SetWatchdog(n)
+		if n == 0 {
+			return "watchdog disabled"
+		}
+		return fmt.Sprintf("watchdog budget set to %d ticks", n)
+	}
+	var b strings.Builder
+	budget := m.VMM.Config().Watchdog
+	if budget == 0 {
+		b.WriteString("watchdog disabled\n")
+	} else {
+		fmt.Fprintf(&b, "watchdog budget %d ticks\n", budget)
+	}
+	for _, vm := range m.VMM.VMs() {
+		if halted, msg := vm.Halted(); halted {
+			fmt.Fprintf(&b, "vm%d %s: halted (%s), %d trips\n", vm.ID, vm.Name, msg, vm.Stats.WatchdogTrips)
+			continue
+		}
+		fmt.Fprintf(&b, "vm%d %s: %d ticks since progress, %d trips\n",
+			vm.ID, vm.Name, vm.SinceProgress(), vm.Stats.WatchdogTrips)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 func (m *Monitor) stat() string {

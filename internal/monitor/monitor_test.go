@@ -4,7 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"encoding/binary"
+
 	"repro/internal/asm"
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/vax"
@@ -150,5 +153,86 @@ func TestErrorsAndHelp(t *testing.T) {
 	}
 	if _, quit := m.Execute("quit"); !quit {
 		t.Error("quit did not end session")
+	}
+}
+
+// vmMonitor builds a monitor attached to a VMM with one trivial VM.
+func vmMonitor(t *testing.T) (*Monitor, *core.VMM) {
+	t.Helper()
+	prog, err := asm.Assemble("start:\thalt\n", vax.SystemBase+0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, 64*1024)
+	for i := uint32(0); i < 64; i++ {
+		pte := vax.NewPTE(true, vax.ProtUW, true, i)
+		binary.LittleEndian.PutUint32(img[0x200+4*i:], uint32(pte))
+	}
+	copy(img[0x1000:], prog.Code)
+	k := core.New(8<<20, core.Config{})
+	if _, err := k.CreateVM(core.VMConfig{MemBytes: 64 * 1024, Image: img,
+		StartPC: prog.MustSymbol("start"), PreMapped: true, SBR: 0x200, SLR: 64}); err != nil {
+		t.Fatal(err)
+	}
+	mon := New(k.CPU)
+	mon.VMM = k
+	return mon, k
+}
+
+func TestFaultCommandNeedsVMM(t *testing.T) {
+	m, _ := testMachine(t)
+	for _, cmd := range []string{"fault", "watchdog"} {
+		if out := run(t, m, cmd); !strings.Contains(out, "no VMM attached") {
+			t.Errorf("%q = %q", cmd, out)
+		}
+	}
+}
+
+func TestFaultCommand(t *testing.T) {
+	m, k := vmMonitor(t)
+	if out := run(t, m, "fault"); !strings.Contains(out, "no fault plan armed") {
+		t.Errorf("fault = %q", out)
+	}
+	if out := run(t, m, "fault seed 5"); !strings.Contains(out, "seed 5, target vm -1") {
+		t.Errorf("fault seed = %q", out)
+	}
+	if k.Faults() == nil {
+		t.Fatal("injector not attached")
+	}
+	if out := run(t, m, "fault"); !strings.Contains(out, "armed:") ||
+		!strings.Contains(out, "machine-checks 0") {
+		t.Errorf("fault status = %q", out)
+	}
+	if out := run(t, m, "fault check"); !strings.Contains(out, "self-check pass") {
+		t.Errorf("fault check = %q", out)
+	}
+	if out := run(t, m, "fault off"); !strings.Contains(out, "disarmed") {
+		t.Errorf("fault off = %q", out)
+	}
+	if k.Faults() != nil {
+		t.Error("injector still attached after fault off")
+	}
+	if out := run(t, m, "fault seed nope"); !strings.Contains(out, "bad seed") {
+		t.Errorf("fault seed nope = %q", out)
+	}
+}
+
+func TestWatchdogCommand(t *testing.T) {
+	m, k := vmMonitor(t)
+	if out := run(t, m, "watchdog"); !strings.Contains(out, "watchdog disabled") {
+		t.Errorf("watchdog = %q", out)
+	}
+	if out := run(t, m, "watchdog 8"); !strings.Contains(out, "set to 8 ticks") {
+		t.Errorf("watchdog 8 = %q", out)
+	}
+	if k.Config().Watchdog != 8 {
+		t.Errorf("budget = %d, want 8", k.Config().Watchdog)
+	}
+	if out := run(t, m, "watchdog"); !strings.Contains(out, "budget 8 ticks") ||
+		!strings.Contains(out, "since progress") {
+		t.Errorf("watchdog status = %q", out)
+	}
+	if out := run(t, m, "watchdog 0"); !strings.Contains(out, "disabled") {
+		t.Errorf("watchdog 0 = %q", out)
 	}
 }

@@ -92,6 +92,12 @@ func CaptureVM(vm *core.VM) Snapshot {
 		"mmio_emuls":       s.MMIOEmuls,
 		"waits":            s.Waits,
 		"probe_fills":      s.ProbeFills,
+
+		"machine_checks":    s.MachineChecks,
+		"disk_retries":      s.DiskRetries,
+		"watchdog_trips":    s.WatchdogTrips,
+		"selfcheck_repairs": s.SelfCheckRepairs,
+		"unknown_kcalls":    s.UnknownKCALLs,
 	}}
 }
 
