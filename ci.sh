@@ -1,8 +1,40 @@
 #!/bin/sh
 # Repository CI gate: formatting, static analysis, build, tests, and a
-# race-detector pass over the monitor (the package that mixes guest
-# execution with host-side VMM state). Run from the repository root.
+# race-detector pass over every package (the parallel execution engine
+# makes the whole tree a concurrency surface). Run from the repository
+# root.
+#
+#   ./ci.sh         # the gate
+#   ./ci.sh bench   # benchmarks -> BENCH_<date>.json (not part of the gate)
 set -eu
+
+if [ "${1:-}" = "bench" ]; then
+    out="BENCH_$(date +%Y-%m-%d).json"
+    echo "== go test -bench -> $out"
+    go test -run '^$' -bench . -benchmem -count=1 . |
+    awk '
+        BEGIN { print "[" }
+        /^Benchmark/ {
+            name = $1; nsop = ""; instr = ""; bop = ""; allocs = ""
+            for (i = 2; i <= NF; i++) {
+                if ($(i) == "ns/op")     nsop  = $(i-1)
+                if ($(i) == "instr/sec") instr = $(i-1)
+                if ($(i) == "B/op")      bop   = $(i-1)
+                if ($(i) == "allocs/op") allocs = $(i-1)
+            }
+            if (n++) printf ",\n"
+            printf "  {\"name\": \"%s\", \"iterations\": %s", name, $2
+            if (nsop   != "") printf ", \"ns_per_op\": %s", nsop
+            if (instr  != "") printf ", \"instr_per_sec\": %s", instr
+            if (bop    != "") printf ", \"bytes_per_op\": %s", bop
+            if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+            printf "}"
+        }
+        END { print "\n]" }
+    ' > "$out"
+    echo "wrote $out"
+    exit 0
+fi
 
 echo "== gofmt"
 unformatted=$(gofmt -l .)
@@ -21,8 +53,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core)"
-go test -race ./internal/core/...
+echo "== go test -race (all packages)"
+go test -race ./...
 
 echo "== fault-injection campaign (fixed seeds)"
 go run ./cmd/experiments -faults -seeds 8 -seedbase 1 > /dev/null

@@ -10,6 +10,7 @@
 //	experiments -md        # emit Markdown (the body of EXPERIMENTS.md)
 //	experiments -cpuprofile cpu.pprof -run E6   # profile the hot path
 //	experiments -faults -seeds 16 -seedbase 100 # fault campaign only
+//	experiments -parallel -vms 1,2,4,8          # multi-VM engine scaling
 package main
 
 import (
@@ -38,6 +39,9 @@ func run() int {
 	faults := flag.Bool("faults", false, "run only the fault-injection campaign (E10) with -seeds/-seedbase")
 	seeds := flag.Int("seeds", 8, "number of campaign seeds (with -faults)")
 	seedbase := flag.Int64("seedbase", 1, "first campaign seed (with -faults)")
+	parallel := flag.Bool("parallel", false, "measure the parallel multi-VM engine against the serial engine (wall-clock, not deterministic)")
+	vmsFlag := flag.String("vms", "1,2,4,8", "comma-separated fleet sizes (with -parallel)")
+	workersFlag := flag.Int("workers", 0, "worker goroutines for the parallel engine; 0 = one per VM (with -parallel)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -71,6 +75,25 @@ func run() int {
 	if *list {
 		for _, s := range exp.All() {
 			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return 0
+	}
+
+	if *parallel {
+		fleets, err := parseFleets(*vmsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-vms: %v\n", err)
+			return 2
+		}
+		r, err := exp.ParallelScaling(fleets, *workersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parallel scaling: %v\n", err)
+			return 2
+		}
+		if *md {
+			printMarkdown(r)
+		} else {
+			fmt.Println(r.Format())
 		}
 		return 0
 	}
@@ -125,6 +148,23 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// parseFleets parses the -vms list ("1,2,4,8") into fleet sizes.
+func parseFleets(s string) ([]int, error) {
+	var fleets []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad fleet size %q", part)
+		}
+		fleets = append(fleets, n)
+	}
+	return fleets, nil
 }
 
 func printMarkdown(r *exp.Result) {

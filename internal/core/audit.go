@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"repro/internal/vax"
 )
@@ -67,6 +69,7 @@ func (k AuditKind) String() string {
 
 // AuditEvent is one recorded event.
 type AuditEvent struct {
+	Seq    uint64 // global order across engines (atomic sequence)
 	Cycle  uint64
 	VM     int // VM ID, -1 for machine-level events
 	Kind   AuditKind
@@ -84,20 +87,16 @@ type auditLog struct {
 	filled bool
 }
 
-// EnableAudit turns on auditing with a ring buffer of n events.
-func (k *VMM) EnableAudit(n int) {
-	if n <= 0 {
-		n = 256
+func (a *auditLog) append(e AuditEvent) {
+	a.events[a.next] = e
+	a.next++
+	if a.next == len(a.events) {
+		a.next = 0
+		a.filled = true
 	}
-	k.audit = &auditLog{events: make([]AuditEvent, n)}
 }
 
-// AuditTrail returns the recorded events, oldest first.
-func (k *VMM) AuditTrail() []AuditEvent {
-	if k.audit == nil {
-		return nil
-	}
-	a := k.audit
+func (a *auditLog) snapshot() []AuditEvent {
 	if !a.filled {
 		out := make([]AuditEvent, a.next)
 		copy(out, a.events[:a.next])
@@ -109,7 +108,80 @@ func (k *VMM) AuditTrail() []AuditEvent {
 	return out
 }
 
-// record appends an event if auditing is enabled.
+// auditRing is a bounded lock-free single-producer ring: the goroutine
+// executing a VM pushes, and the root monitor drains. The producer
+// drops (and counts) events rather than overwrite a slot the drainer
+// has not consumed, so push and drain never touch the same entry.
+type auditRing struct {
+	buf     []AuditEvent
+	head    atomic.Uint64 // next write, producer-owned
+	tail    atomic.Uint64 // next read, drainer-owned
+	dropped atomic.Uint64
+}
+
+func newAuditRing(n int) *auditRing { return &auditRing{buf: make([]AuditEvent, n)} }
+
+func (r *auditRing) push(e AuditEvent) {
+	h, t := r.head.Load(), r.tail.Load()
+	if h-t == uint64(len(r.buf)) {
+		r.dropped.Add(1)
+		return
+	}
+	r.buf[h%uint64(len(r.buf))] = e
+	r.head.Store(h + 1)
+}
+
+func (r *auditRing) drain(f func(AuditEvent)) {
+	t, h := r.tail.Load(), r.head.Load()
+	for ; t < h; t++ {
+		f(r.buf[t%uint64(len(r.buf))])
+	}
+	r.tail.Store(t)
+}
+
+// EnableAudit turns on auditing with a ring buffer of n events.
+func (k *VMM) EnableAudit(n int) {
+	if n <= 0 {
+		n = 256
+	}
+	k.audit = &auditLog{events: make([]AuditEvent, n)}
+}
+
+// AuditTrail returns the recorded events, oldest first in global
+// (sequence) order. It first drains every VM's parallel-run ring into
+// the main log, so events recorded by shards appear alongside serial
+// ones. Call it from the root monitor while no parallel run is
+// mutating the main log (the per-VM rings themselves tolerate a
+// concurrent producer).
+func (k *VMM) AuditTrail() []AuditEvent {
+	if k.audit == nil {
+		return nil
+	}
+	for _, vm := range k.vms {
+		if vm.ring != nil {
+			vm.ring.drain(k.audit.append)
+		}
+	}
+	out := k.audit.snapshot()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// AuditDropped reports how many events were dropped by full per-VM
+// rings during parallel runs (audit loss is accounted, never silent).
+func (k *VMM) AuditDropped() uint64 {
+	var n uint64
+	for _, vm := range k.vms {
+		if vm.ring != nil {
+			n += vm.ring.dropped.Load()
+		}
+	}
+	return n
+}
+
+// record appends an event if auditing is enabled. On a parallel-run
+// shard the event goes to the VM's own lock-free ring; the root logs
+// directly into the shared ring (single-threaded by construction).
 func (k *VMM) record(vm *VM, kind AuditKind, detail string) {
 	if k.audit == nil {
 		return
@@ -118,14 +190,15 @@ func (k *VMM) record(vm *VM, kind AuditKind, detail string) {
 	if vm != nil {
 		id = vm.ID
 	}
-	e := AuditEvent{Cycle: k.CPU.Cycles, VM: id, Kind: kind, Detail: detail, PC: k.CPU.PC()}
-	a := k.audit
-	a.events[a.next] = e
-	a.next++
-	if a.next == len(a.events) {
-		a.next = 0
-		a.filled = true
+	e := AuditEvent{Seq: k.shared.auditSeq.Add(1), Cycle: k.CPU.Cycles,
+		VM: id, Kind: kind, Detail: detail, PC: k.CPU.PC()}
+	if k.parent != nil {
+		if vm != nil && vm.ring != nil {
+			vm.ring.push(e)
+		}
+		return
 	}
+	k.audit.append(e)
 }
 
 // auditVMTrap records a sensitive-instruction emulation.

@@ -86,7 +86,7 @@ func (k *VMM) ConsoleCommand(vm *VM, line string) (string, error) {
 		return fmt.Sprintf("continuing at %08X", vm.pc), nil
 
 	case cmd == "HALT":
-		if k.cur == vm.ID {
+		if k.Current() == vm {
 			k.suspend(vm)
 		}
 		vm.halted = true
@@ -95,7 +95,7 @@ func (k *VMM) ConsoleCommand(vm *VM, line string) (string, error) {
 		return fmt.Sprintf("halted at %08X", vm.pc), nil
 
 	case strings.HasPrefix("INITIALIZE", cmd):
-		if k.cur == vm.ID {
+		if k.Current() == vm {
 			k.suspend(vm)
 		}
 		vm.regs = [14]uint32{}

@@ -28,6 +28,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/dev"
@@ -113,6 +115,16 @@ type Config struct {
 	// every VM each n real ticks. 0 disables the periodic scrub
 	// (SelfCheck can still be called explicitly).
 	SelfCheckInterval uint64
+
+	// Workers selects the execution engine. The default (0 or 1) is the
+	// deterministic single-threaded round-robin scheduler, which every
+	// experiment and the fault campaign rely on for exact replay. A
+	// value above 1 makes Run use the parallel engine: each runnable VM
+	// gets its own worker goroutine (at most Workers running at once)
+	// over sharded VMM state. Ignored — with a serial fallback — when a
+	// fault injector is attached, because injection schedules are keyed
+	// to the single machine-wide tick stream.
+	Workers int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -143,6 +155,19 @@ type Stats struct {
 	ReflectedTraps uint64 // exceptions forwarded into a VM
 }
 
+// vmmShared is the state genuinely shared between a root VMM and the
+// per-VM shards of a parallel run. Everything else a VMM holds is
+// goroutine-confined: either per-VM (CPU, MMU, TLB, decode cache,
+// shadow tables, cycle accounting) or owned by whichever engine is
+// running. The page allocator sits behind a mutex because allocation
+// is a cold path (VM creation only); the audit sequence is an atomic
+// so events from concurrent shards keep a global order.
+type vmmShared struct {
+	mu       sync.Mutex // guards nextPage (cold: VM-creation time only)
+	nextPage uint32     // physical page bump allocator
+	auditSeq atomic.Uint64
+}
+
 // VMM is the virtual machine monitor.
 type VMM struct {
 	CPU   *cpu.CPU
@@ -153,11 +178,22 @@ type VMM struct {
 	vms []*VM
 	cur int // index of the VM owning the processor, -1 = none
 
-	nextPage uint32 // physical page bump allocator
+	shared *vmmShared
+	parent *VMM // non-nil on a per-VM shard of a parallel run
 
 	audit  *auditLog
 	faults *fault.Injector // nil = no fault injection
 	ioBuf  []byte          // scratch page for KCALL disk transfers
+
+	// vmmCycles is the VMM housekeeping bucket: cycles spent on world
+	// switches and tick-wide work (uptime maintenance, wake scans,
+	// self-checks, the watchdog) that belong to no VM. switchStart
+	// marks the cycle count at the last suspend so resume can bank the
+	// between-VMs window here instead of letting it fall on a guest.
+	vmmCycles   uint64
+	switchStart uint64
+
+	lastParallel ParallelRunStats
 
 	Stats Stats
 }
@@ -168,13 +204,14 @@ func New(memBytes uint32, cfg Config) *VMM {
 	m := mem.New(memBytes)
 	c := cpu.New(m, cpu.ModifiedVAX)
 	k := &VMM{
-		CPU:      c,
-		Mem:      m,
-		Clock:    dev.NewClock(),
-		cfg:      cfg.withDefaults(),
-		cur:      -1,
-		nextPage: 1, // page 0 reserved for the (unused) real SCB
-		ioBuf:    make([]byte, vax.PageSize),
+		CPU:   c,
+		Mem:   m,
+		Clock: dev.NewClock(),
+		cfg:   cfg.withDefaults(),
+		cur:   -1,
+		// page 0 reserved for the (unused) real SCB
+		shared: &vmmShared{nextPage: 1},
+		ioBuf:  make([]byte, vax.PageSize),
 	}
 	c.Sink = k
 	c.AddDevice(k.Clock)
@@ -202,12 +239,14 @@ func (k *VMM) Current() *VM {
 
 // allocPages carves n contiguous physical pages out of real memory.
 func (k *VMM) allocPages(n uint32) (uint32, error) {
-	if k.nextPage+n > k.Mem.Pages() {
+	k.shared.mu.Lock()
+	defer k.shared.mu.Unlock()
+	if k.shared.nextPage+n > k.Mem.Pages() {
 		return 0, fmt.Errorf("vmm: out of physical memory (%d pages requested, %d free)",
-			n, k.Mem.Pages()-k.nextPage)
+			n, k.Mem.Pages()-k.shared.nextPage)
 	}
-	p := k.nextPage
-	k.nextPage += n
+	p := k.shared.nextPage
+	k.shared.nextPage += n
 	for i := uint32(0); i < n; i++ {
 		if err := k.Mem.ZeroPage(p + i); err != nil {
 			return 0, err
@@ -217,15 +256,44 @@ func (k *VMM) allocPages(n uint32) (uint32, error) {
 }
 
 // FreePages reports how many physical pages remain unallocated.
-func (k *VMM) FreePages() uint32 { return k.Mem.Pages() - k.nextPage }
+func (k *VMM) FreePages() uint32 {
+	k.shared.mu.Lock()
+	defer k.shared.mu.Unlock()
+	return k.Mem.Pages() - k.shared.nextPage
+}
+
+// VMMCycles returns the cycles consumed by VMM housekeeping that is
+// attributable to no VM: world-switch windows and tick-wide work done
+// on behalf of the whole machine. Per-VM CyclesUsed excludes these, so
+// isolation comparisons between VMs stay honest.
+func (k *VMM) VMMCycles() uint64 { return k.vmmCycles }
 
 // Run starts (or continues) executing virtual machines for at most
 // maxSteps processor steps (0 = until everything halts).
+//
+// With Config.Workers > 1, more than one live VM and no fault injector
+// attached, the parallel engine runs instead and maxSteps bounds each
+// VM's worker rather than the machine; everything else uses the
+// deterministic serial scheduler.
 func (k *VMM) Run(maxSteps uint64) uint64 {
+	if k.parent == nil && k.cfg.Workers > 1 && k.faults == nil && k.liveVMs() > 1 {
+		return k.RunParallel(k.cfg.Workers, maxSteps)
+	}
 	if k.Current() == nil {
 		k.scheduleNext()
 	}
 	return k.CPU.Run(maxSteps)
+}
+
+// liveVMs counts VMs that have not halted.
+func (k *VMM) liveVMs() int {
+	n := 0
+	for _, vm := range k.vms {
+		if !vm.halted {
+			n++
+		}
+	}
+	return n
 }
 
 // compressMode maps a VM access mode to the real mode it executes in

@@ -193,9 +193,10 @@ func (k *VMM) reflect(vm *VM, gf *guestFault) {
 // the (current) VM if its IPL admits it. One delivery is enough: the
 // guest's REI path re-enters the VMM, which scans again.
 func (k *VMM) deliverPendingIRQs(vm *VM) {
-	if vm.halted || k.cur != vm.ID {
+	if vm.halted || k.Current() != vm {
 		return
 	}
+	vm.drainExternalIRQs()
 	// Injected clock-interrupt storm: the timer line "sticks" and the
 	// VM sees a clock interrupt at every delivery opportunity while the
 	// storm window is open. Bounded: handling the interrupts advances
@@ -217,5 +218,6 @@ func (k *VMM) deliverPendingIRQs(vm *VM) {
 	}
 	vm.Stats.VirtualIRQs++
 	k.Stats.VirtualIRQs++
+	vm.idleWaits = 0 // a real delivery breaks any idle-WAIT streak
 	k.deliverToVM(vm, vec, nil, k.CPU.PC(), vax.Kernel, int(level))
 }

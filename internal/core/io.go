@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/fault"
@@ -417,19 +418,39 @@ func (k *VMM) emulateMMIO(vm *VM, faultVA uint32, gpte vax.PTE) {
 // --- virtual console ---
 
 // vConsole is the per-VM console, reached through the console IPRs or
-// the KCALL console functions.
+// the KCALL console functions. It is the one VM-side surface that host
+// code legitimately touches from another goroutine (feeding input or
+// reading output while an engine runs), so it carries its own mutex —
+// contention-free in practice: the owning VM and the host rarely meet.
 type vConsole struct {
+	mu   sync.Mutex
 	out  bytes.Buffer
 	in   []byte
 	rxIE bool
 	txIE bool
 }
 
-func (t *vConsole) Output() string { return t.out.String() }
-func (t *vConsole) Feed(s string)  { t.in = append(t.in, s...) }
-func (t *vConsole) Put(b byte)     { t.out.WriteByte(b) }
+func (t *vConsole) Output() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.out.String()
+}
+
+func (t *vConsole) Feed(s string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.in = append(t.in, s...)
+}
+
+func (t *vConsole) Put(b byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.out.WriteByte(b)
+}
 
 func (t *vConsole) Get() uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.in) == 0 {
 		return 0
 	}
@@ -439,6 +460,8 @@ func (t *vConsole) Get() uint32 {
 }
 
 func (t *vConsole) RXCS() uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var v uint32
 	if len(t.in) > 0 {
 		v |= vax.ConsoleReady
@@ -450,6 +473,8 @@ func (t *vConsole) RXCS() uint32 {
 }
 
 func (t *vConsole) SetCSR(reg vax.IPR, v uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	ie := v&vax.ConsoleIE != 0
 	if reg == vax.IPRRXCS {
 		t.rxIE = ie

@@ -29,7 +29,7 @@ func (k *VMM) emulateMTPR(vm *VM, info *vax.VMTrapInfo) {
 	vm.Stats.MTPROther++
 	k.charge(cpu.CostVMMMTPROther)
 	done := func() {
-		if vm.halted || k.cur != vm.ID {
+		if vm.halted || k.Current() != vm {
 			return
 		}
 		c.SetPC(info.NextPC)

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cpu"
+	"repro/internal/dev"
+	"repro/internal/vax"
+)
+
+// The parallel execution engine. The paper's VMM multiplexes many
+// guests on one physical VAX; this engine lets the reproduction use
+// many host cores instead, in the shape of Disco-style sharded monitor
+// state: each runnable VM gets a *shard* — a private VMM instance with
+// its own virtual processor (CPU, MMU, TLB, decoded-instruction
+// cache), interval clock, I/O scratch buffer and statistics — while
+// physical memory, the page allocator and the audit sequence stay
+// shared behind the structures in vmmShared. Because every VM occupies
+// a disjoint range of physical memory (its RAM and its shadow-table
+// pages are both carved out at CreateVM time), shards never write each
+// other's bytes, and all of the serial emulation machinery runs on a
+// shard unchanged.
+//
+// The engine is intentionally NOT deterministic: interleaving depends
+// on the host scheduler. Experiments and the fault campaign therefore
+// keep the serial engine (the default, and the forced fallback when a
+// fault injector is attached, since injection schedules key off the
+// single machine-wide tick stream).
+
+// ParallelRunStats summarizes the last RunParallel invocation.
+type ParallelRunStats struct {
+	Workers int
+	VMs     int
+	Steps   uint64 // total processor steps across all shards
+	Instrs  uint64 // guest instructions executed across all shards
+	Cycles  uint64 // machine cycle count at the end (furthest shard)
+}
+
+// LastParallelRun returns statistics for the most recent RunParallel.
+func (k *VMM) LastParallelRun() ParallelRunStats { return k.lastParallel }
+
+const (
+	// workerQuantum is how many processor steps a worker runs before
+	// releasing its semaphore slot, so N VMs share M < N workers fairly.
+	workerQuantum = 1 << 16
+	// parkCheckChunk is the sub-quantum granularity at which a worker
+	// checks for halt and parking conditions while inside a quantum.
+	parkCheckChunk = 1 << 11
+	// parkAfterIdleWaits is how many consecutive WAIT timeouts (with
+	// nothing delivered in between) a VM accumulates before its worker
+	// parks on the mailbox instead of idling virtual time forward.
+	parkAfterIdleWaits = 2
+)
+
+// engine coordinates the worker goroutines of one RunParallel call.
+type engine struct {
+	vms    []*VM
+	sem    chan struct{} // worker slots: at most cap(sem) VMs run at once
+	live   atomic.Int32  // workers that have not finished
+	parked atomic.Int32  // workers blocked in park
+}
+
+func (e *engine) acquire() { e.sem <- struct{}{} }
+func (e *engine) release() { <-e.sem }
+
+// wakeAll nudges every VM's wake channel (buffered, capacity 1, so a
+// signal sent before the receiver blocks is not lost).
+func (e *engine) wakeAll() {
+	for _, vm := range e.vms {
+		select {
+		case vm.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// park blocks the worker until an external post (or a fleet-wide wake)
+// arrives. If this worker is the last one awake, parking would freeze
+// virtual time on every shard with no one left to generate a wake — so
+// it wakes the fleet instead, letting all idle VMs advance their WAIT
+// timeouts in step.
+func (e *engine) park(vm *VM) {
+	if e.parked.Add(1) >= e.live.Load() {
+		e.parked.Add(-1)
+		vm.idleWaits = 0
+		e.wakeAll()
+		return
+	}
+	<-vm.wake
+	e.parked.Add(-1)
+	vm.idleWaits = 0
+}
+
+// newShard builds the per-VM monitor a worker drives. It mirrors New,
+// but over the shared physical memory and shared allocator/audit
+// state, and with exactly one VM in its table. The shard's CPU cycle
+// counter and tick count continue from the root's so uptime cells,
+// WAIT deadlines and halt stamps stay on one monotonic timeline.
+func (k *VMM) newShard(vm *VM) *VMM {
+	c := cpu.New(k.Mem, k.CPU.Variant)
+	s := &VMM{
+		CPU:    c,
+		Mem:    k.Mem,
+		Clock:  dev.NewClock(),
+		cfg:    k.cfg,
+		vms:    []*VM{vm},
+		cur:    -1,
+		shared: k.shared,
+		parent: k,
+		audit:  k.audit,
+		ioBuf:  make([]byte, vax.PageSize),
+	}
+	c.Sink = s
+	c.AddDevice(s.Clock)
+	c.TrapAllInVM = s.cfg.Scheme == TrapAll
+	c.ProbeWTrapOnDeny = s.cfg.ReadOnlyShadow
+	s.Clock.Interval(s.cfg.ClockPeriod)
+	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
+	c.Cycles = k.CPU.Cycles
+	s.Stats.ClockTicks = k.Stats.ClockTicks
+	if k.audit != nil && vm.ring == nil {
+		vm.ring = newAuditRing(len(k.audit.events))
+	}
+	// A deadline minted by another clock domain would make the VM
+	// oversleep or wake instantly; re-arm it against this shard's ticks.
+	if vm.waiting {
+		vm.waitDeadline = s.Stats.ClockTicks + s.cfg.WaitTimeout
+	}
+	return s
+}
+
+// mergeShard folds a finished shard's statistics back into the root.
+// Monotonic machine-wide clocks (cycles, ticks) take the furthest
+// shard; event counters sum.
+func (k *VMM) mergeShard(s *VMM) {
+	k.Stats.VMMEntries += s.Stats.VMMEntries
+	k.Stats.WorldSwitches += s.Stats.WorldSwitches
+	k.Stats.VirtualIRQs += s.Stats.VirtualIRQs
+	k.Stats.ReflectedTraps += s.Stats.ReflectedTraps
+	if s.Stats.ClockTicks > k.Stats.ClockTicks {
+		k.Stats.ClockTicks = s.Stats.ClockTicks
+	}
+	if s.CPU.Cycles > k.CPU.Cycles {
+		k.CPU.Cycles = s.CPU.Cycles
+	}
+	k.vmmCycles += s.vmmCycles
+}
+
+// RunParallel executes every live VM on its own goroutine, with at
+// most workers of them stepping at once, until each VM halts or has
+// consumed maxStepsPerVM processor steps (0 = no bound: run until all
+// halt — beware VMs that idle forever). It returns the total steps
+// executed across all shards. The root VMM must not itself be a shard
+// and must have no fault injector attached.
+func (k *VMM) RunParallel(workers int, maxStepsPerVM uint64) uint64 {
+	if k.parent != nil || k.faults != nil {
+		return k.CPU.Run(maxStepsPerVM)
+	}
+	if cur := k.Current(); cur != nil {
+		k.suspend(cur)
+	}
+	var live []*VM
+	for _, vm := range k.vms {
+		if !vm.halted {
+			live = append(live, vm)
+		}
+	}
+	if len(live) == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(live) {
+		workers = len(live)
+	}
+
+	eng := &engine{vms: live, sem: make(chan struct{}, workers)}
+	eng.live.Store(int32(len(live)))
+
+	shards := make([]*VMM, len(live))
+	for i, vm := range live {
+		shards[i] = k.newShard(vm)
+		vm.k = shards[i]
+	}
+
+	var wg sync.WaitGroup
+	var total, instrs atomic.Uint64
+	for i := range live {
+		wg.Add(1)
+		go func(vm *VM, s *VMM) {
+			defer wg.Done()
+			// A finished worker broadcasts so a parked sibling can
+			// re-evaluate whether it is now the last one awake.
+			defer func() {
+				eng.live.Add(-1)
+				eng.wakeAll()
+			}()
+			total.Add(s.runWorker(eng, vm, maxStepsPerVM))
+			instrs.Add(s.CPU.Stats.Instructions)
+		}(live[i], shards[i])
+	}
+	wg.Wait()
+
+	for i, vm := range live {
+		vm.k = k
+		k.mergeShard(shards[i])
+	}
+	k.lastParallel = ParallelRunStats{
+		Workers: workers,
+		VMs:     len(live),
+		Steps:   total.Load(),
+		Instrs:  instrs.Load(),
+		Cycles:  k.CPU.Cycles,
+	}
+	return total.Load()
+}
+
+// runWorker drives one VM on its shard: acquire a worker slot, run a
+// quantum, release, and either loop, park (idle VM) or finish (halted
+// or out of budget). The VM is left suspended so the root monitor can
+// resume it serially afterwards.
+func (s *VMM) runWorker(eng *engine, vm *VM, budget uint64) uint64 {
+	var total uint64
+	for !vm.halted && !s.CPU.Halted {
+		if budget > 0 && total >= budget {
+			break
+		}
+		q := uint64(workerQuantum)
+		if budget > 0 && budget-total < q {
+			q = budget - total
+		}
+		eng.acquire()
+		ran := s.runQuantum(vm, q)
+		eng.release()
+		total += ran
+		if s.shouldPark(vm) {
+			eng.park(vm)
+		}
+	}
+	if s.Current() == vm {
+		s.suspend(vm)
+	}
+	return total
+}
+
+// runQuantum steps the shard for up to q processor steps, in chunks so
+// halts and parking conditions are noticed promptly.
+func (s *VMM) runQuantum(vm *VM, q uint64) uint64 {
+	var done uint64
+	for done < q {
+		chunk := uint64(parkCheckChunk)
+		if q-done < chunk {
+			chunk = q - done
+		}
+		ran := s.Run(chunk)
+		done += ran
+		if vm.halted || s.CPU.Halted || ran == 0 || s.shouldPark(vm) {
+			break
+		}
+	}
+	return done
+}
+
+// shouldPark reports whether the VM is only burning idle cycles: it
+// has timed out of WAIT repeatedly with nothing pending and nothing in
+// the mailbox. Owner-goroutine only.
+func (s *VMM) shouldPark(vm *VM) bool {
+	return vm.waiting && vm.idleWaits >= parkAfterIdleWaits &&
+		vm.pendingAbove(0) == 0 && vm.extMask.Load() == 0
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vax"
+)
+
+// Guest programs for the engine tests: pure compute, KCALL disk I/O
+// with a completion handler, virtual-timer interrupts, and an idle
+// WAIT loop — the workload mix the scheduler must keep live under both
+// engines.
+
+const parComputeSrc = `
+start:	incl r6
+	cmpl r6, #20000
+	blss start
+	halt
+`
+
+const parIOSrc = `
+start:	movl #4, r10
+outer:	clrl r11
+inner:	movl #3, r0          ; KCALL disk read
+	movl r11, r1
+	movl #0x5000, r2
+	mtpr #0, #201
+	movl #4, r0          ; KCALL disk write
+	movl r11, r1
+	movl #0x5000, r2
+	mtpr #0, #201
+	incl r11
+	cmpl r11, #8
+	blss inner
+	sobgtr r10, outer
+	halt
+	.align 4
+dskh:	rei
+`
+
+const parTimerSrc = `
+start:	mtpr #0x41, #24      ; virtual clock: run + interrupt enable
+loop:	cmpl r9, #3
+	blss loop
+	halt
+	.align 4
+clkh:	mtpr #0xC1, #24      ; acknowledge, keep run+IE
+	incl r9
+	rei
+`
+
+const parWaitSrc = `
+start:	movl #3, r10
+loop:	wait
+	sobgtr r10, loop
+	halt
+`
+
+// parIdleUntilIRQSrc waits until an externally posted disk interrupt
+// flips r7, then halts — the park/unpark handshake under test.
+const parIdleUntilIRQSrc = `
+start:	tstl r7
+	bneq done
+	wait
+	brb start
+done:	halt
+	.align 4
+dskh:	incl r7
+	rei
+`
+
+// addTestVM creates one pre-mapped VM running src on k.
+func addTestVM(t *testing.T, k *VMM, name, src string, vectors map[vax.Vector]string) *VM {
+	t.Helper()
+	img, prog := guestImage(t, src, vectors)
+	vm, err := k.CreateVM(VMConfig{
+		Name: name, MemBytes: gMemSize, Image: img,
+		StartPC:   prog.MustSymbol("start"),
+		PreMapped: true, SBR: gSPT, SLR: gSPTLen, SCBB: gSCB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.SPs[vax.Kernel] = gKSP
+	vm.ISP = gISP
+	return vm
+}
+
+// mixedFleet builds the standard 4-VM mixed workload on a fresh VMM.
+func mixedFleet(t *testing.T, cfg Config) (*VMM, []*VM) {
+	t.Helper()
+	k := New(16<<20, cfg)
+	vms := []*VM{
+		addTestVM(t, k, "compute", parComputeSrc, nil),
+		addTestVM(t, k, "io", parIOSrc, map[vax.Vector]string{vax.VecDisk: "dskh"}),
+		addTestVM(t, k, "timer", parTimerSrc, map[vax.Vector]string{vax.VecClock: "clkh"}),
+		addTestVM(t, k, "waiter", parWaitSrc, nil),
+	}
+	return k, vms
+}
+
+func assertAllHaltedNormally(t *testing.T, vms []*VM) {
+	t.Helper()
+	for _, vm := range vms {
+		if h, msg := vm.Halted(); !h {
+			t.Errorf("%s did not halt", vm.Name)
+		} else if !strings.Contains(msg, "HALT") {
+			t.Errorf("%s halted abnormally: %s", vm.Name, msg)
+		}
+	}
+}
+
+// TestSerialFairnessMixedWorkloads is the serial-engine liveness half:
+// compute, I/O, timer and WAIT guests all finish under round robin.
+func TestSerialFairnessMixedWorkloads(t *testing.T) {
+	k, vms := mixedFleet(t, Config{WaitTimeout: 2})
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+	if vms[3].Stats.Waits != 3 {
+		t.Errorf("waiter Waits = %d, want 3", vms[3].Stats.Waits)
+	}
+}
+
+// TestParallelMixedWorkloadConcurrent runs 4 VMs concurrently through
+// compute, disk I/O, virtual-timer interrupts and WAIT, with host-side
+// console and mailbox traffic in flight — the race-detector workout
+// for the sharded engine.
+func TestParallelMixedWorkloadConcurrent(t *testing.T) {
+	k, vms := mixedFleet(t, Config{WaitTimeout: 2, Workers: 4})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Host-side traffic against running VMs: console feeds and
+		// reads, plus external interrupt posts into the mailbox.
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, vm := range vms {
+				vm.FeedConsole("x")
+				_ = vm.ConsoleOutput()
+			}
+			vms[1].PostIRQ(vax.IPLDisk, vax.VecDisk) // io VM has a disk handler
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	steps := k.Run(10_000_000) // dispatches to the parallel engine
+	close(stop)
+	wg.Wait()
+
+	assertAllHaltedNormally(t, vms)
+	if steps == 0 {
+		t.Error("parallel run reported no steps")
+	}
+	pr := k.LastParallelRun()
+	if pr.VMs != 4 || pr.Workers != 4 {
+		t.Errorf("LastParallelRun = %+v, want 4 VMs on 4 workers", pr)
+	}
+	if pr.Instrs == 0 {
+		t.Error("no guest instructions accounted")
+	}
+}
+
+// TestParallelFairnessFewerWorkers runs 6 VMs on 2 workers: the
+// semaphore quantum rotation must let every VM finish.
+func TestParallelFairnessFewerWorkers(t *testing.T) {
+	k := New(24<<20, Config{WaitTimeout: 2, Workers: 2})
+	var vms []*VM
+	for i := 0; i < 3; i++ {
+		vms = append(vms, addTestVM(t, k, "", parComputeSrc, nil))
+		vms = append(vms, addTestVM(t, k, "", parWaitSrc, nil))
+	}
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+	if pr := k.LastParallelRun(); pr.Workers != 2 || pr.VMs != 6 {
+		t.Errorf("LastParallelRun = %+v, want 6 VMs on 2 workers", pr)
+	}
+}
+
+// TestAllWaitingIdleWakeSerial: every VM WAITs with nothing pending;
+// the serial machine idles to the timeout and all of them finish.
+func TestAllWaitingIdleWakeSerial(t *testing.T) {
+	k := New(16<<20, Config{WaitTimeout: 2})
+	vms := []*VM{
+		addTestVM(t, k, "", parWaitSrc, nil),
+		addTestVM(t, k, "", parWaitSrc, nil),
+		addTestVM(t, k, "", parWaitSrc, nil),
+	}
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+}
+
+// TestAllWaitingIdleWakeParallel: the same all-idle fleet under the
+// parallel engine. Workers park; the last one awake must wake the
+// fleet so WAIT timeouts keep advancing (no deadlock, no lost wakeup).
+func TestAllWaitingIdleWakeParallel(t *testing.T) {
+	k := New(16<<20, Config{WaitTimeout: 2, Workers: 3})
+	vms := []*VM{
+		addTestVM(t, k, "", parWaitSrc, nil),
+		addTestVM(t, k, "", parWaitSrc, nil),
+		addTestVM(t, k, "", parWaitSrc, nil),
+	}
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+}
+
+// TestExternalPostIRQWakesParkedWorker: a guest that WAITs until an
+// interrupt arrives parks its worker; a host-side PostIRQ must unpark
+// it and get the interrupt delivered.
+func TestExternalPostIRQWakesParkedWorker(t *testing.T) {
+	k := New(16<<20, Config{Workers: 2})
+	idle := addTestVM(t, k, "idle", parIdleUntilIRQSrc,
+		map[vax.Vector]string{vax.VecDisk: "dskh"})
+	compute := addTestVM(t, k, "compute", parComputeSrc, nil)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		k.Run(50_000_000)
+	}()
+	// Let the idle guest reach its parked WAIT, then post the interrupt.
+	time.Sleep(20 * time.Millisecond)
+	idle.PostIRQ(vax.IPLDisk, vax.VecDisk)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel run did not finish after external post")
+	}
+	assertAllHaltedNormally(t, []*VM{idle, compute})
+	if idle.Stats.VirtualIRQs == 0 {
+		t.Error("idle VM never saw the posted interrupt")
+	}
+}
+
+// TestParallelMatchesSerialResults: the same compute images produce
+// the same guest-visible results under both engines.
+func TestParallelMatchesSerialResults(t *testing.T) {
+	src := `
+start:	clrl r6
+	movl #1000, r7
+loop:	addl2 #7, r6
+	sobgtr r7, loop
+	movl r6, @#0x80006000
+	halt
+`
+	run := func(workers int) uint32 {
+		k := New(16<<20, Config{Workers: workers})
+		vms := []*VM{
+			addTestVM(t, k, "", src, nil),
+			addTestVM(t, k, "", src, nil),
+			addTestVM(t, k, "", src, nil),
+			addTestVM(t, k, "", src, nil),
+		}
+		k.Run(5_000_000)
+		assertAllHaltedNormally(t, vms)
+		v := guestLong(t, vms[0], 0x6000)
+		for _, vm := range vms[1:] {
+			if got := guestLong(t, vm, 0x6000); got != v {
+				t.Errorf("workers=%d: VM result %d != %d", workers, got, v)
+			}
+		}
+		return v
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Errorf("serial result %d != parallel result %d", serial, parallel)
+	}
+	if serial != 7000 {
+		t.Errorf("guest computed %d, want 7000", serial)
+	}
+}
+
+// TestVMMCyclesBucket: with the attribution fix, tick housekeeping and
+// world-switch overhead land in the VMM bucket, and the per-VM
+// accounts plus the bucket never exceed machine time.
+func TestVMMCyclesBucket(t *testing.T) {
+	k, vms := mixedFleet(t, Config{WaitTimeout: 2})
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+	if k.VMMCycles() == 0 {
+		t.Error("VMMCycles = 0; switch and tick overhead went unattributed")
+	}
+	var used uint64
+	for _, vm := range vms {
+		used += vm.CyclesUsed()
+	}
+	if total := used + k.VMMCycles(); total > k.CPU.Cycles {
+		t.Errorf("per-VM cycles %d + VMM bucket %d = %d exceed machine cycles %d",
+			used, k.VMMCycles(), total, k.CPU.Cycles)
+	}
+}
+
+// TestAuditTrailParallel: events recorded by concurrent shards surface
+// in the merged trail, ordered by the global sequence.
+func TestAuditTrailParallel(t *testing.T) {
+	k := New(16<<20, Config{Workers: 4})
+	k.EnableAudit(1024)
+	vms := []*VM{
+		addTestVM(t, k, "", parComputeSrc, nil),
+		addTestVM(t, k, "", parComputeSrc, nil),
+		addTestVM(t, k, "", parWaitSrc, nil),
+		addTestVM(t, k, "", parWaitSrc, nil),
+	}
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+	trail := k.AuditTrail()
+	if len(trail) == 0 {
+		t.Fatal("no audit events recorded")
+	}
+	seen := map[int]bool{}
+	for i, e := range trail {
+		seen[e.VM] = true
+		if i > 0 && trail[i-1].Seq > e.Seq {
+			t.Fatalf("trail out of sequence at %d: %d after %d", i, e.Seq, trail[i-1].Seq)
+		}
+	}
+	for _, vm := range vms {
+		if !seen[vm.ID] {
+			t.Errorf("no audit events from vm%d", vm.ID)
+		}
+	}
+}
+
+// TestSerialEngineStaysDefault: without Workers the engine never goes
+// parallel, even with many VMs (the determinism guarantee).
+func TestSerialEngineStaysDefault(t *testing.T) {
+	k, vms := mixedFleet(t, Config{WaitTimeout: 2})
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+	if pr := k.LastParallelRun(); pr.VMs != 0 {
+		t.Errorf("serial config used the parallel engine: %+v", pr)
+	}
+}

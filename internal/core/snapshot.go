@@ -54,7 +54,7 @@ func (k *VMM) Snapshot(vm *VM) ([]byte, error) {
 	if vm.halted {
 		return nil, fmt.Errorf("vmm: cannot snapshot a halted VM (%s)", vm.haltMsg)
 	}
-	if k.cur == vm.ID {
+	if k.Current() == vm {
 		k.suspend(vm)
 	}
 	h := snapshotHeader{

@@ -13,11 +13,12 @@ import (
 // established.
 func (k *VMM) HandleException(c *cpu.CPU, e *vax.Exception) bool {
 	k.Stats.VMMEntries++
+	start := c.Cycles
 	k.enterVMM()
 	defer k.exitVMM()
 
 	if e.Kind == vax.Interrupt {
-		k.handleRealInterrupt(e)
+		k.handleRealInterrupt(e, start)
 		return true
 	}
 	vm := k.Current()
@@ -92,7 +93,7 @@ func (k *VMM) exitVMM() {
 // resumeVM re-enters VM mode on the current PSL (used after handlers
 // that didn't change the guest context themselves).
 func (k *VMM) resumeVM(vm *VM) {
-	if vm.halted || k.cur != vm.ID {
+	if vm.halted || k.Current() != vm {
 		return
 	}
 	k.CPU.SetPSL(k.CPU.PSL().WithVM(true))
@@ -184,8 +185,10 @@ func (k *VMM) handleModifyFault(vm *VM, e *vax.Exception) {
 
 // handleRealInterrupt services interrupts on the real machine — in this
 // system only the interval clock, which drives virtual timer delivery,
-// uptime maintenance, WAIT timeouts and time slicing.
-func (k *VMM) handleRealInterrupt(e *vax.Exception) {
+// uptime maintenance, WAIT timeouts and time slicing. start is the
+// CPU cycle count at VMM entry, so tick-wide housekeeping can be
+// re-attributed to the VMM bucket instead of the interrupted VM.
+func (k *VMM) handleRealInterrupt(e *vax.Exception, start uint64) {
 	c := k.CPU
 	if e.Vector != vax.VecClock {
 		return // no other real devices interrupt in this configuration
@@ -194,7 +197,8 @@ func (k *VMM) handleRealInterrupt(e *vax.Exception) {
 	_ = c.WriteIPR(vax.IPRICCS, vax.ICCSInt|vax.ICCSRun|vax.ICCSIE)
 	k.Stats.ClockTicks++
 
-	cur := k.Current()
+	entry := k.Current()
+	cur := entry
 	if cur != nil && !cur.halted {
 		// Timer interrupts are delivered only while the VM is actually
 		// running (Section 5, "Time") ...
@@ -213,10 +217,20 @@ func (k *VMM) handleRealInterrupt(e *vax.Exception) {
 			vm.writePhys(vm.uptime, uint32(k.Stats.ClockTicks))
 		}
 	}
-	// Wake WAITing VMs whose timeout expired or that have work.
+	// Wake WAITing VMs whose timeout expired or that have work. Bare
+	// timeouts with nothing pending feed the idle-wait streak the
+	// parallel engine uses as its parking heuristic.
 	for _, vm := range k.vms {
-		if vm.waiting && (k.Stats.ClockTicks >= vm.waitDeadline || vm.pendingAbove(0) > 0) {
-			vm.waiting = false
+		vm.drainExternalIRQs()
+		if vm.waiting {
+			switch {
+			case vm.pendingAbove(0) > 0:
+				vm.idleWaits = 0
+				vm.waiting = false
+			case k.Stats.ClockTicks >= vm.waitDeadline:
+				vm.idleWaits++
+				vm.waiting = false
+			}
 		}
 	}
 
@@ -232,6 +246,20 @@ func (k *VMM) handleRealInterrupt(e *vax.Exception) {
 	cur = k.Current()
 	if k.checkWatchdog(cur) {
 		return // haltVM already scheduled a neighbor
+	}
+
+	// Everything from VMM entry to here — timer ack, uptime cells, wake
+	// scans, injection, self-check, the watchdog — served the whole
+	// machine. Move its cost off the interrupted VM's account into the
+	// VMM bucket before deciding what runs next, so per-VM CyclesUsed
+	// reflects only work done for that VM. (cur == entry implies no
+	// world switch happened above, so resumeCycles is still the value
+	// it had when start was captured and the adjustment cannot push it
+	// past the current cycle count.)
+	if cur != nil && cur == entry {
+		delta := c.Cycles - start
+		cur.resumeCycles += delta
+		k.vmmCycles += delta
 	}
 
 	switch {

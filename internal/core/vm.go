@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/vax"
@@ -117,6 +119,22 @@ type VM struct {
 
 	pendingIRQ [32]vax.Vector // virtual device interrupts by level
 
+	// Cross-goroutine interrupt mailbox. pendingIRQ above is owned by
+	// the goroutine executing the VM; any other goroutine (tests, the
+	// parallel engine, cross-VM wiring) posts through PostIRQ, which
+	// stores the vector in extIRQ, sets the level's bit in extMask and
+	// signals wake. The owner folds the mailbox into pendingIRQ with
+	// drainExternalIRQs at every delivery opportunity; wake (buffered,
+	// capacity 1) also unparks a worker idling in WAIT.
+	extIRQ  [32]atomic.Uint32
+	extMask atomic.Uint32
+	wake    chan struct{}
+
+	// idleWaits counts consecutive WAIT timeouts with no intervening
+	// progress or interrupt; the parallel engine parks a worker whose VM
+	// keeps idling instead of letting it spin (owner-goroutine only).
+	idleWaits uint32
+
 	waiting      bool
 	waitDeadline uint64 // real tick count at which WAIT times out
 	halted       bool
@@ -128,6 +146,7 @@ type VM struct {
 	shadow *shadowSpace
 	disk   *vDisk
 	cons   vConsole
+	ring   *auditRing // per-VM audit ring for parallel runs (nil until used)
 
 	Stats VMStats
 
@@ -149,6 +168,7 @@ func (k *VMM) CreateVM(cfg VMConfig) (*VM, error) {
 		Name:    cfg.Name,
 		MemBase: base * vax.PageSize,
 		MemSize: pages * vax.PageSize,
+		wake:    make(chan struct{}, 1),
 		k:       k,
 	}
 	if vm.Name == "" {
@@ -252,7 +272,7 @@ func (vm *VM) HaltCycles() uint64 { return vm.haltCycles }
 // CyclesUsed returns the real cycles consumed while this VM owned the
 // processor, including VMM emulation work done on its behalf.
 func (vm *VM) CyclesUsed() uint64 {
-	if vm.k.cur == vm.ID {
+	if vm.k.Current() == vm {
 		return vm.cyclesUsed + vm.k.CPU.Cycles - vm.resumeCycles
 	}
 	return vm.cyclesUsed
@@ -287,10 +307,49 @@ func (vm *VM) pendingAbove(ipl uint8) uint8 {
 	return 0
 }
 
-// postIRQ records a pending virtual interrupt for the VM.
+// postIRQ records a pending virtual interrupt for the VM. Owner-
+// goroutine only; other goroutines must go through PostIRQ.
 func (vm *VM) postIRQ(level uint8, vec vax.Vector) {
 	if level < 32 {
 		vm.pendingIRQ[level] = vec
+	}
+}
+
+// PostIRQ posts a virtual device interrupt to the VM from outside its
+// execution goroutine. Safe to call concurrently with a running
+// engine; the interrupt is folded into the VM's pending set at its
+// next delivery opportunity, and a worker parked in WAIT is woken.
+func (vm *VM) PostIRQ(level uint8, vec vax.Vector) {
+	if level >= 32 || vec == 0 {
+		return
+	}
+	vm.extIRQ[level].Store(uint32(vec))
+	for {
+		old := vm.extMask.Load()
+		if vm.extMask.CompareAndSwap(old, old|1<<level) {
+			break
+		}
+	}
+	select {
+	case vm.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drainExternalIRQs folds mailbox posts into the owner-confined pending
+// table. Called only by the goroutine executing the VM; a no-op (one
+// atomic load) when nothing was posted.
+func (vm *VM) drainExternalIRQs() {
+	if vm.extMask.Load() == 0 {
+		return
+	}
+	m := vm.extMask.Swap(0)
+	for m != 0 {
+		l := uint8(bits.TrailingZeros32(m))
+		m &^= 1 << l
+		if vec := vax.Vector(vm.extIRQ[l].Swap(0)); vec != 0 {
+			vm.postIRQ(l, vec)
+		}
 	}
 }
 
@@ -308,12 +367,31 @@ func (k *VMM) suspend(vm *VM) {
 	vm.vmpsl = c.VMPSL
 	k.saveGuestSP(vm)
 	k.cur = -1
+	// Open the between-VMs window: cycles charged from here until the
+	// next resume (world-switch cost, halt bookkeeping) belong to the
+	// VMM bucket, not to any guest.
+	k.switchStart = c.Cycles
+}
+
+// vmIndex locates vm in this monitor's VM table (-1 if absent). The
+// table is small and the call sits on the cold world-switch path.
+func (k *VMM) vmIndex(vm *VM) int {
+	for i, v := range k.vms {
+		if v == vm {
+			return i
+		}
+	}
+	return -1
 }
 
 // resume loads a VM's state into the CPU and continues guest execution.
 func (k *VMM) resume(vm *VM) {
 	c := k.CPU
-	k.cur = vm.ID
+	k.cur = k.vmIndex(vm)
+	if k.switchStart != 0 {
+		k.vmmCycles += c.Cycles - k.switchStart
+		k.switchStart = 0
+	}
 	vm.resumeCycles = c.Cycles
 	copy(c.R[:14], vm.regs[:])
 	c.VMPSL = vm.vmpsl
@@ -359,7 +437,7 @@ func (k *VMM) haltVM(vm *VM, msg string) {
 	vm.haltMsg = msg
 	vm.haltCycles = k.CPU.Cycles
 	k.record(vm, AuditVMHalted, msg)
-	if k.cur == vm.ID {
+	if k.Current() == vm {
 		k.suspend(vm)
 		vm.halted = true // suspend does not clear it; keep explicit
 	}
@@ -389,6 +467,7 @@ func (k *VMM) scheduleNext() {
 			continue
 		}
 		allHalted = false
+		vm.drainExternalIRQs()
 		if vm.runnable() {
 			if vm.waiting {
 				vm.waiting = false

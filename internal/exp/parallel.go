@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vax"
+)
+
+// ParallelScaling measures aggregate guest throughput of the serial
+// round-robin engine against the parallel execution engine across
+// fleet sizes, on identical compute guests. It is wall-clock based and
+// host-dependent, so it is deliberately NOT part of All(): the
+// registered experiments stay deterministic and byte-identical from
+// run to run. Invoke it with `experiments -parallel`.
+func ParallelScaling(fleets []int, workers int) (*Result, error) {
+	if len(fleets) == 0 {
+		fleets = []int{1, 2, 4, 8}
+	}
+	r := &Result{
+		ID:      "PX",
+		Title:   "Parallel multi-VM engine: aggregate throughput vs the serial engine",
+		Headers: []string{"VMs", "serial instr/sec", "parallel instr/sec", "speedup"},
+	}
+	const computeSrc = `
+start:	clrl r0
+	movl #200000, r1
+loop:	addl2 #7, r0
+	sobgtr r1, loop
+	halt
+`
+	for _, n := range fleets {
+		sInstr, sDur, err := runFleet(computeSrc, n, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%d VMs serial: %w", n, err)
+		}
+		w := workers
+		if w <= 0 {
+			w = n
+		}
+		pInstr, pDur, err := runFleet(computeSrc, n, w)
+		if err != nil {
+			return nil, fmt.Errorf("%d VMs parallel: %w", n, err)
+		}
+		sRate := float64(sInstr) / sDur.Seconds()
+		pRate := float64(pInstr) / pDur.Seconds()
+		r.addRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", sRate),
+			fmt.Sprintf("%.0f", pRate),
+			fmt.Sprintf("%.2fx", pRate/sRate))
+	}
+	r.addNote("host has %d CPU core(s); speedup requires as many cores as workers", runtime.NumCPU())
+	r.addNote("wall-clock measurement: not deterministic, excluded from the default experiment set")
+	return r, nil
+}
+
+// runFleet boots n identical compute guests and runs them to
+// completion under the given worker count (1 = serial engine).
+func runFleet(src string, n, workers int) (instrs uint64, elapsed time.Duration, err error) {
+	img, start, err := campaignImage(src, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	k := core.New(32<<20, core.Config{Workers: workers})
+	vms := make([]*core.VM, n)
+	for i := range vms {
+		vm, cerr := k.CreateVM(core.VMConfig{
+			Name: fmt.Sprintf("vm%d", i), MemBytes: cgMem, Image: img,
+			StartPC: start, PreMapped: true, SBR: cgSPT, SLR: cgSPTLen, SCBB: 0,
+		})
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		vm.SPs[vax.Kernel] = vax.SystemBase + 0x8000
+		vm.ISP = vax.SystemBase + 0x8800
+		vms[i] = vm
+	}
+	t0 := time.Now()
+	k.Run(0)
+	elapsed = time.Since(t0)
+	for _, vm := range vms {
+		if halted, msg := vm.Halted(); !halted || msg != vmHaltNormal {
+			return 0, 0, fmt.Errorf("%s did not halt normally (%q)", vm.Name, msg)
+		}
+	}
+	if pr := k.LastParallelRun(); pr.VMs > 0 {
+		instrs = pr.Instrs
+	} else {
+		instrs = k.CPU.Stats.Instructions
+	}
+	return instrs, elapsed, nil
+}

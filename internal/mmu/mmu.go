@@ -37,9 +37,30 @@ type Stats struct {
 	FastTranslations uint64 // hits on the no-fault TranslateFast path
 }
 
+// The translation buffer is a fixed-size direct-mapped array, sized and
+// indexed like a real VAX TB (the 8800 family used direct-mapped
+// translation buffers of a few hundred entries). Each set holds one
+// entry tagged with the full page key (va >> PageShift, region bits
+// included, so P0/P1/S pages never hit each other's entries). Validity
+// is a generation number: an entry is live only when its gen matches
+// the MMU's current gen, which makes TBIA an O(1) counter bump instead
+// of an O(sets) sweep or a map reallocation.
+const (
+	tlbSets = 512
+	tlbMask = tlbSets - 1
+)
+
 type tlbEntry struct {
+	key uint32 // va >> PageShift (tag, region bits included)
+	gen uint32 // live iff == MMU.gen
 	pte vax.PTE
 }
+
+// tlbIndex folds the region bits (key bits 21-22, from va bits 30-31)
+// into the set index so that congruent P0, P1 and S pages — which tiny
+// guests touch constantly at the same small offsets — land in different
+// sets instead of thrashing one.
+func tlbIndex(key uint32) uint32 { return (key ^ key>>14) & tlbMask }
 
 // MMU holds the memory-management state of one simulated processor.
 type MMU struct {
@@ -68,19 +89,28 @@ type MMU struct {
 
 	Stats Stats
 
-	tlb     map[uint32]tlbEntry
+	tlb     [tlbSets]tlbEntry
+	gen     uint32 // current TLB generation; entries with gen != this are dead
 	scratch vax.ExcScratch
 }
 
 // New creates an MMU over the given physical memory, with mapping
 // disabled (physical addressing) as after processor init.
 func New(m *mem.Memory) *MMU {
-	return &MMU{Mem: m, tlb: make(map[uint32]tlbEntry)}
+	// gen starts at 1 so the zero-valued entries of a fresh array are
+	// already invalid.
+	return &MMU{Mem: m, gen: 1}
 }
 
-// TBIA invalidates the entire translation buffer.
+// TBIA invalidates the entire translation buffer in O(1) by retiring
+// the current generation. On the (cosmically rare) counter wraparound
+// the array is swept so stale entries from generation 1 cannot revive.
 func (u *MMU) TBIA() {
-	u.tlb = make(map[uint32]tlbEntry)
+	u.gen++
+	if u.gen == 0 {
+		u.tlb = [tlbSets]tlbEntry{}
+		u.gen = 1
+	}
 	if u.OnTBIA != nil {
 		u.OnTBIA()
 	}
@@ -88,14 +118,25 @@ func (u *MMU) TBIA() {
 
 // TBIS invalidates the translation for the page containing va.
 func (u *MMU) TBIS(va uint32) {
-	delete(u.tlb, vax.PageBase(va))
+	key := va >> vax.PageShift
+	if e := &u.tlb[tlbIndex(key)]; e.gen == u.gen && e.key == key {
+		e.gen = 0
+	}
 	if u.OnTBIS != nil {
 		u.OnTBIS(va)
 	}
 }
 
-// TLBSize returns the number of cached translations (for tests).
-func (u *MMU) TLBSize() int { return len(u.tlb) }
+// TLBSize returns the number of live cached translations (for tests).
+func (u *MMU) TLBSize() int {
+	n := 0
+	for i := range u.tlb {
+		if u.tlb[i].gen == u.gen {
+			n++
+		}
+	}
+	return n
+}
 
 // The fault constructors recycle the MMU's scratch exception cell: the
 // returned *vax.Exception is valid only until the next fault from this
@@ -221,12 +262,13 @@ func (u *MMU) Translate(va uint32, a Access, mode vax.Mode) (uint32, error) {
 		return 0, u.accessViolation(va, a, true, false)
 	}
 
-	page := vax.PageBase(va)
+	key := va >> vax.PageShift
+	slot := &u.tlb[tlbIndex(key)]
 	var pte vax.PTE
 	var pteAddr uint32
-	if e, ok := u.tlb[page]; ok {
+	if slot.gen == u.gen && slot.key == key {
 		u.Stats.TLBHits++
-		pte = e.pte
+		pte = slot.pte
 		// The TLB does not store the PTE's memory address; hardware
 		// refetches on an M-bit update (rare path).
 	} else {
@@ -284,7 +326,7 @@ func (u *MMU) Translate(va uint32, a Access, mode vax.Mode) (uint32, error) {
 		}
 	}
 
-	u.tlb[page] = tlbEntry{pte: pte}
+	*slot = tlbEntry{key: key, gen: u.gen, pte: pte}
 	return pte.PFN()*vax.PageSize + (va & vax.PageMask), nil
 }
 
@@ -301,8 +343,9 @@ func (u *MMU) TranslateFast(va uint32, a Access, mode vax.Mode) (uint32, bool) {
 	if !u.Enabled {
 		return va, true
 	}
-	e, hit := u.tlb[vax.PageBase(va)]
-	if !hit {
+	key := va >> vax.PageShift
+	e := &u.tlb[tlbIndex(key)]
+	if e.gen != u.gen || e.key != key {
 		return 0, false
 	}
 	pte := e.pte

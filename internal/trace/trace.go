@@ -2,6 +2,17 @@
 // through the simulator (CPU, MMU, VMM, per-VM) into uniform snapshots,
 // so harness code can diff two points in a run and render counter
 // tables without reaching into each subsystem's Stats struct.
+//
+// Concurrency contract: the Stats structs are plain counters, kept
+// race-free by goroutine confinement rather than atomics — the hot
+// interpreter path must not pay for synchronized increments. Under the
+// serial engine one goroutine owns everything and Capture* may be
+// called at any point the machine is not inside Run. Under the parallel
+// engine each VM's counters are owned by its worker's shard and merged
+// back when RunParallel returns; take snapshots strictly before Run is
+// entered or after it returns, never from another goroutine while a
+// parallel run is in flight. CaptureParallel reads the merged result of
+// the last parallel run and is always safe after Run returns.
 package trace
 
 import (
@@ -66,6 +77,19 @@ func CaptureVMM(k *core.VMM) Snapshot {
 		"virtual_irqs":   s.VirtualIRQs,
 		"clock_ticks":    s.ClockTicks,
 		"deliveries":     s.ReflectedTraps,
+	}}
+}
+
+// CaptureParallel snapshots the merged totals of the most recent
+// parallel-engine run (all zeros when every run so far was serial).
+func CaptureParallel(k *core.VMM) Snapshot {
+	pr := k.LastParallelRun()
+	return Snapshot{Name: "parallel", Counters: map[string]uint64{
+		"workers":      uint64(pr.Workers),
+		"vms":          uint64(pr.VMs),
+		"steps":        pr.Steps,
+		"instructions": pr.Instrs,
+		"cycles":       pr.Cycles,
 	}}
 }
 

@@ -65,3 +65,11 @@ func TestTable(t *testing.T) {
 		t.Errorf("table has %d lines", len(lines))
 	}
 }
+
+func TestCaptureParallel(t *testing.T) {
+	k := core.New(8<<20, core.Config{})
+	s := CaptureParallel(k)
+	if s.Get("vms") != 0 || s.Get("instructions") != 0 {
+		t.Errorf("serial-only machine must report zero parallel totals: %v", s.Counters)
+	}
+}
