@@ -4,12 +4,23 @@
 # makes the whole tree a concurrency surface). Run from the repository
 # root.
 #
-#   ./ci.sh         # the gate
-#   ./ci.sh bench   # benchmarks -> BENCH_<date>.json (not part of the gate)
+#   ./ci.sh                    # the gate
+#   ./ci.sh bench              # benchmarks -> BENCH_<date>.json, diffed
+#                              # against the most recent committed
+#                              # BENCH_*.json: >10% regression in
+#                              # ns/op or allocs/op on the E-series
+#                              # benchmarks fails the run
+#   ./ci.sh bench --warn-only  # report regressions without failing
 set -eu
 
 if [ "${1:-}" = "bench" ]; then
+    warn_only=0
+    [ "${2:-}" = "--warn-only" ] && warn_only=1
     out="BENCH_$(date +%Y-%m-%d).json"
+    prev=""
+    for f in $(ls -r BENCH_*.json 2>/dev/null); do
+        if [ "$f" != "$out" ]; then prev="$f"; break; fi
+    done
     echo "== go test -bench -> $out"
     go test -run '^$' -bench . -benchmem -count=1 . |
     awk '
@@ -33,6 +44,55 @@ if [ "${1:-}" = "bench" ]; then
         END { print "\n]" }
     ' > "$out"
     echo "wrote $out"
+    if [ -n "$prev" ]; then
+        echo "== bench diff vs $prev (E-series, >10% ns/op or allocs/op regression fails)"
+        if awk -v prevfile="$prev" -v curfile="$out" '
+            function load(file, tab,    line, name, key, val, n, i, parts) {
+                while ((getline line < file) > 0) {
+                    if (line !~ /"name"/) continue
+                    gsub(/[{}",]/, "", line)
+                    name = ""
+                    n = split(line, parts, " ")
+                    for (i = 1; i < n; i++) {
+                        key = parts[i]; val = parts[i+1]
+                        if (key == "name:") name = val
+                        if (key == "ns_per_op:")     tab[name ":ns"] = val
+                        if (key == "allocs_per_op:") tab[name ":allocs"] = val
+                    }
+                }
+                close(file)
+            }
+            BEGIN {
+                load(prevfile, old); load(curfile, cur)
+                nbench = split("BenchmarkE2ShadowCache BenchmarkE3FaultsPerSwitch BenchmarkE9CostSensitivity", benches, " ")
+                bad = 0
+                for (i = 1; i <= nbench; i++) {
+                    b = benches[i]
+                    nmetric = split("ns allocs", metrics, " ")
+                    for (j = 1; j <= nmetric; j++) {
+                        m = metrics[j]; k = b ":" m
+                        if (!(k in old) || !(k in cur) || old[k] + 0 == 0) continue
+                        ratio = cur[k] / old[k]
+                        printf "  %-28s %-6s %14s -> %14s  (%+.1f%%)\n", b, m, old[k], cur[k], (ratio - 1) * 100
+                        if (ratio > 1.10) {
+                            printf "  REGRESSION: %s %s/op grew more than 10%%\n", b, m
+                            bad = 1
+                        }
+                    }
+                }
+                exit bad
+            }'
+        then :; else
+            if [ "$warn_only" = 1 ]; then
+                echo "bench regression (warn-only): not failing" >&2
+            else
+                echo "bench regression vs $prev; rerun with --warn-only to record anyway" >&2
+                exit 1
+            fi
+        fi
+    else
+        echo "== no previous BENCH_*.json to diff against"
+    fi
     exit 0
 fi
 

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/vax"
+)
+
+// Batched shadow-fill edge cases. The tests drive fillShadow directly
+// (the same entry the TNV handler uses) so they can assert exactly
+// which shadow slots a batch touched; setupP0 stands in for the MTPR
+// P0BR/P0LR emulation by writing the VM fields the IPR path writes.
+
+// setupP0 points the VM's P0 region at a guest page table located at
+// VM-physical tablePhys (guest S va 0x80000000+tablePhys under the
+// identity SPT the test image builds), mapping P0 page i to VM frame
+// frame0+i.
+func setupP0(t *testing.T, vm *VM, tablePhys, pages, frame0 uint32, modified bool) {
+	t.Helper()
+	for i := uint32(0); i < pages; i++ {
+		if !vm.writePhys(tablePhys+4*i, uint32(vax.NewPTE(true, vax.ProtUW, modified, frame0+i))) {
+			t.Fatal("P0 table write failed")
+		}
+	}
+	vm.p0br = vax.SystemBase + tablePhys
+	vm.p0lr = pages
+}
+
+// shadowPTE reads the live shadow PTE for va.
+func shadowPTE(t *testing.T, k *VMM, vm *VM, va uint32) vax.PTE {
+	t.Helper()
+	slot, ok := vm.shadow.shadowSlot(va)
+	if !ok {
+		t.Fatalf("no shadow slot for %#x", va)
+	}
+	v, err := k.Mem.LoadLong(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vax.PTE(v)
+}
+
+func TestBatchFillClipsAtGuestPTEPage(t *testing.T) {
+	// The guest P0 table starts 16 bytes before a page boundary, so
+	// only 3 PTEs follow the first one within its guest page. A batch
+	// of 8 must clip there: the whole point is one guest-table walk,
+	// and PTE 4 lives on a different guest page.
+	k, vm, _ := bootVM(t, Config{}, "start:\thalt\n", nil)
+	setupP0(t, vm, 0x5F0, 8, 40, true)
+
+	if gf := k.fillShadow(vm, 0, false); gf != nil {
+		t.Fatalf("fill faulted: %+v", gf)
+	}
+	if vm.Stats.ShadowFills != 1 || vm.Stats.FillBatches != 1 || vm.Stats.BatchFills != 3 {
+		t.Errorf("fills=%d batches=%d batched=%d, want 1/1/3",
+			vm.Stats.ShadowFills, vm.Stats.FillBatches, vm.Stats.BatchFills)
+	}
+	for p := uint32(1); p <= 3; p++ {
+		spte := shadowPTE(t, k, vm, p*vax.PageSize)
+		if !spte.Valid() || spte.PFN() != vm.MemBase/vax.PageSize+40+p {
+			t.Errorf("page %d shadow = %#x, want valid frame %d",
+				p, uint32(spte), vm.MemBase/vax.PageSize+40+p)
+		}
+	}
+	if spte := shadowPTE(t, k, vm, 4*vax.PageSize); spte != nullPTE {
+		t.Errorf("page 4 shadow = %#x, want null (beyond the guest PTE page)", uint32(spte))
+	}
+}
+
+func TestBatchFillStopsAtLengthRegister(t *testing.T) {
+	// P0LR = 2: the batch may prefill page 1 but never page 2, and a
+	// later reference beyond the length register still faults to the
+	// guest.
+	k, vm, _ := bootVM(t, Config{}, "start:\thalt\n", nil)
+	setupP0(t, vm, 0x300, 8, 40, true)
+	vm.p0lr = 2
+
+	if gf := k.fillShadow(vm, 0, false); gf != nil {
+		t.Fatalf("fill faulted: %+v", gf)
+	}
+	if vm.Stats.BatchFills != 1 {
+		t.Errorf("BatchFills = %d, want 1 (length register caps the cluster)", vm.Stats.BatchFills)
+	}
+	if spte := shadowPTE(t, k, vm, 2*vax.PageSize); spte != nullPTE {
+		t.Errorf("page 2 shadow = %#x, want null (beyond P0LR)", uint32(spte))
+	}
+	if gf := k.fillShadow(vm, 2*vax.PageSize, false); gf == nil || gf.vec != vax.VecAccessViol {
+		t.Errorf("length violation not reflected: %+v", gf)
+	}
+}
+
+func TestBatchFillPreservesModifyFault(t *testing.T) {
+	// Neighbors are prefilled as reads: a clean guest PTE (M=0) must
+	// yield a clean shadow PTE, so the guest's first write to the
+	// prefetched page still takes its modify fault end to end.
+	k, vm, _ := bootVM(t, Config{}, `
+start:	mtpr #0x80000300, #8 ; P0BR (guest S va of the table)
+	mtpr #8, #9          ; P0LR
+	movl @#0, r2         ; read page 0: demand fill + batched neighbors
+	movl #0x1234, @#0x200 ; first write to prefilled clean page 1
+	halt
+`, nil)
+	for i := uint32(0); i < 8; i++ {
+		if !vm.writePhys(0x300+4*i, uint32(vax.NewPTE(true, vax.ProtUW, false, 40+i))) {
+			t.Fatal("P0 table write failed")
+		}
+	}
+	runVM(t, k, vm, 100000)
+	if vm.Stats.FillBatches == 0 {
+		t.Error("no fill batches recorded")
+	}
+	if vm.Stats.ModifyFaults == 0 {
+		t.Error("write to prefilled clean page took no modify fault")
+	}
+	if g := guestLong(t, vm, 41*vax.PageSize); g != 0x1234 {
+		t.Errorf("write landed as %#x, want 0x1234 in frame 41", g)
+	}
+	gpte := vax.PTE(guestLong(t, vm, 0x300+4))
+	if !gpte.Modified() {
+		t.Error("guest PTE<M> for page 1 not set after the write")
+	}
+}
+
+func TestTBISInvalidatesOnePTEOfCluster(t *testing.T) {
+	// Guest TBIS (MTPR #58) on one page of a filled cluster nulls just
+	// that slot; the refill batches nothing (its neighbors are still
+	// valid, and a non-null slot must never be clobbered).
+	k, vm, _ := bootVM(t, Config{}, "start:\thalt\n", nil)
+	setupP0(t, vm, 0x300, 8, 40, true)
+
+	if gf := k.fillShadow(vm, 0, false); gf != nil {
+		t.Fatalf("fill faulted: %+v", gf)
+	}
+	if vm.Stats.BatchFills != 7 {
+		t.Fatalf("BatchFills = %d, want 7", vm.Stats.BatchFills)
+	}
+	vm.shadow.invalidate(k, vax.PageSize) // the MTPR TBIS emulation path
+	if spte := shadowPTE(t, k, vm, vax.PageSize); spte != nullPTE {
+		t.Fatalf("TBIS left page 1 shadow = %#x, want null", uint32(spte))
+	}
+	if spte := shadowPTE(t, k, vm, 2*vax.PageSize); spte == nullPTE {
+		t.Error("TBIS of page 1 disturbed page 2")
+	}
+	if gf := k.fillShadow(vm, vax.PageSize, false); gf != nil {
+		t.Fatalf("refill faulted: %+v", gf)
+	}
+	if vm.Stats.ShadowFills != 2 || vm.Stats.FillBatches != 1 {
+		t.Errorf("after refill: fills=%d batches=%d, want 2/1 (no new batch)",
+			vm.Stats.ShadowFills, vm.Stats.FillBatches)
+	}
+}
+
+func TestShadowRunPoolRecyclesHaltedVM(t *testing.T) {
+	// A halted VM's shadow-table runs go back to the pool; the next
+	// CreateVM must recycle them and run correctly on the recycled
+	// frames (clear-on-reuse restores the null-PTE default).
+	k, vm1, _ := bootVM(t, Config{}, "start:\tmovl #7, @#0x80006000\n\thalt\n", nil)
+	runVM(t, k, vm1, 100000)
+	if k.Stats.ShadowPoolHits != 0 {
+		t.Fatalf("first VM hit the pool (%d hits)", k.Stats.ShadowPoolHits)
+	}
+
+	img, prog := guestImage(t, "start:\tmovl #9, @#0x80006000\n\thalt\n", nil)
+	vm2, err := k.CreateVM(VMConfig{MemBytes: gMemSize, Image: img,
+		StartPC: prog.MustSymbol("start"), PreMapped: true, SBR: gSPT, SLR: gSPTLen, SCBB: gSCB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2.SPs[vax.Kernel] = gKSP
+	vm2.ISP = gISP
+	if k.Stats.ShadowPoolHits == 0 {
+		t.Fatal("second VM's shadow space did not recycle the halted VM's runs")
+	}
+	k.CPU.ClearHalt() // console restart: every VM had halted
+	runVM(t, k, vm2, 100000)
+	if got := guestLong(t, vm2, 0x6000); got != 9 {
+		t.Errorf("second VM store = %d, want 9", got)
+	}
+}
+
+func TestLDPCTXSVPCTXNoAlloc(t *testing.T) {
+	// Tentpole regression: guest context switches ride the VMM slow
+	// path constantly, so neither LDPCTX nor SVPCTX may allocate in
+	// steady state (the PCB image stages through per-VM scratch).
+	k, vm, _ := bootVM(t, Config{}, "start:\thalt\n", nil)
+	const pcbPhys = 0x5000
+	vm.pcbb = pcbPhys
+	put := func(off, v uint32) {
+		if !vm.writePhys(pcbPhys+off, v) {
+			t.Fatal("PCB write failed")
+		}
+	}
+	// A PCB that reloads the current mapping state: same P0/P1 bases,
+	// so the shadow tables stay put and the calls are pure register
+	// and stack traffic.
+	put(cpu.PCBKSP, gKSP)
+	put(cpu.PCBESP, gESP)
+	put(cpu.PCBSSP, gSSP)
+	put(cpu.PCBUSP, gUSP)
+	put(cpu.PCBP0BR, vm.p0br)
+	put(cpu.PCBP0LR, vm.p0lr)
+	put(cpu.PCBP1BR, vm.p1br)
+	put(cpu.PCBP1LR, vm.p1lr)
+	put(cpu.PCBPC, vax.SystemBase+gCode)
+	put(cpu.PCBPSL, 0)
+	info := &vax.VMTrapInfo{NextPC: vax.SystemBase + gCode}
+
+	ld := testing.AllocsPerRun(200, func() {
+		vm.SPs[vax.Kernel] = gKSP // LDPCTX pushes 8 bytes; stop the drift
+		k.emulateLDPCTX(vm, info)
+		if h, msg := vm.Halted(); h {
+			t.Fatalf("VM halted in LDPCTX: %s", msg)
+		}
+	})
+	sv := testing.AllocsPerRun(200, func() {
+		// SVPCTX saves the live SP first; resume PC/PSL sit at the
+		// stack top it pops from.
+		k.CPU.SetSP(gKSP - 8)
+		k.emulateSVPCTX(vm, info)
+		if h, msg := vm.Halted(); h {
+			t.Fatalf("VM halted in SVPCTX: %s", msg)
+		}
+	})
+	if ld != 0 || sv != 0 {
+		t.Errorf("allocs per op: LDPCTX %.1f SVPCTX %.1f, want 0/0", ld, sv)
+	}
+	if vm.Stats.SlowPathAllocs != 0 {
+		t.Errorf("SlowPathAllocs = %d, want 0", vm.Stats.SlowPathAllocs)
+	}
+}

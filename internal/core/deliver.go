@@ -12,7 +12,44 @@ type guestFault struct {
 	params []uint32
 }
 
-func avFault(va uint32, write, length bool) *guestFault {
+// The guest-fault constructors recycle a per-VM scratch cell (vm.gf /
+// vm.gfParams) instead of allocating: reflecting a fault is the VMM's
+// hottest slow path, and every fault carries at most two parameter
+// longwords. The same convention as the CPU's exception scratch
+// applies — a *guestFault is consumed synchronously (reflect or
+// deliverToVM) before the next fault can be constructed, and is never
+// retained. deliverToVM's failure path returns without re-reading the
+// parameters, so a nested fault taken while pushing them is safe.
+
+// gfSet recycles the VM's guest-fault cell with no parameters.
+func (vm *VM) gfSet(vec vax.Vector) *guestFault {
+	vm.gf = guestFault{vec: vec}
+	return &vm.gf
+}
+
+// gfSet2 recycles the VM's guest-fault cell with the fault parameter /
+// faulting VA pair of the memory-management vectors.
+func (vm *VM) gfSet2(vec vax.Vector, p0, p1 uint32) *guestFault {
+	vm.gfParams[0], vm.gfParams[1] = p0, p1
+	vm.gf = guestFault{vec: vec, params: vm.gfParams[:2]}
+	return &vm.gf
+}
+
+// gfCopy recycles the cell with a copy of an exception's parameters
+// (which may be backed by the MMU's own scratch storage). Parameter
+// lists beyond the scratch capacity fall back to the heap and are
+// counted, documenting the zero-alloc invariant.
+func (vm *VM) gfCopy(vec vax.Vector, params []uint32) *guestFault {
+	if len(params) > len(vm.gfParams) {
+		vm.Stats.SlowPathAllocs++
+		return &guestFault{vec: vec, params: append([]uint32(nil), params...)}
+	}
+	n := copy(vm.gfParams[:], params)
+	vm.gf = guestFault{vec: vec, params: vm.gfParams[:n]}
+	return &vm.gf
+}
+
+func (vm *VM) avFault(va uint32, write, length bool) *guestFault {
 	p := uint32(0)
 	if write {
 		p |= vax.FaultParamWrite
@@ -20,35 +57,35 @@ func avFault(va uint32, write, length bool) *guestFault {
 	if length {
 		p |= vax.FaultParamLength
 	}
-	return &guestFault{vec: vax.VecAccessViol, params: []uint32{p, va}}
+	return vm.gfSet2(vax.VecAccessViol, p, va)
 }
 
-func avFaultPTE(va uint32, write bool) *guestFault {
+func (vm *VM) avFaultPTE(va uint32, write bool) *guestFault {
 	p := vax.FaultParamPTERef | vax.FaultParamLength
 	if write {
 		p |= vax.FaultParamWrite
 	}
-	return &guestFault{vec: vax.VecAccessViol, params: []uint32{p, va}}
+	return vm.gfSet2(vax.VecAccessViol, p, va)
 }
 
-func tnvFaultG(va uint32, write bool) *guestFault {
+func (vm *VM) tnvFaultG(va uint32, write bool) *guestFault {
 	p := uint32(0)
 	if write {
 		p |= vax.FaultParamWrite
 	}
-	return &guestFault{vec: vax.VecTransNotValid, params: []uint32{p, va}}
+	return vm.gfSet2(vax.VecTransNotValid, p, va)
 }
 
-func tnvFaultPTE(va uint32, write bool) *guestFault {
+func (vm *VM) tnvFaultPTE(va uint32, write bool) *guestFault {
 	p := vax.FaultParamPTERef
 	if write {
 		p |= vax.FaultParamWrite
 	}
-	return &guestFault{vec: vax.VecTransNotValid, params: []uint32{p, va}}
+	return vm.gfSet2(vax.VecTransNotValid, p, va)
 }
 
-func rsvdOperandFault() *guestFault {
-	return &guestFault{vec: vax.VecRsvdOperand}
+func (vm *VM) rsvdOperandFault() *guestFault {
+	return vm.gfSet(vax.VecRsvdOperand)
 }
 
 // guestTranslate resolves a guest virtual address to a VM-physical
@@ -67,17 +104,17 @@ func (k *VMM) guestTranslate(vm *VM, va uint32, write bool, mode vax.Mode) (uint
 	}
 	prot := gpte.Prot()
 	if prot.Reserved() {
-		return 0, avFault(va, write, false)
+		return 0, vm.avFault(va, write, false)
 	}
 	allowed := prot.CanRead(mode)
 	if write {
 		allowed = prot.CanWrite(mode)
 	}
 	if !allowed {
-		return 0, avFault(va, write, false)
+		return 0, vm.avFault(va, write, false)
 	}
 	if !gpte.Valid() {
-		return 0, tnvFaultG(va, write)
+		return 0, vm.tnvFaultG(va, write)
 	}
 	if write && !gpte.Modified() {
 		// A VMM write on the guest's behalf sets PTE<M>, as hardware

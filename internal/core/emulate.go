@@ -37,7 +37,7 @@ func (k *VMM) emulate(vm *VM, info *vax.VMTrapInfo) {
 		// PROBEVM inside a VM is an unimplemented instruction
 		// (Section 4.3.3).
 		k.resumeVM(vm)
-		k.reflect(vm, &guestFault{vec: vax.VecPrivInstr})
+		k.reflect(vm, vm.gfSet(vax.VecPrivInstr))
 	case 0xFFFF:
 		// Trap-all scheme: "emulate" the instruction by granting one
 		// direct step, charging the per-instruction emulation cost.
@@ -83,7 +83,7 @@ func (k *VMM) emulateREI(vm *VM, info *vax.VMTrapInfo) {
 		raw, gf = k.guestRead(vm, sp+4, cur)
 		if gf == nil && !vm.halted {
 			newPSL := vax.PSL(raw)
-			if bad := checkGuestREI(info.GuestPSL, newPSL); bad != nil {
+			if bad := checkGuestREI(vm, info.GuestPSL, newPSL); bad != nil {
 				k.resumeVM(vm)
 				k.reflect(vm, bad)
 				return
@@ -115,7 +115,7 @@ func (k *VMM) emulateREI(vm *VM, info *vax.VMTrapInfo) {
 }
 
 // checkGuestREI applies the REI sanity rules to the VM's own PSL image.
-func checkGuestREI(cur, n vax.PSL) *guestFault {
+func checkGuestREI(vm *VM, cur, n vax.PSL) *guestFault {
 	switch {
 	case uint32(n)&(vax.PSLMBZ|vax.PSLVM) != 0,
 		n.Cur().MorePrivileged(cur.Cur()),
@@ -124,7 +124,7 @@ func checkGuestREI(cur, n vax.PSL) *guestFault {
 		n.IS() && n.Cur() != vax.Kernel,
 		n.IPL() > 0 && n.Cur() != vax.Kernel,
 		n.IPL() > cur.IPL():
-		return rsvdOperandFault()
+		return vm.rsvdOperandFault()
 	}
 	return nil
 }
@@ -202,7 +202,9 @@ func (k *VMM) emulateLDPCTX(vm *VM, info *vax.VMTrapInfo) {
 	k.charge(cpu.CostVMMContextSwitch)
 	rd := func(off uint32) (uint32, bool) { return vm.readPhys(vm.pcbb + off) }
 
-	vals := make([]uint32, cpu.PCBSize/4)
+	// The PCB image is staged in a per-VM scratch array: LDPCTX runs on
+	// every guest context switch and must not allocate.
+	vals := vm.pcb[:]
 	for i := range vals {
 		v, ok := rd(uint32(4 * i))
 		if !ok {

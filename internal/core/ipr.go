@@ -137,7 +137,7 @@ func (k *VMM) emulateMTPR(vm *VM, info *vax.VMTrapInfo) {
 		vm.cons = vConsole{}
 	default:
 		k.resumeVM(vm)
-		k.reflect(vm, rsvdOperandFault())
+		k.reflect(vm, vm.rsvdOperandFault())
 		return
 	}
 	done()
@@ -217,14 +217,14 @@ func (k *VMM) emulateMFPR(vm *VM, info *vax.VMTrapInfo) {
 		v = vm.MemSize
 	default:
 		k.resumeVM(vm)
-		k.reflect(vm, rsvdOperandFault())
+		k.reflect(vm, vm.rsvdOperandFault())
 		return
 	}
 	// Complete the result write in the VM's context.
 	k.resumeVM(vm)
 	if info.WriteBack != nil {
 		if err := c.WriteRef(info.WriteBack, v); err != nil {
-			k.reflect(vm, &guestFault{vec: vax.VecAccessViol, params: []uint32{0, 0}})
+			k.reflect(vm, vm.gfSet2(vax.VecAccessViol, 0, 0))
 			return
 		}
 	}

@@ -36,6 +36,15 @@ type ParallelRunStats struct {
 	Steps   uint64 // total processor steps across all shards
 	Instrs  uint64 // guest instructions executed across all shards
 	Cycles  uint64 // machine cycle count at the end (furthest shard)
+	// Slow-path totals at the end of the run, summed over the VMs that
+	// took part (captured after the merge barrier, so reading them is
+	// race-free even though per-VM counters are goroutine-confined
+	// while the run is in flight).
+	FillBatches      uint64
+	BatchFills       uint64
+	SlowPathAllocs   uint64
+	ShadowPoolHits   uint64
+	ShadowPoolMisses uint64
 }
 
 // LastParallelRun returns statistics for the most recent RunParallel.
@@ -139,6 +148,8 @@ func (k *VMM) mergeShard(s *VMM) {
 	k.Stats.WorldSwitches += s.Stats.WorldSwitches
 	k.Stats.VirtualIRQs += s.Stats.VirtualIRQs
 	k.Stats.ReflectedTraps += s.Stats.ReflectedTraps
+	k.Stats.ShadowPoolHits += s.Stats.ShadowPoolHits
+	k.Stats.ShadowPoolMisses += s.Stats.ShadowPoolMisses
 	if s.Stats.ClockTicks > k.Stats.ClockTicks {
 		k.Stats.ClockTicks = s.Stats.ClockTicks
 	}
@@ -209,11 +220,18 @@ func (k *VMM) RunParallel(workers int, maxStepsPerVM uint64) uint64 {
 		k.mergeShard(shards[i])
 	}
 	k.lastParallel = ParallelRunStats{
-		Workers: workers,
-		VMs:     len(live),
-		Steps:   total.Load(),
-		Instrs:  instrs.Load(),
-		Cycles:  k.CPU.Cycles,
+		Workers:          workers,
+		VMs:              len(live),
+		Steps:            total.Load(),
+		Instrs:           instrs.Load(),
+		Cycles:           k.CPU.Cycles,
+		ShadowPoolHits:   k.Stats.ShadowPoolHits,
+		ShadowPoolMisses: k.Stats.ShadowPoolMisses,
+	}
+	for _, vm := range live {
+		k.lastParallel.FillBatches += vm.Stats.FillBatches
+		k.lastParallel.BatchFills += vm.Stats.BatchFills
+		k.lastParallel.SlowPathAllocs += vm.Stats.SlowPathAllocs
 	}
 	return total.Load()
 }

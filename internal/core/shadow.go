@@ -40,6 +40,12 @@ type shadowSpace struct {
 	p1Phys, p1VA       uint32 // single shadow P1 table
 	identPhys, identVA uint32 // identity P0 table for MAPEN=0
 	identPTEs          uint32
+
+	// runs records every page run backing these tables {page, pages},
+	// so releaseRuns can park them in the shared pool when the VM
+	// halts; released guards double release.
+	runs     [][2]uint32
+	released bool
 }
 
 // newShadowSpace allocates and wires a VM's shadow tables.
@@ -55,25 +61,32 @@ func (k *VMM) newShadowSpace(vm *VM) (*shadowSpace, error) {
 	s.realSLR = VMSLimitPTEs + vmmRegionPages
 	sptPages := (s.realSLR*4 + vax.PageSize - 1) / vax.PageSize
 
-	sptPage, err := k.allocPages(sptPages)
+	sptPage, err := k.allocRun(sptPages)
 	if err != nil {
 		return nil, err
 	}
+	s.runs = append(s.runs, [2]uint32{sptPage, sptPages})
 	s.sptPhys = sptPage * vax.PageSize
 
-	// Null-initialize the VM S shadow region.
-	for vpn := uint32(0); vpn < VMSLimitPTEs; vpn++ {
-		if err := k.Mem.StoreLong(s.sptPhys+4*vpn, uint32(nullPTE)); err != nil {
-			return nil, err
-		}
+	// Null-initialize the whole SPT run (clear-on-reuse: a pooled run
+	// carries the previous owner's PTEs). The private-region PTEs are
+	// written over the tail below.
+	if err := k.Mem.FillLong(s.sptPhys, sptPages*vax.PageSize/4, uint32(nullPTE)); err != nil {
+		return nil, err
 	}
 
 	// Allocate the private-region structures and map them KW in the
 	// real SPT.
 	vpn := uint32(VMSLimitPTEs)
 	mapRegion := func(pages uint32) (phys uint32, va uint32, err error) {
-		page, err := k.allocPages(pages)
+		page, err := k.allocRun(pages)
 		if err != nil {
+			return 0, 0, err
+		}
+		s.runs = append(s.runs, [2]uint32{page, pages})
+		// Clear-on-reuse: restore the null-PTE default over the run
+		// before it is wired anywhere.
+		if err := k.Mem.FillLong(page*vax.PageSize, pages*vax.PageSize/4, uint32(nullPTE)); err != nil {
 			return 0, 0, err
 		}
 		va = vax.SystemBase + vpn*vax.PageSize
@@ -121,12 +134,12 @@ func (k *VMM) newShadowSpace(vm *VM) (*shadowSpace, error) {
 	return s, nil
 }
 
-// clearSlot resets a shadow P0 table to null PTEs.
+// clearSlot resets a shadow P0 table to null PTEs. The host-side bulk
+// fill replaces a 2048-iteration store loop; the simulated cost charged
+// is unchanged.
 func (s *shadowSpace) clearSlot(k *VMM, slot int) error {
-	for i := uint32(0); i < ProcTablePTEs; i++ {
-		if err := k.Mem.StoreLong(s.slotPhys[slot]+4*i, uint32(nullPTE)); err != nil {
-			return err
-		}
+	if err := k.Mem.FillLong(s.slotPhys[slot], ProcTablePTEs, uint32(nullPTE)); err != nil {
+		return err
 	}
 	s.vm.Stats.ShadowClears++
 	k.CPU.AddCycles(uint64(ProcTablePTEs) / 8) // bulk clear cost
@@ -134,25 +147,30 @@ func (s *shadowSpace) clearSlot(k *VMM, slot int) error {
 }
 
 func (s *shadowSpace) clearP1(k *VMM) error {
-	for i := uint32(0); i < P1TablePTEs; i++ {
-		if err := k.Mem.StoreLong(s.p1Phys+4*i, uint32(nullPTE)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return k.Mem.FillLong(s.p1Phys, P1TablePTEs, uint32(nullPTE))
 }
 
 // clearSRegion resets the VM S shadow to null PTEs (SBR/SLR change or
 // guest TBIA).
 func (s *shadowSpace) clearSRegion(k *VMM) error {
-	for vpn := uint32(0); vpn < VMSLimitPTEs; vpn++ {
-		if err := k.Mem.StoreLong(s.sptPhys+4*vpn, uint32(nullPTE)); err != nil {
-			return err
-		}
+	if err := k.Mem.FillLong(s.sptPhys, VMSLimitPTEs, uint32(nullPTE)); err != nil {
+		return err
 	}
 	s.vm.Stats.ShadowClears++
 	k.CPU.AddCycles(uint64(VMSLimitPTEs) / 8)
 	return nil
+}
+
+// releaseRuns parks every page run backing these tables in the shared
+// pool. Called when the VM halts for good; idempotent.
+func (s *shadowSpace) releaseRuns(k *VMM) {
+	if s.released {
+		return
+	}
+	s.released = true
+	for _, r := range s.runs {
+		k.freeRun(r[0], r[1])
+	}
 }
 
 // activate wires this VM's shadow tables into the real mapping
@@ -258,19 +276,19 @@ func (k *VMM) fillShadow(vm *VM, va uint32, wantWrite bool) *guestFault {
 	slot, ok := vm.shadow.shadowSlot(va)
 	if !ok {
 		// Outside the VM's maximum table sizes: length violation.
-		return avFault(va, wantWrite, true)
+		return vm.avFault(va, wantWrite, true)
 	}
 	gpte, gf := k.guestPTE(vm, va, wantWrite)
 	if gf != nil {
 		return gf
 	}
 	if gpte.Prot().Reserved() {
-		return avFault(va, wantWrite, false)
+		return vm.avFault(va, wantWrite, false)
 	}
 	if !gpte.Valid() {
 		// The VM's page really is invalid: its own operating system
 		// must service the page fault.
-		return tnvFaultG(va, wantWrite)
+		return vm.tnvFaultG(va, wantWrite)
 	}
 	vmPFN := gpte.PFN()
 	if k.cfg.MMIOEmulatedIO && isDeviceFrame(vmPFN) {
@@ -314,7 +332,116 @@ func (k *VMM) fillShadow(vm *VM, va uint32, wantWrite bool) *guestFault {
 		vm.Stats.PrefetchFills++
 		k.charge(cpu.CostVMMShadowFill)
 	}
+
+	if k.cfg.FillBatch > 1 {
+		k.batchFill(vm, va, k.cfg.FillBatch)
+	}
 	return nil
+}
+
+// batchFill extends a demand fill with up to batch-1 following shadow
+// PTEs read from the same guest page-table page in one walk
+// (Config.FillBatch). Where PrefetchGroup — the paper's rejected
+// experiment — re-walks the guest tables and pays the full fill cost
+// per extra PTE, the batch resolves the guest PTE page once and reads
+// neighbors raw within it, so the whole cluster costs one extra
+// guest-table read. Two rules keep it invisible to the guest: only
+// null shadow slots are filled (a non-null slot may carry shadow
+// M-bit state the guest's tables do not), and a neighbor whose guest
+// PTE is invalid, reserved, device-mapped or out of range is skipped
+// silently — a speculative fill must never become a guest-visible
+// fault. Neighbors are filled as reads (shadow M from the guest PTE),
+// so the first write to a prefilled clean page still takes its modify
+// fault.
+func (k *VMM) batchFill(vm *VM, va uint32, batch int) {
+	ptePhys, avail, ok := k.guestPTEWindow(vm, va)
+	if !ok {
+		return
+	}
+	n := uint32(batch - 1)
+	if n > avail {
+		n = avail
+	}
+	filled := uint64(0)
+	for g := uint32(1); g <= n; g++ {
+		nva := va + g*vax.PageSize
+		if vax.Region(nva) != vax.Region(va) {
+			break
+		}
+		nslot, ok := vm.shadow.shadowSlot(nva)
+		if !ok {
+			break
+		}
+		cur, err := k.Mem.LoadLong(nslot)
+		if err != nil || vax.PTE(cur) != nullPTE {
+			continue
+		}
+		gv, ok := vm.readPhys(ptePhys + 4*g)
+		if !ok {
+			break
+		}
+		gpte := vax.PTE(gv)
+		if !gpte.Valid() || gpte.Prot().Reserved() {
+			continue
+		}
+		nPFN := gpte.PFN()
+		if nPFN*vax.PageSize >= vm.MemSize ||
+			(k.cfg.MMIOEmulatedIO && isDeviceFrame(nPFN)) {
+			continue
+		}
+		_ = k.Mem.StoreLong(nslot, uint32(shadowPTEFor(vm, gpte, k.cfg.ReadOnlyShadow)))
+		filled++
+	}
+	if filled > 0 {
+		vm.Stats.FillBatches++
+		vm.Stats.BatchFills += filled
+		// One amortized walk for the cluster, not a full fill per PTE.
+		k.charge(cpu.CostVMMShadowFill / 2)
+		k.CPU.MMU.TBISRange(va+vax.PageSize, n)
+	}
+}
+
+// guestPTEWindow resolves, in one walk of the VM's tables, the
+// VM-physical address of the guest PTE for va together with the number
+// of following PTEs readable from the same guest page-table page
+// within the region's length register.
+func (k *VMM) guestPTEWindow(vm *VM, va uint32) (ptePhys, avail uint32, ok bool) {
+	vpn := vax.VPN(va)
+	switch vax.Region(va) {
+	case vax.RegionSystem:
+		if vpn >= vm.slr {
+			return 0, 0, false
+		}
+		addr := vm.sbr + 4*vpn
+		return addr, min32((vax.PageSize-(addr&vax.PageMask))/4-1, vm.slr-vpn-1), true
+	case vax.RegionP0, vax.RegionP1:
+		br, lr := vm.p0br, vm.p0lr
+		if vax.Region(va) == vax.RegionP1 {
+			br, lr = vm.p1br, vm.p1lr
+		}
+		if vpn >= lr {
+			return 0, 0, false
+		}
+		pteVA := br + 4*vpn
+		if vax.Region(pteVA) != vax.RegionSystem {
+			return 0, 0, false
+		}
+		svpn := vax.VPN(pteVA)
+		if svpn >= vm.slr {
+			return 0, 0, false
+		}
+		sv, sok := vm.readPhys(vm.sbr + 4*svpn)
+		if !sok {
+			return 0, 0, false
+		}
+		spte := vax.PTE(sv)
+		if spte.Prot().Reserved() || !spte.Valid() {
+			return 0, 0, false
+		}
+		ptePhys = spte.PFN()*vax.PageSize + (pteVA & vax.PageMask)
+		return ptePhys, min32((vax.PageSize-(pteVA&vax.PageMask))/4-1, lr-vpn-1), true
+	}
+	return 0, 0, false
 }
 
 // shadowPTEFor translates a valid guest PTE into its shadow form: real
@@ -341,7 +468,7 @@ func (k *VMM) guestPTE(vm *VM, va uint32, wantWrite bool) (vax.PTE, *guestFault)
 	switch vax.Region(va) {
 	case vax.RegionSystem:
 		if vpn >= vm.slr {
-			return 0, avFault(va, wantWrite, true)
+			return 0, vm.avFault(va, wantWrite, true)
 		}
 		v, ok := vm.readPhys(vm.sbr + 4*vpn)
 		if !ok {
@@ -355,16 +482,16 @@ func (k *VMM) guestPTE(vm *VM, va uint32, wantWrite bool) (vax.PTE, *guestFault)
 			br, lr = vm.p1br, vm.p1lr
 		}
 		if vpn >= lr {
-			return 0, avFault(va, wantWrite, true)
+			return 0, vm.avFault(va, wantWrite, true)
 		}
 		// The process PTE lives in the VM's S space.
 		pteVA := br + 4*vpn
 		if vax.Region(pteVA) != vax.RegionSystem {
-			return 0, avFaultPTE(va, wantWrite)
+			return 0, vm.avFaultPTE(va, wantWrite)
 		}
 		svpn := vax.VPN(pteVA)
 		if svpn >= vm.slr {
-			return 0, avFaultPTE(va, wantWrite)
+			return 0, vm.avFaultPTE(va, wantWrite)
 		}
 		sv, ok := vm.readPhys(vm.sbr + 4*svpn)
 		if !ok {
@@ -373,10 +500,10 @@ func (k *VMM) guestPTE(vm *VM, va uint32, wantWrite bool) (vax.PTE, *guestFault)
 		}
 		spte := vax.PTE(sv)
 		if spte.Prot().Reserved() {
-			return 0, avFaultPTE(va, wantWrite)
+			return 0, vm.avFaultPTE(va, wantWrite)
 		}
 		if !spte.Valid() {
-			return 0, tnvFaultPTE(va, wantWrite)
+			return 0, vm.tnvFaultPTE(va, wantWrite)
 		}
 		pv, ok := vm.readPhys(spte.PFN()*vax.PageSize + (pteVA & vax.PageMask))
 		if !ok {
@@ -385,7 +512,7 @@ func (k *VMM) guestPTE(vm *VM, va uint32, wantWrite bool) (vax.PTE, *guestFault)
 		}
 		return vax.PTE(pv), nil
 	}
-	return 0, avFault(va, wantWrite, true)
+	return 0, vm.avFault(va, wantWrite, true)
 }
 
 // setGuestPTEModify sets PTE<M> in the VM's own page table for va — the

@@ -46,8 +46,7 @@ func (k *VMM) HandleException(c *cpu.CPU, e *vax.Exception) bool {
 		k.resumeVM(vm)
 		// Copy the parameters: e may be backed by the MMU's scratch
 		// exception, whose storage is reused at the next fault.
-		k.reflect(vm, &guestFault{vec: vax.VecAccessViol,
-			params: append([]uint32(nil), e.Params...)})
+		k.reflect(vm, vm.gfCopy(vax.VecAccessViol, e.Params))
 	case vax.VecModifyFault:
 		k.handleModifyFault(vm, e)
 	case vax.VecMachineCheck:
@@ -66,8 +65,7 @@ func (k *VMM) HandleException(c *cpu.CPU, e *vax.Exception) bool {
 		}
 		k.resumeVM(vm)
 		// As above: copy out of the scratch exception's storage.
-		k.reflect(vm, &guestFault{vec: e.Vector,
-			params: append([]uint32(nil), e.Params...)})
+		k.reflect(vm, vm.gfCopy(e.Vector, e.Params))
 	}
 	return true
 }

@@ -60,6 +60,10 @@ type VMStats struct {
 	WatchdogTrips    uint64 // watchdog halts of this VM
 	SelfCheckRepairs uint64 // shadow PTEs repaired by the self-check pass
 	UnknownKCALLs    uint64 // KCALLs with an unrecognized function code
+
+	FillBatches    uint64 // demand fills that batched at least one neighbor PTE
+	BatchFills     uint64 // neighbor shadow PTEs filled by batching
+	SlowPathAllocs uint64 // slow-path events that fell back to heap allocation
 }
 
 // VMConfig describes a virtual machine to create.
@@ -147,6 +151,14 @@ type VM struct {
 	disk   *vDisk
 	cons   vConsole
 	ring   *auditRing // per-VM audit ring for parallel runs (nil until used)
+
+	// Slow-path scratch: the guest-fault cell the deliver.go
+	// constructors recycle (one fault is alive at a time; see the
+	// convention there) and the PCB staging array for LDPCTX. Owned by
+	// the goroutine running the VM, like Stats.
+	gf       guestFault
+	gfParams [2]uint32
+	pcb      [cpu.PCBSize / 4]uint32
 
 	Stats VMStats
 
@@ -441,6 +453,11 @@ func (k *VMM) haltVM(vm *VM, msg string) {
 		k.suspend(vm)
 		vm.halted = true // suspend does not clear it; keep explicit
 	}
+	// A halted VM never resumes: its shadow-table frames are dead, and
+	// the bump allocator cannot reclaim them on its own. Park the runs
+	// in the shared pool so the next VM's shadow space recycles them
+	// (the self-check and snapshot paths both skip halted VMs).
+	vm.shadow.releaseRuns(k)
 	k.scheduleNext()
 }
 

@@ -178,6 +178,12 @@ type CPU struct {
 	// never be retained across instructions.
 	scratch vax.ExcScratch
 
+	// vmScratch backs the VM-emulation traps the same way (see
+	// vax.VMTrapScratch): the Exception/VMTrapInfo/operand package of a
+	// sensitive-instruction trap is recycled per CPU instead of
+	// allocated per trap. Valid only until this CPU's next VM trap.
+	vmScratch vax.VMTrapScratch
+
 	// dc is the decoded-instruction cache; cur is the record/replay
 	// cursor of the instruction currently executing (dcache.go).
 	dc  dcache

@@ -110,11 +110,7 @@ func (c *CPU) handleError(err error, startPC uint32) {
 	case *mem.BusError:
 		c.R = c.regSnapshot
 		c.R[RegPC] = startPC
-		c.raise(&vax.Exception{
-			Vector: vax.VecMachineCheck,
-			Kind:   vax.Abort,
-			Params: []uint32{e.Addr},
-		})
+		c.raise(c.scratch.Set1(vax.VecMachineCheck, vax.Abort, e.Addr))
 	default:
 		c.Halt(HaltBusError)
 	}
@@ -145,9 +141,8 @@ func (c *CPU) Step() {
 		// emulation before it is even decoded.
 		c.Stats.VMTraps++
 		c.Cycles += CostVMTrap
-		c.raise(&vax.Exception{Vector: vax.VecVMEmulation, Kind: vax.Fault,
-			VMInfo: &vax.VMTrapInfo{Opcode: 0xFFFF, PC: c.instStartPC,
-				NextPC: c.instStartPC, GuestPSL: c.GuestPSL()}})
+		c.raise(c.vmScratch.Set(vax.Fault, 0xFFFF, c.instStartPC,
+			c.instStartPC, c.GuestPSL(), nil, nil))
 		c.tick(c.Cycles - before)
 		return
 	}

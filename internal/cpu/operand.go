@@ -321,15 +321,6 @@ func (c *CPU) writeOp(op operand, v uint32) error {
 	}
 }
 
-// ref converts a decoded result operand into the OperandRef the
-// VM-emulation trap hands the VMM.
-func (op operand) ref() *vax.OperandRef {
-	if op.kind == opRegister {
-		return &vax.OperandRef{IsRegister: true, Register: op.reg}
-	}
-	return &vax.OperandRef{Address: op.addr}
-}
-
 // WriteRef stores a longword to an OperandRef on behalf of the VMM,
 // completing an emulated instruction's result write (Section 4.2: "The
 // VMM may need to probe addresses when instruction results are written

@@ -20,18 +20,7 @@ func (c *CPU) privFault() error {
 func (c *CPU) vmTrap(kind vax.ExcKind, op uint16, operands []uint32, wb *vax.OperandRef) error {
 	c.Stats.VMTraps++
 	c.Cycles += CostVMTrap
-	return &vax.Exception{
-		Vector: vax.VecVMEmulation,
-		Kind:   kind,
-		VMInfo: &vax.VMTrapInfo{
-			Opcode:    op,
-			PC:        c.instStartPC,
-			NextPC:    c.R[RegPC],
-			GuestPSL:  c.GuestPSL(),
-			Operands:  operands,
-			WriteBack: wb,
-		},
-	}
+	return c.vmScratch.Set(kind, op, c.instStartPC, c.R[RegPC], c.GuestPSL(), operands, wb)
 }
 
 // vmKernel reports whether the processor is executing the VM's kernel
@@ -376,7 +365,8 @@ func (c *CPU) execMFPR() error {
 	}
 	if c.InVMMode() {
 		if c.vmKernel() {
-			return c.vmTrap(vax.Trap, vax.OpMFPR, []uint32{regNum}, dstOp.ref())
+			return c.vmTrap(vax.Trap, vax.OpMFPR, []uint32{regNum},
+				c.vmScratch.Ref(dstOp.kind == opRegister, dstOp.reg, dstOp.addr))
 		}
 		return c.privFault()
 	}

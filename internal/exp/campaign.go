@@ -108,7 +108,9 @@ func campaignImage(src string, vectors map[vax.Vector]string) ([]byte, uint32, e
 // campaignMachine builds the three-VM machine, optionally armed with a
 // fault plan, and runs it to completion.
 func campaignMachine(inj *fault.Injector) (k *core.VMM, vms []*core.VM, err error) {
-	k = core.New(16<<20, core.Config{Watchdog: 48, SelfCheckInterval: 8})
+	// FillBatch 1 keeps the campaign on the paper's demand-fill design
+	// point so its output stays byte-identical across the batching knob.
+	k = core.New(16<<20, core.Config{Watchdog: 48, SelfCheckInterval: 8, FillBatch: 1})
 	if inj != nil {
 		k.AttachFaults(inj)
 	}
@@ -169,10 +171,14 @@ func campaignSeedRun(seed int64, baseOut string, baseCycles, baseUsed uint64) (i
 		PTECorruptions:    3,
 		Horizon:           40,
 	})
-	_, vms, err := campaignMachine(inj)
+	k, vms, err := campaignMachine(inj)
 	if err != nil {
 		return inj, vms, []string{err.Error()}
 	}
+	// Every check below reads Go-side state (halt reasons, console
+	// transcripts, counters), so the machine's memory can go back to
+	// the pool right away.
+	k.Release()
 	victim, bystander, runaway := vms[0], vms[1], vms[2]
 
 	bad := func(format string, args ...interface{}) {
@@ -243,10 +249,11 @@ func FaultCampaign(seeds []int64) (*Result, error) {
 
 	// Fault-free baseline: what the bystander does when the victim's
 	// faults never happen (the run is seed-independent).
-	_, base, err := campaignMachine(nil)
+	kBase, base, err := campaignMachine(nil)
 	if err != nil {
 		return nil, err
 	}
+	kBase.Release()
 	if h, msg := base[1].Halted(); !h || msg != vmHaltNormal {
 		return nil, fmt.Errorf("baseline bystander did not complete: %q", msg)
 	}

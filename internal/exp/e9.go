@@ -57,6 +57,9 @@ func E9CostSensitivity() (*Result, error) {
 		mixRatio := float64(bareMix.CPU.Cycles) / float64(kMix.CPU.Cycles)
 		compRatio := float64(bareCompute.CPU.Cycles) / float64(kCompute.CPU.Cycles)
 		schemeRatio := float64(kTrap.CPU.Cycles) / float64(kMix.CPU.Cycles)
+		kMix.Release()
+		kCompute.Release()
+		kTrap.Release()
 		ratios = append(ratios, mixRatio)
 		r.addRow(fmt.Sprintf("%d%%", scale),
 			fmt.Sprintf("%.2f", mixRatio),
@@ -73,6 +76,8 @@ func E9CostSensitivity() (*Result, error) {
 			ok = false
 		}
 	}
+	bareMix.Release()
+	bareCompute.Release()
 	// The ratio must respond monotonically to the scale (sanity that the
 	// knob actually works).
 	if !(ratios[0] > ratios[1] && ratios[1] > ratios[2]) {

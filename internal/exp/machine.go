@@ -167,6 +167,9 @@ func newTinyVM(kcfg core.Config, src string, vectors map[vax.Vector]string,
 	for vec, label := range vectors {
 		binary.LittleEndian.PutUint32(img[uint32(vec):], prog.MustSymbol(label))
 	}
+	if kcfg.FillBatch == 0 {
+		kcfg.FillBatch = 1 // the tables observe per-fault fills, not batches
+	}
 	k := core.New(8<<20, kcfg)
 	vm, err := k.CreateVM(core.VMConfig{
 		MemBytes: tgMem, Image: img, StartPC: prog.MustSymbol("start"),

@@ -8,6 +8,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/vax"
 )
@@ -38,7 +39,16 @@ func New(size uint32) *Memory {
 	if pages == 0 {
 		pages = 1
 	}
-	return &Memory{data: make([]byte, pages*vax.PageSize)}
+	size = pages * vax.PageSize
+	pool.mu.Lock()
+	if bufs := pool.bufs[size]; len(bufs) > 0 {
+		buf := bufs[len(bufs)-1]
+		pool.bufs[size] = bufs[:len(bufs)-1]
+		pool.mu.Unlock()
+		return &Memory{data: buf}
+	}
+	pool.mu.Unlock()
+	return &Memory{data: make([]byte, size)}
 }
 
 // Size returns the memory size in bytes.
@@ -142,4 +152,65 @@ func (m *Memory) ZeroPage(pfn uint32) error {
 		m.data[addr+uint32(i)] = 0
 	}
 	return nil
+}
+
+// FillLong fills n consecutive longwords starting at addr (which must
+// be longword-aligned) with v. This is the bulk path behind shadow
+// page-table initialization and clear-on-reuse: filling a 2048-entry
+// process slot one StoreLong at a time costs four bounds checks and an
+// encode per entry, while FillLong seeds 4 bytes and doubles.
+func (m *Memory) FillLong(addr, n, v uint32) error {
+	if n == 0 {
+		return nil
+	}
+	if addr&3 != 0 || !m.Contains(addr, n*4) {
+		return &BusError{Addr: addr, Write: true}
+	}
+	region := m.data[addr : addr+n*4]
+	binary.LittleEndian.PutUint32(region, v)
+	for filled := 4; filled < len(region); filled *= 2 {
+		copy(region[filled:], region[:filled])
+	}
+	return nil
+}
+
+// The backing-store pool. A monitor's physical memory is by far the
+// largest allocation in the simulator (16 MB per VMM instance), and the
+// experiment harness creates and discards machines by the hundred; the
+// pool recycles those buffers. Buffers enter the pool fully zeroed
+// (Release zeroes the dirty extent the caller declares), so New can
+// hand them out without touching every byte — an invariant maintained
+// by induction: fresh make() is zero, and honest dirty extents keep
+// pooled buffers zero.
+var pool = struct {
+	mu   sync.Mutex
+	bufs map[uint32][][]byte
+}{bufs: make(map[uint32][][]byte)}
+
+// poolMaxPerSize bounds how many buffers of one size the pool retains;
+// beyond that, Release lets the garbage collector have them.
+const poolMaxPerSize = 4
+
+// Release returns the memory's backing store to the pool, zeroing the
+// first dirty bytes (rounded up internally as needed). The caller
+// asserts that no byte at or beyond dirty was ever written; a false
+// assertion corrupts a future machine, so callers must be conservative.
+// After Release the Memory is empty: every access returns a BusError.
+// Release is idempotent.
+func (m *Memory) Release(dirty uint32) {
+	buf := m.data
+	if buf == nil {
+		return
+	}
+	m.data = nil
+	if dirty > uint32(len(buf)) {
+		dirty = uint32(len(buf))
+	}
+	clear(buf[:dirty])
+	size := uint32(len(buf))
+	pool.mu.Lock()
+	if len(pool.bufs[size]) < poolMaxPerSize {
+		pool.bufs[size] = append(pool.bufs[size], buf)
+	}
+	pool.mu.Unlock()
 }

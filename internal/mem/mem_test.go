@@ -155,3 +155,67 @@ func TestContains(t *testing.T) {
 		t.Error("wraparound must not be contained")
 	}
 }
+
+func TestFillLong(t *testing.T) {
+	m := New(2 * vax.PageSize)
+	if err := m.FillLong(8, 100, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		if v, _ := m.LoadLong(8 + 4*i); v != 0xDEADBEEF {
+			t.Fatalf("longword %d = %#x", i, v)
+		}
+	}
+	if v, _ := m.LoadLong(4); v != 0 {
+		t.Error("FillLong wrote before its range")
+	}
+	if v, _ := m.LoadLong(8 + 400); v != 0 {
+		t.Error("FillLong wrote past its range")
+	}
+	if err := m.FillLong(2, 1, 1); err == nil {
+		t.Error("unaligned FillLong must fail")
+	}
+	if err := m.FillLong(2*vax.PageSize-4, 2, 1); err == nil {
+		t.Error("out-of-range FillLong must fail")
+	}
+	if err := m.FillLong(0, 0, 1); err != nil {
+		t.Error("zero-length FillLong must be a no-op")
+	}
+}
+
+func TestReleaseRecyclesZeroed(t *testing.T) {
+	// The pool invariant: buffers enter the pool fully zeroed, so a
+	// recycled Memory is indistinguishable from a fresh one.
+	const size = 64 * 1024
+	m := New(size)
+	if err := m.StoreLong(0x1000, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(size)
+	if _, err := m.LoadLong(0); err == nil {
+		t.Error("released memory must be inaccessible")
+	}
+	m.Release(size) // idempotent
+
+	m2 := New(size)
+	for _, addr := range []uint32{0, 0x1000, size - 4} {
+		if v, err := m2.LoadLong(addr); err != nil || v != 0 {
+			t.Fatalf("recycled memory not zero at %#x: %#x %v", addr, v, err)
+		}
+	}
+}
+
+func TestReleaseHonorsDirtyExtent(t *testing.T) {
+	// A caller that only dirtied a prefix may declare it; the tail was
+	// never written and stays zero by induction.
+	const size = 32 * 1024
+	m := New(size)
+	if err := m.StoreLong(0x100, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(0x200)
+	m2 := New(size)
+	if v, _ := m2.LoadLong(0x100); v != 0 {
+		t.Error("declared-dirty prefix not cleared")
+	}
+}

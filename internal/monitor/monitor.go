@@ -429,10 +429,29 @@ func (m *Monitor) stat() string {
 	c := m.CPU
 	s := c.Stats
 	u := c.MMU.Stats
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"instructions %d  cycles %d\nexceptions %d  interrupts %d  vm-traps %d  priv-traps %d\nchm %d  rei %d  movpsl %d  probe %d\ntlb %d/%d hit/miss  tnv %d  prot %d  modify %d  m-sets %d\ndecode %d/%d hit/miss  invalidations %d  fast-xlate %d\n",
 		s.Instructions, c.Cycles, s.Exceptions, s.Interrupts, s.VMTraps, s.PrivTraps,
 		s.CHMs, s.REIs, s.MOVPSLs, s.Probes,
 		u.TLBHits, u.TLBMisses, u.TNVFaults, u.ProtFaults, u.ModifyFaults, u.MSets,
 		s.DecodeHits, s.DecodeMisses, s.DecodeInvalidations, u.FastTranslations)
+	if m.VMM == nil {
+		return out
+	}
+	ks := m.VMM.Stats
+	out += fmt.Sprintf("shadow-pool %d/%d hit/miss\n", ks.ShadowPoolHits, ks.ShadowPoolMisses)
+	for _, vm := range m.VMM.VMs() {
+		vs := vm.Stats
+		if vs.FillBatches == 0 && vs.BatchFills == 0 && vs.SlowPathAllocs == 0 {
+			continue
+		}
+		width := float64(0)
+		if vs.FillBatches > 0 {
+			// +1 counts the demand fill that anchored each batch.
+			width = float64(vs.BatchFills)/float64(vs.FillBatches) + 1
+		}
+		out += fmt.Sprintf("vm%d %s: fill-batches %d  batched-ptes %d  avg-width %.1f  slow-allocs %d\n",
+			vm.ID, vm.Name, vs.FillBatches, vs.BatchFills, width, vs.SlowPathAllocs)
+	}
+	return out
 }

@@ -72,11 +72,13 @@ func CaptureMMU(u *mmu.MMU) Snapshot {
 func CaptureVMM(k *core.VMM) Snapshot {
 	s := k.Stats
 	return Snapshot{Name: "vmm", Counters: map[string]uint64{
-		"entries":        s.VMMEntries,
-		"world_switches": s.WorldSwitches,
-		"virtual_irqs":   s.VirtualIRQs,
-		"clock_ticks":    s.ClockTicks,
-		"deliveries":     s.ReflectedTraps,
+		"entries":          s.VMMEntries,
+		"world_switches":   s.WorldSwitches,
+		"virtual_irqs":     s.VirtualIRQs,
+		"clock_ticks":      s.ClockTicks,
+		"deliveries":       s.ReflectedTraps,
+		"shadow_pool_hits": s.ShadowPoolHits,
+		"shadow_pool_miss": s.ShadowPoolMisses,
 	}}
 }
 
@@ -85,11 +87,16 @@ func CaptureVMM(k *core.VMM) Snapshot {
 func CaptureParallel(k *core.VMM) Snapshot {
 	pr := k.LastParallelRun()
 	return Snapshot{Name: "parallel", Counters: map[string]uint64{
-		"workers":      uint64(pr.Workers),
-		"vms":          uint64(pr.VMs),
-		"steps":        pr.Steps,
-		"instructions": pr.Instrs,
-		"cycles":       pr.Cycles,
+		"workers":          uint64(pr.Workers),
+		"vms":              uint64(pr.VMs),
+		"steps":            pr.Steps,
+		"instructions":     pr.Instrs,
+		"cycles":           pr.Cycles,
+		"fill_batches":     pr.FillBatches,
+		"batch_fills":      pr.BatchFills,
+		"slow_path_allocs": pr.SlowPathAllocs,
+		"shadow_pool_hits": pr.ShadowPoolHits,
+		"shadow_pool_miss": pr.ShadowPoolMisses,
 	}}
 }
 
@@ -106,6 +113,9 @@ func CaptureVM(vm *core.VM) Snapshot {
 		"context_switches": s.ContextSwitches,
 		"shadow_fills":     s.ShadowFills,
 		"prefetch_fills":   s.PrefetchFills,
+		"fill_batches":     s.FillBatches,
+		"batch_fills":      s.BatchFills,
+		"slow_path_allocs": s.SlowPathAllocs,
 		"shadow_clears":    s.ShadowClears,
 		"cache_hits":       s.CacheHits,
 		"cache_misses":     s.CacheMisses,

@@ -98,6 +98,53 @@ func (s *ExcScratch) Set2(vec Vector, kind ExcKind, p0, p1 uint32) *Exception {
 	return &s.exc
 }
 
+// VMTrapScratch is the VM-emulation analogue of ExcScratch: one
+// reusable cell backing the Exception, VMTrapInfo, operand package and
+// write-back reference of a VM-emulation trap. The modified VAX raises
+// these on every sensitive VM-kernel instruction (and, under the
+// trap-all scheme, on every VM-kernel instruction), so a per-trap
+// heap Exception+VMTrapInfo+Operands allocation dominates the VMM
+// slow-path profile. One cell is embedded per CPU.
+//
+// The same convention as ExcScratch applies: the returned *Exception
+// (and the VMInfo it carries) is valid only until the owner's next
+// VM trap — the VMM's emulate path must consume it before the VM
+// executes another sensitive instruction, and must never retain it.
+// Operands are copied into the cell so callers can build them in
+// stack-allocated slice literals.
+type VMTrapScratch struct {
+	exc  Exception
+	info VMTrapInfo
+	ops  [4]uint32 // PROBE carries the most operands: mode, len, base, va
+	wb   OperandRef
+}
+
+// Set recycles the cell as a VM-emulation trap for the given decoded
+// instruction. operands (at most 4) are copied into the cell.
+func (s *VMTrapScratch) Set(kind ExcKind, opcode uint16, pc, nextPC uint32,
+	guestPSL PSL, operands []uint32, wb *OperandRef) *Exception {
+	n := copy(s.ops[:], operands)
+	s.info = VMTrapInfo{
+		Opcode:    opcode,
+		PC:        pc,
+		NextPC:    nextPC,
+		GuestPSL:  guestPSL,
+		WriteBack: wb,
+	}
+	if n > 0 {
+		s.info.Operands = s.ops[:n]
+	}
+	s.exc = Exception{Vector: VecVMEmulation, Kind: kind, VMInfo: &s.info}
+	return &s.exc
+}
+
+// Ref recycles the cell's write-back reference (MFPR's result
+// operand), replacing a per-trap OperandRef allocation.
+func (s *VMTrapScratch) Ref(isRegister bool, register int, addr uint32) *OperandRef {
+	s.wb = OperandRef{IsRegister: isRegister, Register: register, Address: addr}
+	return &s.wb
+}
+
 // VMTrapInfo is the information the modified microcode hands the VMM
 // with every VM-emulation trap: "complete information about the
 // instruction and its decoded operands, as well as the PSL of the VM

@@ -69,6 +69,14 @@ func (ma *Machine) Run(maxSteps uint64) bool {
 	return ma.CPU.Halted
 }
 
+// Release returns the machine's physical memory to the backing-store
+// pool. The experiment harness boots machines by the dozen; recycling
+// their memory keeps its steady-state allocation rate flat. Call it
+// only after the last ReadCell — afterward every memory access fails.
+func (ma *Machine) Release() {
+	ma.CPU.Mem.Release(ma.CPU.Mem.Size())
+}
+
 // ReadCell reads a kernel data cell from the live machine.
 func (ma *Machine) ReadCell(name string) uint32 {
 	v, err := ma.CPU.Mem.LoadLong(ma.Image.CellPhys(name))

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/cpu"
@@ -162,8 +163,39 @@ func (im *Image) ReadCell(memory []byte, name string) uint32 {
 	return binary.LittleEndian.Uint32(memory[im.CellPhys(name):])
 }
 
-// Build assembles a MiniOS image.
+// buildCache memoizes assembled images. The experiment harness builds
+// the same handful of MiniOS configurations over and over (the fault
+// campaign boots one three-VM machine per seed, the benchmarks one per
+// iteration), and assembling the kernel dominated the harness's
+// allocation profile. A cached image is safe to share: BootBare copies
+// Bytes into physical memory with StoreBytes and the VMM's CreateVM
+// copies them into VM memory, so no caller mutates an Image after
+// Build returns.
+var buildCache = struct {
+	mu sync.Mutex
+	m  map[string]*Image
+}{m: make(map[string]*Image)}
+
+// Build assembles a MiniOS image (memoized per Config).
 func Build(cfg Config) (*Image, error) {
+	key := fmt.Sprintf("%+v", cfg)
+	buildCache.mu.Lock()
+	im := buildCache.m[key]
+	buildCache.mu.Unlock()
+	if im != nil {
+		return im, nil
+	}
+	im, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buildCache.mu.Lock()
+	buildCache.m[key] = im
+	buildCache.mu.Unlock()
+	return im, nil
+}
+
+func build(cfg Config) (*Image, error) {
 	n := len(cfg.Processes)
 	if n > 10 {
 		return nil, fmt.Errorf("vmos: at most 10 processes (%d requested)", n)
