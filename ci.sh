@@ -116,6 +116,23 @@ go test ./...
 echo "== go test -race (all packages)"
 go test -race ./...
 
+echo "== trace-overhead smoke (E3: recorder off vs on, >5% ns/op delta fails)"
+min_ns() {
+    awk '/^BenchmarkE3/ {
+        for (i = 2; i <= NF; i++)
+            if ($(i) == "ns/op" && (best == 0 || $(i-1) + 0 < best)) best = $(i-1) + 0
+    } END { print best + 0 }'
+}
+off=$(go test -run '^$' -bench BenchmarkE3FaultsPerSwitch -benchtime 5x -count=3 . | min_ns)
+on=$(VAX_TRACE=1024 go test -run '^$' -bench BenchmarkE3FaultsPerSwitch -benchtime 5x -count=3 . | min_ns)
+echo "  E3 ns/op (min of 3): recorder off $off, on $on"
+awk -v off="$off" -v on="$on" 'BEGIN {
+    if (off + 0 == 0 || on + 0 == 0) { print "  no benchmark output"; exit 1 }
+    delta = (on - off) / off * 100
+    printf "  recorder-on delta %+.1f%%\n", delta
+    if (delta > 5) { print "  REGRESSION: recorder-on E3 more than 5% slower"; exit 1 }
+}'
+
 echo "== fault-injection campaign (fixed seeds)"
 go run ./cmd/experiments -faults -seeds 8 -seedbase 1 > /dev/null
 

@@ -42,7 +42,10 @@ func run() int {
 	parallel := flag.Bool("parallel", false, "measure the parallel multi-VM engine against the serial engine (wall-clock, not deterministic)")
 	vmsFlag := flag.String("vms", "1,2,4,8", "comma-separated fleet sizes (with -parallel)")
 	workersFlag := flag.Int("workers", 0, "worker goroutines for the parallel engine; 0 = one per VM (with -parallel)")
+	traceCap := flag.Int("trace", exp.RecorderCap,
+		"flight-recorder ring capacity per VM; 0 disables tracing (also VAX_TRACE)")
 	flag.Parse()
+	exp.RecorderCap = *traceCap
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -6,20 +6,25 @@
 //
 //	vaxmon                  # MiniOS on a bare standard VAX
 //	vaxmon -vm              # MiniOS in a virtual machine under the VMM
+//	vaxmon -vm -trace 8192  # with a larger flight-recorder ring
+//	vaxmon -vm -http :9110  # serve /metrics and /metrics.json
 //	vaxmon -workload tp
 //
-// Try: help, dis, step 20, break chmk_h, continue, regs, stat.
+// Try: help, dis, step 20, break chmk_h, continue, regs, stat, trace, hist.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/monitor"
+	"repro/internal/trace"
 	"repro/internal/vmos"
 	"repro/internal/workload"
 )
@@ -27,6 +32,10 @@ import (
 func main() {
 	inVM := flag.Bool("vm", false, "run MiniOS inside a virtual machine")
 	wl := flag.String("workload", "mix", "workload: mix, compute, syscall, tp, paging")
+	traceCap := flag.Int("trace", 4096,
+		"flight-recorder ring capacity per VM in -vm mode; 0 disables tracing")
+	httpAddr := flag.String("http", "",
+		"serve Prometheus (/metrics) and JSON (/metrics.json) exports on this address")
 	flag.Parse()
 
 	var procs []vmos.Process
@@ -58,7 +67,11 @@ func main() {
 
 	var mon *monitor.Monitor
 	if *inVM {
-		k := core.New(16<<20, core.Config{})
+		var opts []core.Option
+		if *traceCap > 0 {
+			opts = append(opts, core.WithRecorder(trace.NewRecorder(*traceCap)))
+		}
+		k := core.New(16<<20, core.Config{}, opts...)
 		if _, err := vmos.BootVM(k, im, 16); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -76,12 +89,22 @@ func main() {
 	}
 	mon.Symbols = im.Kernel.Symbols
 
+	// mu serializes the REPL against the export handlers: the machine
+	// is single-threaded, so an HTTP scrape must never observe (or
+	// race with) a step in progress.
+	var mu sync.Mutex
+	if *httpAddr != "" {
+		serveMetrics(*httpAddr, mon, &mu)
+	}
+
 	fmt.Printf("MiniOS monitor — %s, %d process(es). Type help.\n", target, len(procs))
-	fmt.Println(must(mon, "dis"))
+	fmt.Println(must(mon, "dis", &mu))
 	in := bufio.NewScanner(os.Stdin)
 	fmt.Print("vax> ")
 	for in.Scan() {
+		mu.Lock()
 		out, quit := mon.Execute(in.Text())
+		mu.Unlock()
 		if quit {
 			return
 		}
@@ -92,7 +115,51 @@ func main() {
 	}
 }
 
-func must(m *monitor.Monitor, cmd string) string {
+// sources collects every counter source the machine exposes.
+func sources(mon *monitor.Monitor) []trace.Source {
+	srcs := []trace.Source{mon.CPU, mon.CPU.MMU}
+	if mon.VMM != nil {
+		srcs = append(srcs, mon.VMM)
+		for _, vm := range mon.VMM.VMs() {
+			srcs = append(srcs, vm)
+		}
+	}
+	return srcs
+}
+
+// serveMetrics starts the opt-in export listener.
+func serveMetrics(addr string, mon *monitor.Monitor, mu *sync.Mutex) {
+	recorder := func() *trace.Recorder {
+		if mon.VMM == nil {
+			return nil
+		}
+		return mon.VMM.Recorder()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		trace.WritePrometheus(w, trace.CaptureAll(sources(mon)...), recorder())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteJSON(w, trace.CaptureAll(sources(mon)...), recorder()); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics.json:", err)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "http:", err)
+		}
+	}()
+	fmt.Printf("metrics on http://%s/metrics and /metrics.json\n", addr)
+}
+
+func must(m *monitor.Monitor, cmd string, mu *sync.Mutex) string {
+	mu.Lock()
+	defer mu.Unlock()
 	out, _ := m.Execute(cmd)
 	return out
 }

@@ -110,7 +110,7 @@ func main() {
 			status = "still running (step budget exhausted)"
 			allDone = false
 		}
-		fmt.Printf("%s: %s\n", vm.Name, status)
+		fmt.Printf("%s: %s\n", vm.Name(), status)
 		fmt.Printf("  uptime ticks %d, console %q\n", vm.Ticks(), vm.ConsoleOutput())
 		s := vm.Stats
 		fmt.Printf("  traps: %d total — %d CHM, %d REI, %d MTPR-IPL, %d MTPR-other, %d MFPR\n",
@@ -129,7 +129,7 @@ func main() {
 	if *table {
 		snaps := make([]trace.Snapshot, len(vms))
 		for i, vm := range vms {
-			snaps[i] = trace.CaptureVM(vm)
+			snaps[i] = trace.Capture(vm)
 		}
 		fmt.Println()
 		fmt.Print(trace.Table(snaps...))

@@ -61,7 +61,7 @@ edit:	movl #46, r1
 	fmt.Println("Two MiniOS guests shared the processor:")
 	for _, vm := range k.VMs() {
 		h, msg := vm.Halted()
-		fmt.Printf("\n%s: halted=%t (%s)\n", vm.Name, h, msg)
+		fmt.Printf("\n%s: halted=%t (%s)\n", vm.Name(), h, msg)
 		fmt.Printf("  virtual uptime: %d ticks (real ticks: %d)\n", vm.Ticks(), k.Stats.ClockTicks)
 		fmt.Printf("  console: %q\n", vm.ConsoleOutput())
 		fmt.Printf("  %d sensitive-instruction traps, %d context switches, %d KCALL I/Os\n",

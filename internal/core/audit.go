@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -13,7 +13,10 @@ import (
 // (Seiden & Melanson, "The auditing facility for a VMM security
 // kernel", 1990). This implementation records security-relevant VMM
 // events — VM lifecycle, privilege transitions into the VMM, reflected
-// faults and VM halts — in a bounded ring buffer.
+// faults and VM halts — in a bounded ring buffer. The rings themselves
+// are the generic trace.Last (retain the most recent N, overwrite the
+// oldest) and trace.SPSC (per-VM lock-free producer ring for parallel
+// runs), shared with the flight recorder.
 
 // AuditKind classifies audit events.
 type AuditKind uint8
@@ -81,70 +84,12 @@ func (e AuditEvent) String() string {
 	return fmt.Sprintf("[%d] vm%d %s pc=%#x %s", e.Cycle, e.VM, e.Kind, e.PC, e.Detail)
 }
 
-type auditLog struct {
-	events []AuditEvent
-	next   int
-	filled bool
-}
-
-func (a *auditLog) append(e AuditEvent) {
-	a.events[a.next] = e
-	a.next++
-	if a.next == len(a.events) {
-		a.next = 0
-		a.filled = true
-	}
-}
-
-func (a *auditLog) snapshot() []AuditEvent {
-	if !a.filled {
-		out := make([]AuditEvent, a.next)
-		copy(out, a.events[:a.next])
-		return out
-	}
-	out := make([]AuditEvent, 0, len(a.events))
-	out = append(out, a.events[a.next:]...)
-	out = append(out, a.events[:a.next]...)
-	return out
-}
-
-// auditRing is a bounded lock-free single-producer ring: the goroutine
-// executing a VM pushes, and the root monitor drains. The producer
-// drops (and counts) events rather than overwrite a slot the drainer
-// has not consumed, so push and drain never touch the same entry.
-type auditRing struct {
-	buf     []AuditEvent
-	head    atomic.Uint64 // next write, producer-owned
-	tail    atomic.Uint64 // next read, drainer-owned
-	dropped atomic.Uint64
-}
-
-func newAuditRing(n int) *auditRing { return &auditRing{buf: make([]AuditEvent, n)} }
-
-func (r *auditRing) push(e AuditEvent) {
-	h, t := r.head.Load(), r.tail.Load()
-	if h-t == uint64(len(r.buf)) {
-		r.dropped.Add(1)
-		return
-	}
-	r.buf[h%uint64(len(r.buf))] = e
-	r.head.Store(h + 1)
-}
-
-func (r *auditRing) drain(f func(AuditEvent)) {
-	t, h := r.tail.Load(), r.head.Load()
-	for ; t < h; t++ {
-		f(r.buf[t%uint64(len(r.buf))])
-	}
-	r.tail.Store(t)
-}
-
 // EnableAudit turns on auditing with a ring buffer of n events.
 func (k *VMM) EnableAudit(n int) {
 	if n <= 0 {
 		n = 256
 	}
-	k.audit = &auditLog{events: make([]AuditEvent, n)}
+	k.audit = trace.NewLast[AuditEvent](n)
 }
 
 // AuditTrail returns the recorded events, oldest first in global
@@ -159,10 +104,10 @@ func (k *VMM) AuditTrail() []AuditEvent {
 	}
 	for _, vm := range k.vms {
 		if vm.ring != nil {
-			vm.ring.drain(k.audit.append)
+			vm.ring.Drain(k.audit.Append)
 		}
 	}
-	out := k.audit.snapshot()
+	out := k.audit.Snapshot()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
@@ -173,7 +118,7 @@ func (k *VMM) AuditDropped() uint64 {
 	var n uint64
 	for _, vm := range k.vms {
 		if vm.ring != nil {
-			n += vm.ring.dropped.Load()
+			n += vm.ring.Dropped()
 		}
 	}
 	return n
@@ -194,11 +139,11 @@ func (k *VMM) record(vm *VM, kind AuditKind, detail string) {
 		VM: id, Kind: kind, Detail: detail, PC: k.CPU.PC()}
 	if k.parent != nil {
 		if vm != nil && vm.ring != nil {
-			vm.ring.push(e)
+			vm.ring.Push(e)
 		}
 		return
 	}
-	k.audit.append(e)
+	k.audit.Append(e)
 }
 
 // auditVMTrap records a sensitive-instruction emulation.

@@ -35,6 +35,7 @@ import (
 	"repro/internal/dev"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -138,6 +139,12 @@ type Config struct {
 	// fault injector is attached, because injection schedules are keyed
 	// to the single machine-wide tick stream.
 	Workers int
+
+	// Recorder attaches a flight recorder: every VM created on this
+	// monitor gets a per-VM event ring and latency histograms in it.
+	// nil (the default) disables recording; the hot paths then pay one
+	// pointer test and allocate nothing. Usually set via WithRecorder.
+	Recorder *trace.Recorder
 }
 
 func (cfg Config) withDefaults() Config {
@@ -212,7 +219,8 @@ type VMM struct {
 	shared *vmmShared
 	parent *VMM // non-nil on a per-VM shard of a parallel run
 
-	audit  *auditLog
+	audit  *trace.Last[AuditEvent]
+	rec    *trace.Recorder // flight recorder, nil = disabled
 	faults *fault.Injector // nil = no fault injection
 	ioBuf  []byte          // scratch page for KCALL disk transfers
 
@@ -230,8 +238,23 @@ type VMM struct {
 }
 
 // New builds a VMM over a fresh modified-VAX machine with the given
-// physical memory size.
-func New(memBytes uint32, cfg Config) *VMM {
+// physical memory size. Options are applied to cfg in order, after
+// which the configuration must pass Validate — a bad combination is a
+// programmer error and panics rather than limping into a run.
+func New(memBytes uint32, cfg Config, opts ...Option) *VMM {
+	if len(opts) > 0 {
+		// Apply options to a branch-local copy: taking cfg's own
+		// address would spill the parameter to the heap on every call,
+		// including the common no-option one.
+		withOpts := cfg
+		for _, opt := range opts {
+			opt(&withOpts)
+		}
+		cfg = withOpts
+	}
+	if err := cfg.Validate(); err != nil {
+		panic("core.New: " + err.Error())
+	}
 	m := mem.New(memBytes)
 	c := cpu.New(m, cpu.ModifiedVAX)
 	k := &VMM{
@@ -240,6 +263,7 @@ func New(memBytes uint32, cfg Config) *VMM {
 		Clock: dev.NewClock(),
 		cfg:   cfg.withDefaults(),
 		cur:   -1,
+		rec:   cfg.Recorder,
 		// page 0 reserved for the (unused) real SCB
 		shared: &vmmShared{nextPage: 1, pageRuns: make(map[uint32][]uint32)},
 		ioBuf:  make([]byte, vax.PageSize),
@@ -256,6 +280,23 @@ func New(memBytes uint32, cfg Config) *VMM {
 
 // Config returns the VMM's effective configuration.
 func (k *VMM) Config() Config { return k.cfg }
+
+// Recorder returns the attached flight recorder (nil when disabled).
+func (k *VMM) Recorder() *trace.Recorder { return k.rec }
+
+// EnableRecorder attaches a flight recorder after construction (the
+// monitor's way to turn tracing on at run time) and registers every
+// existing VM with it. Call only while no run is in flight; a no-op if
+// a recorder is already attached.
+func (k *VMM) EnableRecorder(ringCap int) *trace.Recorder {
+	if k.rec == nil {
+		k.rec = trace.NewRecorder(ringCap)
+		for _, vm := range k.vms {
+			vm.rec = k.rec.VM(vm.ID, vm.name)
+		}
+	}
+	return k.rec
+}
 
 // VMs returns the created virtual machines.
 func (k *VMM) VMs() []*VM { return k.vms }

@@ -448,9 +448,9 @@ start:	incl r6
 	k.Run(5_000_000)
 	for _, vm := range k.VMs() {
 		if h, msg := vm.Halted(); !h {
-			t.Errorf("%s did not finish", vm.Name)
+			t.Errorf("%s did not finish", vm.Name())
 		} else if !strings.Contains(msg, "HALT") {
-			t.Errorf("%s: %s", vm.Name, msg)
+			t.Errorf("%s: %s", vm.Name(), msg)
 		}
 	}
 	if k.Stats.WorldSwitches < 2 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -255,6 +256,13 @@ func (k *VMM) deliverPendingIRQs(vm *VM) {
 	}
 	vm.Stats.VirtualIRQs++
 	k.Stats.VirtualIRQs++
+	if vm.rec != nil {
+		vm.rec.Record(trace.EvVirtualIRQ, k.CPU.Cycles, uint32(vec))
+		if vm.kcallPending && vec == vax.VecDisk {
+			vm.kcallPending = false
+			vm.rec.Observe(trace.LatKCall, k.CPU.Cycles-vm.kcallStart)
+		}
+	}
 	vm.idleWaits = 0 // a real delivery breaks any idle-WAIT streak
 	k.deliverToVM(vm, vec, nil, k.CPU.PC(), vax.Kernel, int(level))
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -55,6 +56,9 @@ func (k *VMM) emulate(vm *VM, info *vax.VMTrapInfo) {
 // VM's SCB, and forward the CHM exception to the VM" (Section 4.2.2).
 func (k *VMM) emulateCHM(vm *VM, info *vax.VMTrapInfo) {
 	vm.Stats.CHMs++
+	if vm.rec != nil {
+		vm.rec.Record(trace.EvCHM, k.CPU.Cycles, info.Operands[0])
+	}
 	k.charge(cpu.CostVMMCHM)
 	k.noteProgress(vm)
 	code := info.Operands[0]
@@ -73,6 +77,9 @@ func (k *VMM) emulateCHM(vm *VM, info *vax.VMTrapInfo) {
 func (k *VMM) emulateREI(vm *VM, info *vax.VMTrapInfo) {
 	vm.Stats.REIs++
 	c := k.CPU
+	if vm.rec != nil {
+		vm.rec.Record(trace.EvREI, c.Cycles, info.NextPC)
+	}
 	k.charge(cpu.CostVMMREI)
 	cur := info.GuestPSL.Cur()
 
@@ -134,6 +141,9 @@ func checkGuestREI(vm *VM, cur, n vax.PSL) *guestFault {
 // elapses.
 func (k *VMM) emulateWAIT(vm *VM, info *vax.VMTrapInfo) {
 	vm.Stats.Waits++
+	if vm.rec != nil {
+		vm.rec.Record(trace.EvSchedPark, k.CPU.Cycles, info.NextPC)
+	}
 	k.noteProgress(vm)
 	vm.waiting = true
 	vm.waitDeadline = k.Stats.ClockTicks + k.cfg.WaitTimeout

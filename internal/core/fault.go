@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -53,6 +54,9 @@ func (k *VMM) noteProgress(vm *VM) { vm.lastProgress = vm.ticks }
 // real machine-check handler does.
 func (k *VMM) machineCheck(vm *VM, code, info uint32) {
 	vm.Stats.MachineChecks++
+	if vm.rec != nil {
+		vm.rec.Record(trace.EvMachineCheck, k.CPU.Cycles, code)
+	}
 	k.record(vm, AuditMachineCheck, fmt.Sprintf("code %d info %#x", code, info))
 	k.deliverToVM(vm, vax.VecMachineCheck, []uint32{8, code, info},
 		k.CPU.PC(), vax.Kernel, mcheckIPL)
@@ -71,6 +75,9 @@ func (k *VMM) checkWatchdog(vm *VM) bool {
 		return false
 	}
 	vm.Stats.WatchdogTrips++
+	if vm.rec != nil {
+		vm.rec.Record(trace.EvWatchdogTrip, k.CPU.Cycles, uint32(idle))
+	}
 	k.record(vm, AuditWatchdogTrip, fmt.Sprintf("no progress event in %d ticks", idle))
 	k.haltVM(vm, fmt.Sprintf("watchdog: no progress event in %d ticks", idle))
 	return true

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -90,6 +91,9 @@ func (k *VMM) kcallDisk(vm *VM, write bool) uint32 {
 		}
 		vm.Stats.DiskRetries++
 		k.record(vm, AuditDiskRetry, fmt.Sprintf("block %d attempt %d: %v", block, attempt+1, err))
+		if vm.rec != nil {
+			vm.rec.Record(trace.EvKCallRetry, k.CPU.Cycles, uint32(attempt+1))
+		}
 		k.charge(diskRetryCost << uint(attempt))
 	}
 	switch err {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -130,7 +131,21 @@ func (k *VMM) emulateMTPR(vm *VM, info *vax.VMTrapInfo) {
 		// not be clobbered by done()'s advance past the instruction.
 		c.SetPC(info.NextPC)
 		k.resumeVM(vm)
-		k.kcall(vm, v)
+		if vm.rec != nil {
+			kcStart, fn := c.Cycles, c.R[0]
+			vm.rec.Record(trace.EvKCallStart, kcStart, fn)
+			k.kcall(vm, v)
+			vm.rec.Record(trace.EvKCallDone, c.Cycles, c.R[0])
+			if (fn == KCallDiskRead || fn == KCallDiskWrite) && c.R[0] == KCallStatusOK {
+				// A disk KCALL completes when its virtual IRQ is
+				// delivered; the latency span closes there.
+				vm.kcallStart, vm.kcallPending = kcStart, true
+			} else {
+				vm.rec.Observe(trace.LatKCall, c.Cycles-kcStart)
+			}
+		} else {
+			k.kcall(vm, v)
+		}
 		return
 	case vax.IPRIORESET:
 		vm.disk.reset()

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/vax"
+)
+
+// Functional options for New. Config literals remain fine for simple
+// callers; options are the composable path the harness and commands
+// use, so the handful of knobs they actually vary reads at the call
+// site instead of in a struct sprinkled across packages.
+
+// Option adjusts a Config before validation.
+type Option func(*Config)
+
+// WithWorkers selects the parallel engine with n worker goroutines
+// (n <= 1 keeps the deterministic serial scheduler).
+func WithWorkers(n int) Option {
+	return func(cfg *Config) { cfg.Workers = n }
+}
+
+// WithFillBatch sets the shadow-fill cluster size (1 disables batching
+// — the paper's pure demand-fill design point; 0 selects the default).
+func WithFillBatch(n int) Option {
+	return func(cfg *Config) { cfg.FillBatch = n }
+}
+
+// WithRecorder attaches a flight recorder (nil leaves recording off).
+func WithRecorder(rec *trace.Recorder) Option {
+	return func(cfg *Config) { cfg.Recorder = rec }
+}
+
+// Validate rejects configurations that clamping cannot repair. The
+// withDefaults pass already absorbs zero values and mild negatives;
+// what remains invalid here is a magnitude that would make the machine
+// pathological rather than merely slow.
+func (cfg Config) Validate() error {
+	if cfg.Scheme < RingCompression || cfg.Scheme > SeparateAddressSpace {
+		return fmt.Errorf("unknown ring scheme %d", cfg.Scheme)
+	}
+	if cfg.FillBatch > vax.PageSize/4 {
+		return fmt.Errorf("FillBatch %d exceeds one guest PTE page (%d)", cfg.FillBatch, vax.PageSize/4)
+	}
+	if cfg.PrefetchGroup > vax.PageSize/4 {
+		return fmt.Errorf("PrefetchGroup %d exceeds one guest PTE page (%d)", cfg.PrefetchGroup, vax.PageSize/4)
+	}
+	if cfg.Workers > 4096 {
+		return fmt.Errorf("Workers %d is beyond any plausible host", cfg.Workers)
+	}
+	if cfg.CostScalePercent < 0 {
+		return fmt.Errorf("CostScalePercent must be non-negative, got %d", cfg.CostScalePercent)
+	}
+	return nil
+}

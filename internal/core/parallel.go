@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/dev"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -119,6 +120,7 @@ func (k *VMM) newShard(vm *VM) *VMM {
 		shared: k.shared,
 		parent: k,
 		audit:  k.audit,
+		rec:    k.rec,
 		ioBuf:  make([]byte, vax.PageSize),
 	}
 	c.Sink = s
@@ -130,7 +132,7 @@ func (k *VMM) newShard(vm *VM) *VMM {
 	c.Cycles = k.CPU.Cycles
 	s.Stats.ClockTicks = k.Stats.ClockTicks
 	if k.audit != nil && vm.ring == nil {
-		vm.ring = newAuditRing(len(k.audit.events))
+		vm.ring = trace.NewSPSC[AuditEvent](k.audit.Cap())
 	}
 	// A deadline minted by another clock domain would make the VM
 	// oversleep or wake instantly; re-arm it against this shard's ticks.
@@ -219,6 +221,12 @@ func (k *VMM) RunParallel(workers int, maxStepsPerVM uint64) uint64 {
 		vm.k = k
 		k.mergeShard(shards[i])
 	}
+	// The wg.Wait above is the merge barrier: every shard's producer
+	// goroutine is done, so draining the per-VM event rings here is
+	// race-free.
+	if k.rec != nil {
+		k.rec.Sync()
+	}
 	k.lastParallel = ParallelRunStats{
 		Workers:          workers,
 		VMs:              len(live),
@@ -255,6 +263,9 @@ func (s *VMM) runWorker(eng *engine, vm *VM, budget uint64) uint64 {
 		eng.release()
 		total += ran
 		if s.shouldPark(vm) {
+			if vm.rec != nil {
+				vm.rec.Record(trace.EvSchedPark, s.CPU.Cycles, 0)
+			}
 			eng.park(vm)
 		}
 	}

@@ -106,9 +106,9 @@ func assertAllHaltedNormally(t *testing.T, vms []*VM) {
 	t.Helper()
 	for _, vm := range vms {
 		if h, msg := vm.Halted(); !h {
-			t.Errorf("%s did not halt", vm.Name)
+			t.Errorf("%s did not halt", vm.Name())
 		} else if !strings.Contains(msg, "HALT") {
-			t.Errorf("%s halted abnormally: %s", vm.Name, msg)
+			t.Errorf("%s halted abnormally: %s", vm.Name(), msg)
 		}
 	}
 }

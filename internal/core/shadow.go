@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -273,6 +274,10 @@ func (s *shadowSpace) invalidate(k *VMM, va uint32) {
 // 4.3.1). It returns the guest fault to reflect when the VM's own
 // tables make the reference invalid, or nil on success.
 func (k *VMM) fillShadow(vm *VM, va uint32, wantWrite bool) *guestFault {
+	var fillStart uint64
+	if vm.rec != nil {
+		fillStart = k.CPU.Cycles
+	}
 	slot, ok := vm.shadow.shadowSlot(va)
 	if !ok {
 		// Outside the VM's maximum table sizes: length violation.
@@ -336,6 +341,10 @@ func (k *VMM) fillShadow(vm *VM, va uint32, wantWrite bool) *guestFault {
 	if k.cfg.FillBatch > 1 {
 		k.batchFill(vm, va, k.cfg.FillBatch)
 	}
+	if vm.rec != nil {
+		vm.rec.Record(trace.EvShadowFill, fillStart, va)
+		vm.rec.Observe(trace.LatShadowFill, k.CPU.Cycles-fillStart)
+	}
 	return nil
 }
 
@@ -395,6 +404,9 @@ func (k *VMM) batchFill(vm *VM, va uint32, batch int) {
 	if filled > 0 {
 		vm.Stats.FillBatches++
 		vm.Stats.BatchFills += filled
+		if vm.rec != nil {
+			vm.rec.Record(trace.EvBatchFill, k.CPU.Cycles, uint32(filled))
+		}
 		// One amortized walk for the cluster, not a full fill per PTE.
 		k.charge(cpu.CostVMMShadowFill / 2)
 		k.CPU.MMU.TBISRange(va+vax.PageSize, n)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -34,7 +35,17 @@ func (k *VMM) HandleException(c *cpu.CPU, e *vax.Exception) bool {
 	case vax.VecVMEmulation:
 		vm.Stats.VMTraps++
 		k.auditVMTrap(vm, e.VMInfo)
-		k.emulate(vm, e.VMInfo)
+		if vm.rec != nil {
+			arg := uint32(0)
+			if e.VMInfo != nil {
+				arg = uint32(e.VMInfo.Opcode)
+			}
+			vm.rec.Record(trace.EvVMTrap, start, arg)
+			k.emulate(vm, e.VMInfo)
+			vm.rec.Observe(trace.LatTrap, c.Cycles-start)
+		} else {
+			k.emulate(vm, e.VMInfo)
+		}
 	case vax.VecTransNotValid:
 		k.handleTNV(vm, e)
 	case vax.VecAccessViol:
@@ -168,6 +179,9 @@ func (k *VMM) tryROShadowUpgrade(vm *VM, va uint32) bool {
 func (k *VMM) handleModifyFault(vm *VM, e *vax.Exception) {
 	va := e.Params[1]
 	vm.Stats.ModifyFaults++
+	if vm.rec != nil {
+		vm.rec.Record(trace.EvModifyFault, k.CPU.Cycles, va)
+	}
 	k.charge(cpu.CostVMMModifyFault)
 	if slot, ok := vm.shadow.shadowSlot(va); ok {
 		if v, err := k.Mem.LoadLong(slot); err == nil {

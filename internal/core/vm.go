@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -89,7 +90,7 @@ type VMConfig struct {
 // VM is one virtual VAX processor plus its memory and devices.
 type VM struct {
 	ID   int
-	Name string
+	name string // label; read it through Name()
 
 	MemBase uint32 // real physical base of the VM's memory
 	MemSize uint32 // bytes
@@ -150,7 +151,12 @@ type VM struct {
 	shadow *shadowSpace
 	disk   *vDisk
 	cons   vConsole
-	ring   *auditRing // per-VM audit ring for parallel runs (nil until used)
+	ring   *trace.SPSC[AuditEvent] // per-VM audit ring for parallel runs (nil until used)
+	rec    *trace.VMRecorder       // flight recorder, nil = disabled
+	// Traced disk KCALL awaiting its completion IRQ (recorder only):
+	// the KCALL-to-completion latency span closes at delivery.
+	kcallStart   uint64
+	kcallPending bool
 
 	// Slow-path scratch: the guest-fault cell the deliver.go
 	// constructors recycle (one fault is alive at a time; see the
@@ -177,14 +183,17 @@ func (k *VMM) CreateVM(cfg VMConfig) (*VM, error) {
 	}
 	vm := &VM{
 		ID:      len(k.vms),
-		Name:    cfg.Name,
+		name:    cfg.Name,
 		MemBase: base * vax.PageSize,
 		MemSize: pages * vax.PageSize,
 		wake:    make(chan struct{}, 1),
 		k:       k,
 	}
-	if vm.Name == "" {
-		vm.Name = fmt.Sprintf("vm%d", vm.ID)
+	if vm.name == "" {
+		vm.name = defaultVMName(vm.ID)
+	}
+	if k.rec != nil {
+		vm.rec = k.rec.VM(vm.ID, vm.name)
 	}
 	if vm.shadow, err = k.newShadowSpace(vm); err != nil {
 		return nil, err
@@ -492,6 +501,9 @@ func (k *VMM) scheduleNext() {
 			k.Stats.WorldSwitches++
 			k.charge(cpu.CostVMMWorldSwitch)
 			k.record(vm, AuditWorldSwitch, "")
+			if vm.rec != nil {
+				vm.rec.Record(trace.EvSchedRun, k.CPU.Cycles, vm.pc)
+			}
 			k.resume(vm)
 			k.deliverPendingIRQs(vm)
 			return

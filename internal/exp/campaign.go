@@ -108,9 +108,10 @@ func campaignImage(src string, vectors map[vax.Vector]string) ([]byte, uint32, e
 // campaignMachine builds the three-VM machine, optionally armed with a
 // fault plan, and runs it to completion.
 func campaignMachine(inj *fault.Injector) (k *core.VMM, vms []*core.VM, err error) {
-	// FillBatch 1 keeps the campaign on the paper's demand-fill design
-	// point so its output stays byte-identical across the batching knob.
-	k = core.New(16<<20, core.Config{Watchdog: 48, SelfCheckInterval: 8, FillBatch: 1})
+	// newVMM pins FillBatch 1, keeping the campaign on the paper's
+	// demand-fill design point so its output stays byte-identical
+	// across the batching knob.
+	k = newVMM(16<<20, core.Config{Watchdog: 48, SelfCheckInterval: 8})
 	if inj != nil {
 		k.AttachFaults(inj)
 	}
@@ -221,7 +222,7 @@ func campaignSeedRun(seed int64, baseOut string, baseCycles, baseUsed uint64) (i
 	for _, vm := range []*core.VM{bystander, runaway} {
 		if vm.Stats.MachineChecks != 0 || vm.Stats.DiskRetries != 0 {
 			bad("%s saw injected faults: %d machine checks, %d retries",
-				vm.Name, vm.Stats.MachineChecks, vm.Stats.DiskRetries)
+				vm.Name(), vm.Stats.MachineChecks, vm.Stats.DiskRetries)
 		}
 	}
 	return inj, vms, violations

@@ -82,7 +82,7 @@ func runFleet(src string, n, workers int) (instrs uint64, elapsed time.Duration,
 	elapsed = time.Since(t0)
 	for _, vm := range vms {
 		if halted, msg := vm.Halted(); !halted || msg != vmHaltNormal {
-			return 0, 0, fmt.Errorf("%s did not halt normally (%q)", vm.Name, msg)
+			return 0, 0, fmt.Errorf("%s did not halt normally (%q)", vm.Name(), msg)
 		}
 	}
 	if pr := k.LastParallelRun(); pr.VMs > 0 {

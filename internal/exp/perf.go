@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/vmos"
 	"repro/internal/workload"
 )
@@ -40,18 +41,11 @@ func runVMOS(kcfg core.Config, cfg vmos.Config) (*core.VMM, *core.VM, *vmos.Imag
 	if cfg.Target == vmos.TargetBare {
 		cfg.Target = vmos.TargetVM
 	}
-	if kcfg.FillBatch == 0 {
-		// The experiments reproduce the paper's pure demand-fill design
-		// point (one shadow PTE per fault, Section 4.3.1); batched fill
-		// is a production-path optimization measured by the benchmarks,
-		// not by the paper's figures.
-		kcfg.FillBatch = 1
-	}
 	im, err := vmos.Build(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	k := core.New(16<<20, kcfg)
+	k := newVMM(16<<20, kcfg)
 	vm, err := vmos.BootVM(k, im, 64)
 	if err != nil {
 		return nil, nil, nil, err
@@ -64,6 +58,28 @@ func runVMOS(kcfg core.Config, cfg vmos.Config) (*core.VMM, *core.VM, *vmos.Imag
 		return nil, nil, nil, fmt.Errorf("VM MiniOS died: %s", msg)
 	}
 	return k, vm, im, nil
+}
+
+// annotateLatencies appends flight-recorder latency percentiles to an
+// experiment's notes. With the recorder disabled (the default) it adds
+// nothing, so the rendered experiment output stays byte-identical
+// unless VAX_TRACE or the -trace flag opted tracing in.
+func annotateLatencies(r *Result, k *core.VMM) {
+	rec := k.Recorder()
+	if rec == nil {
+		return
+	}
+	rec.Sync()
+	for _, v := range rec.VMs() {
+		for l := trace.Lat(0); l < trace.NumLat; l++ {
+			h := v.Hist(l)
+			if h.Count == 0 {
+				continue
+			}
+			r.addNote("%s %s latency (cycles): n=%d p50=%d p95=%d p99=%d",
+				v.Label, l, h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		}
+	}
 }
 
 // seedDisk fills a disk image with recognizable record data.
@@ -172,6 +188,7 @@ func E3FaultsPerSwitch() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	annotateLatencies(r, dense)
 	dense.Release()
 	perSwitch := float64(vmDense.Stats.ShadowFills) / float64(vmDense.Stats.ContextSwitches)
 

@@ -278,7 +278,7 @@ clkh:	incl r10
 	}
 	copy(img[tgCode:], prog.Code)
 	putLong(img, uint32(vax.VecClock), prog.MustSymbol("clkh"))
-	k := core.New(16<<20, core.Config{FillBatch: 1})
+	k := newVMM(16<<20, core.Config{})
 	var vms []*core.VM
 	for i := 0; i < 2; i++ {
 		vm, err := k.CreateVM(core.VMConfig{

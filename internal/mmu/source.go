@@ -1,0 +1,21 @@
+package mmu
+
+// The MMU's trace.Source implementation (structural — this package
+// does not import trace). Counter names are part of the observable
+// surface; keep them stable.
+
+// Name identifies the memory-management counter source.
+func (u *MMU) Name() string { return "mmu" }
+
+// Counters emits the translation counters.
+func (u *MMU) Counters(emit func(name string, v uint64)) {
+	s := u.Stats
+	emit("translations", s.Translations)
+	emit("tlb_hits", s.TLBHits)
+	emit("tlb_misses", s.TLBMisses)
+	emit("tnv_faults", s.TNVFaults)
+	emit("prot_faults", s.ProtFaults)
+	emit("modify_faults", s.ModifyFaults)
+	emit("m_sets", s.MSets)
+	emit("fast_translations", s.FastTranslations)
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/trace"
 	"repro/internal/vax"
 )
 
@@ -70,6 +71,10 @@ func (m *Monitor) Execute(line string) (string, bool) {
 		return m.faultCmd(args), false
 	case "watchdog":
 		return m.watchdogCmd(args), false
+	case "trace":
+		return m.traceCmd(args), false
+	case "hist":
+		return m.histCmd(), false
 	}
 	return fmt.Sprintf("unknown command %q; try help", cmd), false
 }
@@ -91,6 +96,8 @@ commands:
   fault off       disarm fault injection
   fault check     run the shadow-table self-check pass now
   watchdog [n]    show or set the per-VM watchdog budget (0 = off)
+  trace [n]       show the last n flight-recorder events (default 20)
+  hist            show trap/shadow-fill/KCALL latency percentiles
   quit            leave the monitor
 addresses accept 0x hex, decimal, or a symbol name`)
 }
@@ -359,7 +366,7 @@ func (m *Monitor) faultCmd(args []string) string {
 		for _, vm := range m.VMM.VMs() {
 			s := vm.Stats
 			fmt.Fprintf(&b, "vm%d %s: machine-checks %d  disk-retries %d  watchdog-trips %d  selfcheck-repairs %d\n",
-				vm.ID, vm.Name, s.MachineChecks, s.DiskRetries, s.WatchdogTrips, s.SelfCheckRepairs)
+				vm.ID, vm.Name(), s.MachineChecks, s.DiskRetries, s.WatchdogTrips, s.SelfCheckRepairs)
 		}
 		return strings.TrimRight(b.String(), "\n")
 	}
@@ -416,13 +423,41 @@ func (m *Monitor) watchdogCmd(args []string) string {
 	}
 	for _, vm := range m.VMM.VMs() {
 		if halted, msg := vm.Halted(); halted {
-			fmt.Fprintf(&b, "vm%d %s: halted (%s), %d trips\n", vm.ID, vm.Name, msg, vm.Stats.WatchdogTrips)
+			fmt.Fprintf(&b, "vm%d %s: halted (%s), %d trips\n", vm.ID, vm.Name(), msg, vm.Stats.WatchdogTrips)
 			continue
 		}
 		fmt.Fprintf(&b, "vm%d %s: %d ticks since progress, %d trips\n",
-			vm.ID, vm.Name, vm.SinceProgress(), vm.Stats.WatchdogTrips)
+			vm.ID, vm.Name(), vm.SinceProgress(), vm.Stats.WatchdogTrips)
 	}
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// traceCmd prints the tail of the flight-recorder event stream.
+func (m *Monitor) traceCmd(args []string) string {
+	if m.VMM == nil {
+		return "no VMM attached (trace needs -vm mode)"
+	}
+	n := 20
+	if len(args) > 0 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 0 {
+			return "usage: trace [n]"
+		}
+		n = v
+	}
+	rec := m.VMM.Recorder()
+	if rec == nil {
+		return "flight recorder disabled (boot with -trace)"
+	}
+	return strings.TrimRight(trace.FormatEvents(rec, n), "\n")
+}
+
+// histCmd prints the latency histograms' percentile table.
+func (m *Monitor) histCmd() string {
+	if m.VMM == nil {
+		return "no VMM attached (hist needs -vm mode)"
+	}
+	return strings.TrimRight(trace.HistTable(m.VMM.Recorder()), "\n")
 }
 
 func (m *Monitor) stat() string {
@@ -451,7 +486,7 @@ func (m *Monitor) stat() string {
 			width = float64(vs.BatchFills)/float64(vs.FillBatches) + 1
 		}
 		out += fmt.Sprintf("vm%d %s: fill-batches %d  batched-ptes %d  avg-width %.1f  slow-allocs %d\n",
-			vm.ID, vm.Name, vs.FillBatches, vs.BatchFills, width, vs.SlowPathAllocs)
+			vm.ID, vm.Name(), vs.FillBatches, vs.BatchFills, width, vs.SlowPathAllocs)
 	}
 	return out
 }

@@ -217,6 +217,37 @@ func TestFaultCommand(t *testing.T) {
 	}
 }
 
+func TestTraceCommandNeedsVMM(t *testing.T) {
+	m, _ := testMachine(t)
+	for _, cmd := range []string{"trace", "hist"} {
+		if out := run(t, m, cmd); !strings.Contains(out, "no VMM attached") {
+			t.Errorf("%q = %q", cmd, out)
+		}
+	}
+}
+
+func TestTraceAndHistCommands(t *testing.T) {
+	m, k := vmMonitor(t)
+	if out := run(t, m, "trace"); !strings.Contains(out, "flight recorder disabled") {
+		t.Errorf("trace with no recorder = %q", out)
+	}
+	if out := run(t, m, "hist"); !strings.Contains(out, "recorder disabled") {
+		t.Errorf("hist with no recorder = %q", out)
+	}
+	k.EnableRecorder(1024)
+	k.Run(10_000)
+	if out := run(t, m, "trace"); !strings.Contains(out, "vm-trap") {
+		t.Errorf("trace after run = %q", out)
+	}
+	if out := run(t, m, "trace nope"); !strings.Contains(out, "usage") {
+		t.Errorf("trace nope = %q", out)
+	}
+	out := run(t, m, "hist")
+	if !strings.Contains(out, "trap") || !strings.Contains(out, "p99") {
+		t.Errorf("hist after run = %q", out)
+	}
+}
+
 func TestWatchdogCommand(t *testing.T) {
 	m, k := vmMonitor(t)
 	if out := run(t, m, "watchdog"); !strings.Contains(out, "watchdog disabled") {

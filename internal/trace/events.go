@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The flight recorder: a per-VM lock-free ring of typed, fixed-size
+// events stamped with the machine cycle counter. The producer is the
+// goroutine executing the VM (the serial engine's single thread, or
+// the VM's worker under the parallel engine), so Record needs no locks
+// and never allocates; a full ring drops and counts rather than block.
+// At every safe point — the parallel engine's merge barrier, or any
+// moment the machine is not inside Run — Sync moves buffered events
+// into a per-VM retained history (most recent RetainN), which is what
+// the monitor's trace command and the export surface read.
+
+// Kind classifies flight-recorder events.
+type Kind uint8
+
+const (
+	EvVMTrap       Kind = iota // VM-emulation trap taken; arg = opcode
+	EvCHM                      // change-mode emulated; arg = CHM code operand
+	EvREI                      // REI emulated; arg = new guest PC
+	EvShadowFill               // demand shadow-PTE fill; arg = faulting VA
+	EvBatchFill                // batched neighbor fills; arg = PTEs filled
+	EvModifyFault              // modify fault serviced; arg = faulting VA
+	EvVirtualIRQ               // virtual interrupt delivered; arg = vector
+	EvKCallStart               // KCALL entered; arg = function code
+	EvKCallDone                // KCALL completed; arg = status
+	EvKCallRetry               // transient disk error retried; arg = attempt
+	EvSchedRun                 // VM resumed on the processor; arg = guest PC
+	EvSchedPark                // VM gave up the processor (WAIT / worker park)
+	EvWatchdogTrip             // watchdog halted the VM; arg = idle ticks
+	EvMachineCheck             // virtual machine check delivered; arg = cause
+
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"vm-trap", "chm", "rei", "shadow-fill", "batch-fill", "modify-fault",
+	"virtual-irq", "kcall-start", "kcall-done", "kcall-retry",
+	"sched-run", "sched-park", "watchdog-trip", "machine-check",
+}
+
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one fixed-size flight-recorder record.
+type Event struct {
+	Cycle uint64 // machine cycle counter at the event
+	Arg   uint32 // kind-specific detail (see the Kind constants)
+	VM    int32  // VM ID
+	Kind  Kind
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%d] vm%d %s arg=%#x", e.Cycle, e.VM, e.Kind, e.Arg)
+}
+
+// Lat names the latency distributions the recorder maintains.
+type Lat uint8
+
+const (
+	LatTrap       Lat = iota // VM-emulation trap service, entry to exit
+	LatShadowFill            // one demand fill, including any batch
+	LatKCall                 // KCALL entry to completion, retries included
+
+	NumLat
+)
+
+var latNames = [NumLat]string{"trap", "shadow_fill", "kcall"}
+
+func (l Lat) String() string {
+	if l < NumLat {
+		return latNames[l]
+	}
+	return fmt.Sprintf("lat(%d)", uint8(l))
+}
+
+// Recorder is the machine-wide flight recorder: one VMRecorder per VM,
+// created lazily on the cold VM-creation path. The zero Recorder is
+// not usable; a nil *Recorder (the default everywhere) is the disabled
+// state, and every hot-path hook guards on it with a single pointer
+// test, so the disabled path costs one branch and zero allocations.
+type Recorder struct {
+	ringCap int
+	mu      sync.Mutex // guards the vms table (cold: VM creation only)
+	vms     []*VMRecorder
+}
+
+// NewRecorder builds a recorder whose per-VM rings buffer ringCap
+// events between Syncs (and retain the same number of history events).
+func NewRecorder(ringCap int) *Recorder {
+	if ringCap < 1 {
+		ringCap = 1024
+	}
+	return &Recorder{ringCap: ringCap}
+}
+
+// VM returns (creating if needed) the per-VM recorder for id. Safe for
+// concurrent callers; call once per VM at creation time and keep the
+// pointer — the hot path must not come back through this lock.
+func (r *Recorder) VM(id int, label string) *VMRecorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.vms) <= id {
+		r.vms = append(r.vms, nil)
+	}
+	if r.vms[id] == nil {
+		r.vms[id] = &VMRecorder{
+			ID:    id,
+			Label: label,
+			ring:  NewSPSC[Event](r.ringCap),
+		}
+	}
+	return r.vms[id]
+}
+
+// VMs returns the per-VM recorders, ID order.
+func (r *Recorder) VMs() []*VMRecorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*VMRecorder, 0, len(r.vms))
+	for _, v := range r.vms {
+		if v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Sync drains every VM's live ring into its retained history. Call
+// only from a safe point: the parallel engine invokes it at the merge
+// barrier after every worker has finished, and serial callers invoke
+// it whenever the machine is not inside Run.
+func (r *Recorder) Sync() {
+	for _, v := range r.VMs() {
+		v.sync()
+	}
+}
+
+// Dropped sums the events lost to full rings across all VMs.
+func (r *Recorder) Dropped() uint64 {
+	var n uint64
+	for _, v := range r.VMs() {
+		n += v.Dropped()
+	}
+	return n
+}
+
+// VMRecorder records one VM's events and latencies. Record and Observe
+// belong to the goroutine executing the VM; everything else belongs to
+// whoever holds the machine at a safe point.
+type VMRecorder struct {
+	ID    int
+	Label string
+
+	ring *SPSC[Event]
+	hist [NumLat]Hist
+	// history is allocated on the first sync so a recorder that is
+	// never drained (a benchmark run, say) pays for one ring, not two.
+	history *Last[Event]
+}
+
+// Record pushes one event (producer goroutine only; never allocates).
+func (v *VMRecorder) Record(kind Kind, cycle uint64, arg uint32) {
+	v.ring.Push(Event{Cycle: cycle, Arg: arg, VM: int32(v.ID), Kind: kind})
+}
+
+// Observe adds one latency sample in machine cycles (producer
+// goroutine only; never allocates).
+func (v *VMRecorder) Observe(l Lat, cycles uint64) {
+	v.hist[l].Observe(cycles)
+}
+
+// Hist returns the named latency histogram. Read at safe points only.
+func (v *VMRecorder) Hist(l Lat) *Hist { return &v.hist[l] }
+
+// Dropped reports events lost to a full ring (safe from any goroutine).
+func (v *VMRecorder) Dropped() uint64 { return v.ring.Dropped() }
+
+// sync drains the live ring into the retained history.
+func (v *VMRecorder) sync() {
+	if v.history == nil {
+		v.history = NewLast[Event](v.ring.Cap())
+	}
+	v.ring.Drain(v.history.Append)
+}
+
+// Events syncs and returns the retained history, oldest first; with
+// n > 0 only the most recent n events are returned.
+func (v *VMRecorder) Events(n int) []Event {
+	v.sync()
+	out := v.history.Snapshot()
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}

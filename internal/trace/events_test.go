@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderRecordSyncEvents(t *testing.T) {
+	r := NewRecorder(16)
+	v := r.VM(0, "vm0")
+	if r.VM(0, "other") != v {
+		t.Fatal("VM() must be idempotent per ID")
+	}
+	for i := uint32(0); i < 5; i++ {
+		v.Record(EvVMTrap, uint64(100+i), i)
+	}
+	evs := v.Events(0)
+	if len(evs) != 5 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Kind != EvVMTrap || evs[0].Cycle != 100 || evs[0].Arg != 0 || evs[0].VM != 0 {
+		t.Fatalf("first event %+v", evs[0])
+	}
+	if evs[4].Cycle != 104 {
+		t.Fatalf("events out of order: %+v", evs)
+	}
+	if got := v.Events(2); len(got) != 2 || got[1].Cycle != 104 {
+		t.Fatalf("Events(2) = %+v", got)
+	}
+}
+
+func TestRecorderDropAccounting(t *testing.T) {
+	r := NewRecorder(4)
+	v := r.VM(3, "vm3")
+	for i := 0; i < 10; i++ {
+		v.Record(EvShadowFill, uint64(i), 0)
+	}
+	if v.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", v.Dropped())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Recorder.Dropped = %d, want 6", r.Dropped())
+	}
+	r.Sync()
+	// After a sync the ring has room again; history keeps the newest.
+	v.Record(EvShadowFill, 99, 0)
+	if evs := v.Events(0); evs[len(evs)-1].Cycle != 99 {
+		t.Fatalf("post-sync event missing: %+v", evs)
+	}
+}
+
+func TestRecorderObserveHist(t *testing.T) {
+	r := NewRecorder(8)
+	v := r.VM(0, "vm0")
+	v.Observe(LatTrap, 10)
+	v.Observe(LatTrap, 20)
+	v.Observe(LatKCall, 100)
+	if v.Hist(LatTrap).Count != 2 || v.Hist(LatKCall).Count != 1 {
+		t.Fatal("Observe routed to wrong histogram")
+	}
+	if v.Hist(LatShadowFill).Count != 0 {
+		t.Fatal("untouched histogram must stay empty")
+	}
+	tbl := HistTable(r)
+	for _, want := range []string{"trap", "kcall", "p99"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("HistTable missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestKindAndLatStrings(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if strings.Contains(k.String(), "event(") {
+			t.Errorf("Kind %d lacks a name", k)
+		}
+	}
+	for l := Lat(0); l < NumLat; l++ {
+		if strings.Contains(l.String(), "lat(") {
+			t.Errorf("Lat %d lacks a name", l)
+		}
+	}
+	if EvVMTrap.String() != "vm-trap" || LatShadowFill.String() != "shadow_fill" {
+		t.Error("canonical names changed")
+	}
+}
+
+func TestFormatEventsAndDisabled(t *testing.T) {
+	if !strings.Contains(FormatEvents(nil, 0), "disabled") {
+		t.Error("nil recorder must render as disabled")
+	}
+	if !strings.Contains(HistTable(nil), "disabled") {
+		t.Error("nil recorder must render as disabled")
+	}
+	r := NewRecorder(8)
+	v := r.VM(1, "guest")
+	v.Record(EvKCallStart, 5, 2)
+	out := FormatEvents(r, 0)
+	for _, want := range []string{"guest", "kcall-start", "vm1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatEvents missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import "math/bits"
+
+// Latency histograms with power-of-two buckets: bucket i counts values
+// v with bits.Len64(v) == i, i.e. bucket 0 holds the value 0 and
+// bucket i>0 holds [2^(i-1), 2^i). Observe is two increments and a
+// bit-length — cheap enough for every VMM slow-path event — and
+// quantile extraction reports the upper bound of the bucket holding
+// the requested rank, so a reported p99 is a guaranteed ceiling.
+
+// HistBuckets is one bucket per possible uint64 bit length, plus the
+// zero bucket.
+const HistBuckets = 65
+
+// Hist is a power-of-two-bucket histogram. The zero value is ready to
+// use; it is owned by one goroutine at a time (the recording producer
+// during a run, the reader after the merge barrier).
+type Hist struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [HistBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	h.Count++
+	h.Sum += v
+	h.Buckets[bits.Len64(v)]++
+}
+
+// Add folds o into h (merging shard histograms at a barrier).
+func (h *Hist) Add(o *Hist) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// bucketMax is the largest value bucket i can hold.
+func bucketMax(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q <= 1):
+// the maximum value of the bucket containing that rank. Returns 0 when
+// the histogram is empty.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen >= rank {
+			return bucketMax(i)
+		}
+	}
+	return bucketMax(HistBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of the observed values.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}

@@ -1,0 +1,88 @@
+package trace
+
+import "testing"
+
+func TestHistBucketBoundaries(t *testing.T) {
+	var h Hist
+	// bucket 0 holds the value 0; bucket i>0 holds [2^(i-1), 2^i).
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1 << 20, 21},
+		{^uint64(0), 64},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	if h.Count != uint64(len(cases)) {
+		t.Fatalf("Count = %d", h.Count)
+	}
+	counts := map[int]uint64{}
+	for _, c := range cases {
+		counts[c.bucket]++
+	}
+	for b, want := range counts {
+		if h.Buckets[b] != want {
+			t.Errorf("bucket %d = %d, want %d", b, h.Buckets[b], want)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	// Cumulative counts: bucket1..6 hold 1,2,4,8,16,32 values (through
+	// 63, cum 63); bucket 7 holds 64..100 (cum 100). Quantiles report
+	// the containing bucket's upper bound.
+	if got := h.Quantile(0.50); got != 63 {
+		t.Errorf("p50 = %d, want 63", got)
+	}
+	if got := h.Quantile(0.99); got != 127 {
+		t.Errorf("p99 = %d, want 127", got)
+	}
+	if got := h.Quantile(1.0); got != 127 {
+		t.Errorf("p100 = %d, want 127", got)
+	}
+	if got := h.Quantile(0.01); got != 1 {
+		t.Errorf("p1 = %d, want 1", got)
+	}
+}
+
+func TestHistEmptyAndClamp(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(5)
+	if h.Quantile(-1) != h.Quantile(0.001) {
+		t.Error("q<0 must clamp")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 must clamp")
+	}
+}
+
+func TestHistAddAndMean(t *testing.T) {
+	var a, b Hist
+	a.Observe(2)
+	a.Observe(4)
+	b.Observe(6)
+	a.Add(&b)
+	if a.Count != 3 || a.Sum != 12 {
+		t.Fatalf("merged Count %d Sum %d", a.Count, a.Sum)
+	}
+	if a.Mean() != 4 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Buckets[3] != 2 { // 4 and 6 both land in [4,8)
+		t.Fatalf("bucket 3 = %d", a.Buckets[3])
+	}
+}

@@ -1,139 +1,82 @@
-// Package trace collects and formats the event counters scattered
-// through the simulator (CPU, MMU, VMM, per-VM) into uniform snapshots,
-// so harness code can diff two points in a run and render counter
-// tables without reaching into each subsystem's Stats struct.
+// Package trace is the simulator's observability layer: uniform
+// counter snapshots over any Source, a per-VM flight recorder of typed
+// events with cycle timestamps, power-of-two latency histograms, and
+// Prometheus/JSON renderers for all of it. It is a leaf package — the
+// subsystems it observes (CPU, MMU, VMM, per-VM state) import it, not
+// the other way round — so anything implementing Source plugs in.
 //
-// Concurrency contract: the Stats structs are plain counters, kept
-// race-free by goroutine confinement rather than atomics — the hot
-// interpreter path must not pay for synchronized increments. Under the
-// serial engine one goroutine owns everything and Capture* may be
-// called at any point the machine is not inside Run. Under the parallel
-// engine each VM's counters are owned by its worker's shard and merged
-// back when RunParallel returns; take snapshots strictly before Run is
-// entered or after it returns, never from another goroutine while a
-// parallel run is in flight. CaptureParallel reads the merged result of
-// the last parallel run and is always safe after Run returns.
+// Concurrency contract: the Stats structs behind each Source are plain
+// counters, kept race-free by goroutine confinement rather than
+// atomics — the hot interpreter path must not pay for synchronized
+// increments. Under the serial engine one goroutine owns everything
+// and Capture may be called at any point the machine is not inside
+// Run. Under the parallel engine each VM's counters are owned by its
+// worker's shard and merged back when RunParallel returns; take
+// snapshots strictly before Run is entered or after it returns, never
+// from another goroutine while a parallel run is in flight.
 package trace
 
 import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"repro/internal/core"
-	"repro/internal/cpu"
-	"repro/internal/mmu"
 )
+
+// Source is anything that can be snapshotted: it has a name and emits
+// its counters one at a time. CPU, MMU, the VMM, each VM, and the
+// merged parallel-run totals all implement it.
+type Source interface {
+	Name() string
+	Counters(emit func(name string, v uint64))
+}
 
 // Snapshot is a named set of counters at one instant.
 type Snapshot struct {
-	Name     string
-	Counters map[string]uint64
+	Name     string            `json:"name"`
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// Capture snapshots any Source's counters.
+func Capture(src Source) Snapshot {
+	s := Snapshot{Name: src.Name(), Counters: make(map[string]uint64, 32)}
+	src.Counters(func(name string, v uint64) { s.Counters[name] = v })
+	return s
+}
+
+// CaptureAll snapshots several sources in order.
+func CaptureAll(srcs ...Source) []Snapshot {
+	out := make([]Snapshot, len(srcs))
+	for i, src := range srcs {
+		out[i] = Capture(src)
+	}
+	return out
 }
 
 // CaptureCPU snapshots a processor's counters.
-func CaptureCPU(c *cpu.CPU) Snapshot {
-	s := c.Stats
-	return Snapshot{Name: "cpu", Counters: map[string]uint64{
-		"cycles":       c.Cycles,
-		"instructions": s.Instructions,
-		"exceptions":   s.Exceptions,
-		"interrupts":   s.Interrupts,
-		"vm_traps":     s.VMTraps,
-		"priv_traps":   s.PrivTraps,
-		"chm":          s.CHMs,
-		"rei":          s.REIs,
-		"movpsl":       s.MOVPSLs,
-		"probe":        s.Probes,
-
-		"decode_hits":          s.DecodeHits,
-		"decode_misses":        s.DecodeMisses,
-		"decode_invalidations": s.DecodeInvalidations,
-	}}
-}
+//
+// Deprecated: use Capture.
+func CaptureCPU(src Source) Snapshot { return Capture(src) }
 
 // CaptureMMU snapshots memory-management counters.
-func CaptureMMU(u *mmu.MMU) Snapshot {
-	s := u.Stats
-	return Snapshot{Name: "mmu", Counters: map[string]uint64{
-		"translations":  s.Translations,
-		"tlb_hits":      s.TLBHits,
-		"tlb_misses":    s.TLBMisses,
-		"tnv_faults":    s.TNVFaults,
-		"prot_faults":   s.ProtFaults,
-		"modify_faults": s.ModifyFaults,
-		"m_sets":        s.MSets,
-
-		"fast_translations": s.FastTranslations,
-	}}
-}
+//
+// Deprecated: use Capture.
+func CaptureMMU(src Source) Snapshot { return Capture(src) }
 
 // CaptureVMM snapshots monitor-level counters.
-func CaptureVMM(k *core.VMM) Snapshot {
-	s := k.Stats
-	return Snapshot{Name: "vmm", Counters: map[string]uint64{
-		"entries":          s.VMMEntries,
-		"world_switches":   s.WorldSwitches,
-		"virtual_irqs":     s.VirtualIRQs,
-		"clock_ticks":      s.ClockTicks,
-		"deliveries":       s.ReflectedTraps,
-		"shadow_pool_hits": s.ShadowPoolHits,
-		"shadow_pool_miss": s.ShadowPoolMisses,
-	}}
-}
+//
+// Deprecated: use Capture.
+func CaptureVMM(src Source) Snapshot { return Capture(src) }
 
 // CaptureParallel snapshots the merged totals of the most recent
-// parallel-engine run (all zeros when every run so far was serial).
-func CaptureParallel(k *core.VMM) Snapshot {
-	pr := k.LastParallelRun()
-	return Snapshot{Name: "parallel", Counters: map[string]uint64{
-		"workers":          uint64(pr.Workers),
-		"vms":              uint64(pr.VMs),
-		"steps":            pr.Steps,
-		"instructions":     pr.Instrs,
-		"cycles":           pr.Cycles,
-		"fill_batches":     pr.FillBatches,
-		"batch_fills":      pr.BatchFills,
-		"slow_path_allocs": pr.SlowPathAllocs,
-		"shadow_pool_hits": pr.ShadowPoolHits,
-		"shadow_pool_miss": pr.ShadowPoolMisses,
-	}}
-}
+// parallel-engine run.
+//
+// Deprecated: use Capture on VMM.LastParallelRun().
+func CaptureParallel(src Source) Snapshot { return Capture(src) }
 
 // CaptureVM snapshots one virtual machine's counters.
-func CaptureVM(vm *core.VM) Snapshot {
-	s := vm.Stats
-	return Snapshot{Name: vm.Name, Counters: map[string]uint64{
-		"vm_traps":         s.VMTraps,
-		"chm":              s.CHMs,
-		"rei":              s.REIs,
-		"mtpr_ipl":         s.MTPRIPL,
-		"mtpr_other":       s.MTPROther,
-		"mfpr":             s.MFPRs,
-		"context_switches": s.ContextSwitches,
-		"shadow_fills":     s.ShadowFills,
-		"prefetch_fills":   s.PrefetchFills,
-		"fill_batches":     s.FillBatches,
-		"batch_fills":      s.BatchFills,
-		"slow_path_allocs": s.SlowPathAllocs,
-		"shadow_clears":    s.ShadowClears,
-		"cache_hits":       s.CacheHits,
-		"cache_misses":     s.CacheMisses,
-		"modify_faults":    s.ModifyFaults,
-		"reflected":        s.ReflectedFaults,
-		"virtual_irqs":     s.VirtualIRQs,
-		"kcalls":           s.KCALLs,
-		"mmio_emuls":       s.MMIOEmuls,
-		"waits":            s.Waits,
-		"probe_fills":      s.ProbeFills,
-
-		"machine_checks":    s.MachineChecks,
-		"disk_retries":      s.DiskRetries,
-		"watchdog_trips":    s.WatchdogTrips,
-		"selfcheck_repairs": s.SelfCheckRepairs,
-		"unknown_kcalls":    s.UnknownKCALLs,
-	}}
-}
+//
+// Deprecated: use Capture.
+func CaptureVM(src Source) Snapshot { return Capture(src) }
 
 // Delta returns after minus before, counter by counter (counters absent
 // from before count from zero).

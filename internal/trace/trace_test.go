@@ -1,4 +1,7 @@
-package trace
+// External test package: these tests exercise trace.Capture against
+// the real simulator Sources (CPU, MMU, VMM, VM), and core imports
+// trace — an in-package test would be an import cycle.
+package trace_test
 
 import (
 	"strings"
@@ -7,15 +10,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 func TestCaptureAndDelta(t *testing.T) {
 	c := cpu.New(mem.New(64*1024), cpu.StandardVAX)
-	before := CaptureCPU(c)
+	before := trace.Capture(c)
 	c.AddCycles(100)
 	c.Stats.Instructions = 7
-	after := CaptureCPU(c)
-	d := Delta(before, after)
+	after := trace.Capture(c)
+	d := trace.Delta(before, after)
 	if d.Get("cycles") != 100 || d.Get("instructions") != 7 {
 		t.Errorf("delta: %v", d.Counters)
 	}
@@ -33,11 +37,11 @@ func TestCaptureAndDelta(t *testing.T) {
 
 func TestCaptureMMUAndVMM(t *testing.T) {
 	k := core.New(8<<20, core.Config{})
-	vmm := CaptureVMM(k)
+	vmm := trace.Capture(k)
 	if _, ok := vmm.Counters["entries"]; !ok {
 		t.Error("VMM snapshot incomplete")
 	}
-	m := CaptureMMU(k.CPU.MMU)
+	m := trace.Capture(k.CPU.MMU)
 	if _, ok := m.Counters["tlb_hits"]; !ok {
 		t.Error("MMU snapshot incomplete")
 	}
@@ -45,16 +49,33 @@ func TestCaptureMMUAndVMM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := CaptureVM(vm)
-	if s.Name != vm.Name {
+	s := trace.Capture(vm)
+	if s.Name != vm.Name() {
 		t.Errorf("snapshot name %q", s.Name)
+	}
+	if _, ok := s.Counters["vm_traps"]; !ok {
+		t.Error("VM snapshot incomplete")
+	}
+}
+
+// The deprecated wrappers must keep working until every caller is gone.
+func TestDeprecatedWrappers(t *testing.T) {
+	k := core.New(8<<20, core.Config{})
+	if s := trace.CaptureVMM(k); s.Name != "vmm" {
+		t.Errorf("CaptureVMM name %q", s.Name)
+	}
+	if s := trace.CaptureCPU(k.CPU); s.Name != "cpu" {
+		t.Errorf("CaptureCPU name %q", s.Name)
+	}
+	if s := trace.CaptureMMU(k.CPU.MMU); s.Name != "mmu" {
+		t.Errorf("CaptureMMU name %q", s.Name)
 	}
 }
 
 func TestTable(t *testing.T) {
-	a := Snapshot{Name: "a", Counters: map[string]uint64{"x": 1, "y": 2}}
-	b := Snapshot{Name: "b", Counters: map[string]uint64{"x": 3, "z": 4}}
-	out := Table(a, b)
+	a := trace.Snapshot{Name: "a", Counters: map[string]uint64{"x": 1, "y": 2}}
+	b := trace.Snapshot{Name: "b", Counters: map[string]uint64{"x": 3, "z": 4}}
+	out := trace.Table(a, b)
 	for _, want := range []string{"counter", "a", "b", "x", "y", "z"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
@@ -68,8 +89,27 @@ func TestTable(t *testing.T) {
 
 func TestCaptureParallel(t *testing.T) {
 	k := core.New(8<<20, core.Config{})
-	s := CaptureParallel(k)
+	s := trace.Capture(k.LastParallelRun())
 	if s.Get("vms") != 0 || s.Get("instructions") != 0 {
 		t.Errorf("serial-only machine must report zero parallel totals: %v", s.Counters)
+	}
+	if s.Name != "parallel" {
+		t.Errorf("parallel snapshot name %q", s.Name)
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	k := core.New(8<<20, core.Config{})
+	var b strings.Builder
+	trace.WritePrometheus(&b, trace.CaptureAll(k, k.CPU, k.CPU.MMU), nil)
+	out := b.String()
+	for _, want := range []string{
+		`vax_counter{source="vmm",name="entries"}`,
+		`vax_counter{source="cpu",name="cycles"}`,
+		`vax_counter{source="mmu",name="tlb_hits"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus export missing %q:\n%s", want, out)
+		}
 	}
 }
