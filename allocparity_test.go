@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// TestExperimentAllocParity pins the end-to-end allocation counts of
+// the serial benchmark experiments. These are the numbers ci.sh's
+// bench diff gates on (allocs_per_op in BENCH_*.json); asserting them
+// here catches an accidental allocation on a serial path — a lazily
+// grown allocator cache, a closure that escapes — at test time rather
+// than at the next benchmark refresh. The parallel engine is allowed
+// to allocate (worker shards, queues, pprof labels); the serial paths
+// these experiments drive are not.
+func TestExperimentAllocParity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("E9 runs the cost-sensitivity sweep (~60ms per run)")
+	}
+	// The counts dropped from the 2026-08-05 baseline (256/295/574) by
+	// exactly one per VM created: the per-VM wake channel became two
+	// padded atomics when the M:N scheduler replaced per-VM goroutines.
+	for _, tc := range []struct {
+		id   string
+		want float64
+	}{
+		{"E2", 252},
+		{"E3", 290},
+		{"E9", 565},
+	} {
+		spec, ok := exp.ByID(tc.id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", tc.id)
+		}
+		got := testing.AllocsPerRun(1, func() {
+			if _, err := spec.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != tc.want {
+			t.Errorf("%s allocates %.0f times per run, want exactly %.0f", tc.id, got, tc.want)
+		}
+	}
+}

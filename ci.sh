@@ -90,6 +90,59 @@ if [ "${1:-}" = "bench" ]; then
                 exit 1
             fi
         fi
+        echo "== parallel/serial throughput ratio at 8 VMs (>10% drop fails)"
+        if awk -v prevfile="$prev" -v curfile="$out" '
+            function load(file, tab,    line, name, key, val, n, i, parts) {
+                while ((getline line < file) > 0) {
+                    if (line !~ /"name"/) continue
+                    gsub(/[{}",]/, "", line)
+                    name = ""
+                    n = split(line, parts, " ")
+                    for (i = 1; i < n; i++) {
+                        key = parts[i]; val = parts[i+1]
+                        if (key == "name:") name = val
+                        if (key == "instr_per_sec:") tab[name] = val
+                    }
+                }
+                close(file)
+            }
+            # rate matches by substring so GOMAXPROCS name suffixes
+            # (present on multi-core hosts, absent on one core) do not
+            # break the lookup.
+            function rate(tab, pat,    k) {
+                for (k in tab) if (index(k, pat)) return tab[k] + 0
+                return 0
+            }
+            BEGIN {
+                load(prevfile, old); load(curfile, cur)
+                cs = rate(cur, "MultiVMScaling/serial_8VM")
+                cp = rate(cur, "MultiVMScaling/parallel_8VM_8w")
+                if (cs == 0 || cp == 0) {
+                    print "  8-VM scaling numbers missing from current run; skipping"
+                    exit 0
+                }
+                printf "  current  parallel/serial = %.3f\n", cp / cs
+                os = rate(old, "MultiVMScaling/serial_8VM")
+                op = rate(old, "MultiVMScaling/parallel_8VM_8w")
+                if (os == 0 || op == 0) {
+                    print "  no previous 8-VM numbers; recording only"
+                    exit 0
+                }
+                printf "  previous parallel/serial = %.3f\n", op / os
+                if (cp / cs < op / os * 0.90) {
+                    print "  REGRESSION: parallel speedup at 8 VMs dropped more than 10%"
+                    exit 1
+                }
+                exit 0
+            }'
+        then :; else
+            if [ "$warn_only" = 1 ]; then
+                echo "parallel-ratio regression (warn-only): not failing" >&2
+            else
+                echo "parallel-ratio regression vs $prev; rerun with --warn-only to record anyway" >&2
+                exit 1
+            fi
+        fi
     else
         echo "== no previous BENCH_*.json to diff against"
     fi

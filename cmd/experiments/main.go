@@ -11,6 +11,7 @@
 //	experiments -cpuprofile cpu.pprof -run E6   # profile the hot path
 //	experiments -faults -seeds 16 -seedbase 100 # fault campaign only
 //	experiments -parallel -vms 1,2,4,8          # multi-VM engine scaling
+//	experiments -density -vms 64,256,1024       # mostly-idle fleet density
 package main
 
 import (
@@ -40,8 +41,9 @@ func run() int {
 	seeds := flag.Int("seeds", 8, "number of campaign seeds (with -faults)")
 	seedbase := flag.Int64("seedbase", 1, "first campaign seed (with -faults)")
 	parallel := flag.Bool("parallel", false, "measure the parallel multi-VM engine against the serial engine (wall-clock, not deterministic)")
-	vmsFlag := flag.String("vms", "1,2,4,8", "comma-separated fleet sizes (with -parallel)")
-	workersFlag := flag.Int("workers", 0, "worker goroutines for the parallel engine; 0 = one per VM (with -parallel)")
+	density := flag.Bool("density", false, "measure mostly-idle fleet density on a small worker pool (wall-clock, not deterministic)")
+	vmsFlag := flag.String("vms", "", "comma-separated fleet sizes (with -parallel or -density)")
+	workersFlag := flag.Int("workers", 0, "worker goroutines for the parallel engine; 0 = one per VM with -parallel, 8 with -density")
 	traceCap := flag.Int("trace", exp.RecorderCap,
 		"flight-recorder ring capacity per VM; 0 disables tracing (also VAX_TRACE)")
 	flag.Parse()
@@ -82,13 +84,18 @@ func run() int {
 		return 0
 	}
 
-	if *parallel {
+	if *parallel || *density {
 		fleets, err := parseFleets(*vmsFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "-vms: %v\n", err)
 			return 2
 		}
-		r, err := exp.ParallelScaling(fleets, *workersFlag)
+		var r *exp.Result
+		if *density {
+			r, err = exp.ParallelDensity(fleets, *workersFlag)
+		} else {
+			r, err = exp.ParallelScaling(fleets, *workersFlag)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "parallel scaling: %v\n", err)
 			return 2

@@ -72,7 +72,12 @@ func (k AuditKind) String() string {
 
 // AuditEvent is one recorded event.
 type AuditEvent struct {
-	Seq    uint64 // global order across engines (atomic sequence)
+	// Seq is the global order. Root-recorded events get it at record
+	// time (the root is single-threaded); events recorded on parallel
+	// shards carry Seq 0 in their per-VM rings and are sequenced at the
+	// merge, ordered by cycle stamp — no shard touches a shared counter
+	// per event.
+	Seq    uint64
 	Cycle  uint64
 	VM     int // VM ID, -1 for machine-level events
 	Kind   AuditKind
@@ -94,17 +99,35 @@ func (k *VMM) EnableAudit(n int) {
 
 // AuditTrail returns the recorded events, oldest first in global
 // (sequence) order. It first drains every VM's parallel-run ring into
-// the main log, so events recorded by shards appear alongside serial
-// ones. Call it from the root monitor while no parallel run is
-// mutating the main log (the per-VM rings themselves tolerate a
+// the main log — shard events carry no sequence of their own, so the
+// drain reconstructs the global order from their cycle stamps (VM ID
+// breaking ties) and assigns sequence numbers where the root's serial
+// counter left off. Call it from the root monitor while no parallel
+// run is mutating the main log (the per-VM rings themselves tolerate a
 // concurrent producer).
 func (k *VMM) AuditTrail() []AuditEvent {
 	if k.audit == nil {
 		return nil
 	}
+	var drained []AuditEvent
 	for _, vm := range k.vms {
 		if vm.ring != nil {
-			vm.ring.Drain(k.audit.Append)
+			vm.ring.Drain(func(e AuditEvent) {
+				drained = append(drained, e)
+			})
+		}
+	}
+	if len(drained) > 0 {
+		sort.SliceStable(drained, func(i, j int) bool {
+			if drained[i].Cycle != drained[j].Cycle {
+				return drained[i].Cycle < drained[j].Cycle
+			}
+			return drained[i].VM < drained[j].VM
+		})
+		for i := range drained {
+			k.auditNext++
+			drained[i].Seq = k.auditNext
+			k.audit.Append(drained[i])
 		}
 	}
 	out := k.audit.Snapshot()
@@ -125,8 +148,11 @@ func (k *VMM) AuditDropped() uint64 {
 }
 
 // record appends an event if auditing is enabled. On a parallel-run
-// shard the event goes to the VM's own lock-free ring; the root logs
-// directly into the shared ring (single-threaded by construction).
+// shard the event goes to the VM's own lock-free ring stamped with the
+// shard's cycle count only (sequencing happens at the merge, so the
+// per-event path shares nothing); the root logs directly into the
+// shared ring (single-threaded by construction) and sequences as it
+// goes.
 func (k *VMM) record(vm *VM, kind AuditKind, detail string) {
 	if k.audit == nil {
 		return
@@ -135,7 +161,7 @@ func (k *VMM) record(vm *VM, kind AuditKind, detail string) {
 	if vm != nil {
 		id = vm.ID
 	}
-	e := AuditEvent{Seq: k.shared.auditSeq.Add(1), Cycle: k.CPU.Cycles,
+	e := AuditEvent{Cycle: k.CPU.Cycles,
 		VM: id, Kind: kind, Detail: detail, PC: k.CPU.PC()}
 	if k.parent != nil {
 		if vm != nil && vm.ring != nil {
@@ -143,6 +169,8 @@ func (k *VMM) record(vm *VM, kind AuditKind, detail string) {
 		}
 		return
 	}
+	k.auditNext++
+	e.Seq = k.auditNext
 	k.audit.Append(e)
 }
 

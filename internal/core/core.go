@@ -29,7 +29,6 @@ package core
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/dev"
@@ -133,9 +132,10 @@ type Config struct {
 	// Workers selects the execution engine. The default (0 or 1) is the
 	// deterministic single-threaded round-robin scheduler, which every
 	// experiment and the fault campaign rely on for exact replay. A
-	// value above 1 makes Run use the parallel engine: each runnable VM
-	// gets its own worker goroutine (at most Workers running at once)
-	// over sharded VMM state. Ignored — with a serial fallback — when a
+	// value above 1 makes Run use the parallel engine: a fixed pool of
+	// Workers goroutines, each driving a private VMM shard, pulls
+	// runnable VMs from a work queue (M:N scheduling; parked VMs cost
+	// no worker time). Ignored — with a serial fallback — when a
 	// fault injector is attached, because injection schedules are keyed
 	// to the single machine-wide tick stream.
 	Workers int
@@ -145,6 +145,13 @@ type Config struct {
 	// nil (the default) disables recording; the hot paths then pay one
 	// pointer test and allocate nothing. Usually set via WithRecorder.
 	Recorder *trace.Recorder
+
+	// MemCache, when non-nil, sources the monitor's physical memory
+	// from (and Release returns it to) a private mem.Cache instead of
+	// the global buffer pool, so harness code that churns machines
+	// across goroutines never contends on the pool lock. Usually set
+	// via WithMemCache.
+	MemCache *mem.Cache
 }
 
 func (cfg Config) withDefaults() Config {
@@ -188,22 +195,51 @@ type Stats struct {
 }
 
 // vmmShared is the state genuinely shared between a root VMM and the
-// per-VM shards of a parallel run. Everything else a VMM holds is
-// goroutine-confined: either per-VM (CPU, MMU, TLB, decode cache,
-// shadow tables, cycle accounting) or owned by whichever engine is
-// running. The page allocator sits behind a mutex because allocation
-// is a cold path (VM creation only); the audit sequence is an atomic
-// so events from concurrent shards keep a global order.
+// per-worker shards of a parallel run. Everything else a VMM holds is
+// goroutine-confined: either per-VM (shadow tables, statistics, cycle
+// accounting), per-worker (CPU, MMU, TLB, decode cache, the allocator
+// cache below) or owned by whichever engine is running. The global
+// page pool sits behind a mutex because workers reach it only to
+// refill or spill their local caches in batches; nothing touches it
+// per step. Audit ordering needs no shared counter at all: shard
+// events carry cycle stamps and are sequenced at the merge (audit.go).
 type vmmShared struct {
 	mu       sync.Mutex // guards nextPage and pageRuns (cold paths)
 	nextPage uint32     // physical page bump allocator
-	auditSeq atomic.Uint64
 
 	// pageRuns is the free list of recycled page runs, keyed by run
 	// length in pages: the bump allocator never reclaims, so the runs
 	// backing a halted VM's shadow tables are parked here and reused
 	// by the next newShadowSpace of the same geometry.
 	pageRuns map[uint32][]uint32
+}
+
+// Per-worker allocator cache tuning. Spans and run batches are small:
+// a worker shard allocates only on slow paths (a VM halting on it, a
+// shadow space growing), so the cache exists to keep those paths off
+// the global mutex, not to hoard memory.
+const (
+	// allocSpanPages is how many pages a worker shard carves from the
+	// global bump allocator per refill; the remainder becomes its
+	// private span served without locking.
+	allocSpanPages = 64
+	// runRefillBatch is how many recycled runs of one size a worker
+	// pulls from the global pool under a single lock acquisition.
+	runRefillBatch = 4
+	// runCacheMax bounds the recycled runs of one size a worker keeps
+	// before spilling half back to the global pool.
+	runCacheMax = 8
+)
+
+// allocCache is a VMM instance's private allocator front. On the root
+// it stays empty (the root allocates exactly and is single-threaded at
+// allocation sites, keeping FreePages and out-of-memory semantics
+// precise); on a worker shard it absorbs freeRun/allocRun traffic so
+// steady-state halts and shadow growth never contend on vmmShared.mu.
+type allocCache struct {
+	spanPage uint32 // next free page of the private span
+	spanLeft uint32 // pages remaining in the span
+	runs     map[uint32][]uint32
 }
 
 // VMM is the virtual machine monitor.
@@ -217,7 +253,20 @@ type VMM struct {
 	cur int // index of the VM owning the processor, -1 = none
 
 	shared *vmmShared
-	parent *VMM // non-nil on a per-VM shard of a parallel run
+	parent *VMM       // non-nil on a per-worker shard of a parallel run
+	alloc  allocCache // this instance's private allocator front
+
+	// workerShards is the root's pool of per-worker shard VMMs, built
+	// lazily by RunParallel and reused across runs so repeated parallel
+	// sections do not reconstruct CPUs (and their decode caches).
+	workerShards []*VMM
+
+	// auditNext is the audit sequence counter. Only the root assigns
+	// sequence numbers — serially while recording its own events, and
+	// at the merge when shard events (stamped with cycles, not
+	// sequences) are folded in — so it is a plain integer, not the
+	// per-step shared atomic it used to be.
+	auditNext uint64
 
 	audit  *trace.Last[AuditEvent]
 	rec    *trace.Recorder // flight recorder, nil = disabled
@@ -255,7 +304,12 @@ func New(memBytes uint32, cfg Config, opts ...Option) *VMM {
 	if err := cfg.Validate(); err != nil {
 		panic("core.New: " + err.Error())
 	}
-	m := mem.New(memBytes)
+	var m *mem.Memory
+	if cfg.MemCache != nil {
+		m = cfg.MemCache.New(memBytes)
+	} else {
+		m = mem.New(memBytes)
+	}
 	c := cpu.New(m, cpu.ModifiedVAX)
 	k := &VMM{
 		CPU:   c,
@@ -310,34 +364,86 @@ func (k *VMM) Current() *VM {
 }
 
 // allocPages carves n contiguous physical pages out of real memory.
+// The root allocates exactly (FreePages and out-of-memory reporting
+// stay precise for the serial harness); a worker shard over-allocates
+// a span and serves subsequent requests from it without locking.
 func (k *VMM) allocPages(n uint32) (uint32, error) {
+	if k.alloc.spanLeft >= n && n > 0 {
+		p := k.alloc.spanPage
+		k.alloc.spanPage += n
+		k.alloc.spanLeft -= n
+		return p, k.zeroPages(p, n)
+	}
+	want := n
+	if k.parent != nil && want < allocSpanPages {
+		want = allocSpanPages
+	}
 	k.shared.mu.Lock()
-	defer k.shared.mu.Unlock()
-	if k.shared.nextPage+n > k.Mem.Pages() {
+	free := k.Mem.Pages() - k.shared.nextPage
+	if want > free {
+		want = n // batch does not fit; fall back to the exact request
+	}
+	if n > free {
+		k.shared.mu.Unlock()
 		return 0, fmt.Errorf("vmm: out of physical memory (%d pages requested, %d free)",
-			n, k.Mem.Pages()-k.shared.nextPage)
+			n, free)
 	}
 	p := k.shared.nextPage
-	k.shared.nextPage += n
+	k.shared.nextPage += want
+	k.shared.mu.Unlock()
+	if want > n {
+		// Park any old span remainder as a recycled run, then adopt the
+		// new span's tail as the private span.
+		if k.alloc.spanLeft > 0 {
+			k.freeRun(k.alloc.spanPage, k.alloc.spanLeft)
+		}
+		k.alloc.spanPage = p + n
+		k.alloc.spanLeft = want - n
+	}
+	return p, k.zeroPages(p, n)
+}
+
+// zeroPages clears n page frames starting at p (allocPages' contract:
+// carved pages come back zero regardless of their provenance).
+func (k *VMM) zeroPages(p, n uint32) error {
 	for i := uint32(0); i < n; i++ {
 		if err := k.Mem.ZeroPage(p + i); err != nil {
-			return 0, err
+			return err
 		}
 	}
-	return p, nil
+	return nil
 }
 
 // allocRun allocates a run of n pages for shadow-table storage,
-// preferring the recycled-run pool over the bump allocator. Pooled
-// runs are handed back with stale contents; every caller initializes
-// the run (clear-on-reuse restores the null-PTE default), so no
-// zeroing happens here.
+// preferring recycled runs over the bump allocator — first from this
+// instance's private cache, then from the global pool (a worker shard
+// pulls a small batch under one lock so repeated allocations stay
+// local). Pooled runs are handed back with stale contents; every
+// caller initializes the run (clear-on-reuse restores the null-PTE
+// default), so no zeroing happens here.
 func (k *VMM) allocRun(n uint32) (uint32, error) {
+	if local := k.alloc.runs[n]; len(local) > 0 {
+		p := local[len(local)-1]
+		k.alloc.runs[n] = local[:len(local)-1]
+		k.Stats.ShadowPoolHits++
+		return p, nil
+	}
 	k.shared.mu.Lock()
 	if runs := k.shared.pageRuns[n]; len(runs) > 0 {
-		p := runs[len(runs)-1]
-		k.shared.pageRuns[n] = runs[:len(runs)-1]
+		take := 1
+		if k.parent != nil && len(runs) > 1 {
+			take = min(len(runs), runRefillBatch)
+		}
+		grabbed := runs[len(runs)-take:]
+		k.shared.pageRuns[n] = runs[:len(runs)-take]
 		k.shared.mu.Unlock()
+		p := grabbed[len(grabbed)-1]
+		if take > 1 {
+			if k.alloc.runs == nil {
+				k.alloc.runs = make(map[uint32][]uint32)
+			}
+			k.alloc.runs[n] = append(k.alloc.runs[n], grabbed[:len(grabbed)-1]...)
+		}
 		k.Stats.ShadowPoolHits++
 		return p, nil
 	}
@@ -346,13 +452,51 @@ func (k *VMM) allocRun(n uint32) (uint32, error) {
 	return k.allocPages(n)
 }
 
-// freeRun parks a page run in the recycled-run pool.
+// freeRun parks a page run for recycling. The root goes straight to
+// the global pool (its freeing sites are single-threaded); a worker
+// shard keeps the run in its private cache — the common halt-on-shard
+// path then costs no lock at all — and spills half of an overfull size
+// class back to the global pool so no worker hoards the free store.
 func (k *VMM) freeRun(page, n uint32) {
 	if n == 0 {
 		return
 	}
+	if k.parent == nil {
+		k.shared.mu.Lock()
+		k.shared.pageRuns[n] = append(k.shared.pageRuns[n], page)
+		k.shared.mu.Unlock()
+		return
+	}
+	if k.alloc.runs == nil {
+		k.alloc.runs = make(map[uint32][]uint32)
+	}
+	local := append(k.alloc.runs[n], page)
+	if len(local) > runCacheMax {
+		spill := len(local) / 2
+		k.shared.mu.Lock()
+		k.shared.pageRuns[n] = append(k.shared.pageRuns[n], local[:spill]...)
+		k.shared.mu.Unlock()
+		local = append(local[:0], local[spill:]...)
+	}
+	k.alloc.runs[n] = local
+}
+
+// spillAllocCache returns a worker shard's cached runs to the global
+// pool. Called at the merge barrier so runs released by VMs that
+// halted on this shard (and any span remainder's reuse value) become
+// visible to the root's next CreateVM. The span itself stays with the
+// shard — shards are reused across runs and keep their working set.
+func (k *VMM) spillAllocCache() {
+	if len(k.alloc.runs) == 0 {
+		return
+	}
 	k.shared.mu.Lock()
-	k.shared.pageRuns[n] = append(k.shared.pageRuns[n], page)
+	for n, runs := range k.alloc.runs {
+		if len(runs) > 0 {
+			k.shared.pageRuns[n] = append(k.shared.pageRuns[n], runs...)
+		}
+		delete(k.alloc.runs, n)
+	}
 	k.shared.mu.Unlock()
 }
 
@@ -370,6 +514,10 @@ func (k *VMM) Release() {
 	k.shared.mu.Lock()
 	dirty := k.shared.nextPage * vax.PageSize
 	k.shared.mu.Unlock()
+	if k.cfg.MemCache != nil {
+		k.cfg.MemCache.Release(k.Mem, dirty)
+		return
+	}
 	k.Mem.Release(dirty)
 }
 

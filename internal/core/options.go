@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/mem"
 	"repro/internal/trace"
 	"repro/internal/vax"
 )
@@ -30,6 +31,16 @@ func WithFillBatch(n int) Option {
 // WithRecorder attaches a flight recorder (nil leaves recording off).
 func WithRecorder(rec *trace.Recorder) Option {
 	return func(cfg *Config) { cfg.Recorder = rec }
+}
+
+// WithMemCache routes the monitor's physical-memory allocation and
+// release through a goroutine-confined backing-store cache instead of
+// the global pool, so concurrent harness workers booting and
+// discarding machines don't contend on the pool mutex. The cache must
+// only be used from one goroutine at a time (nil keeps the global
+// pool).
+func WithMemCache(c *mem.Cache) Option {
+	return func(cfg *Config) { cfg.MemCache = c }
 }
 
 // Validate rejects configurations that clamping cannot repair. The

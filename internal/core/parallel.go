@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -13,16 +16,31 @@ import (
 
 // The parallel execution engine. The paper's VMM multiplexes many
 // guests on one physical VAX; this engine lets the reproduction use
-// many host cores instead, in the shape of Disco-style sharded monitor
-// state: each runnable VM gets a *shard* — a private VMM instance with
-// its own virtual processor (CPU, MMU, TLB, decoded-instruction
-// cache), interval clock, I/O scratch buffer and statistics — while
-// physical memory, the page allocator and the audit sequence stay
-// shared behind the structures in vmmShared. Because every VM occupies
-// a disjoint range of physical memory (its RAM and its shadow-table
-// pages are both carved out at CreateVM time), shards never write each
-// other's bytes, and all of the serial emulation machinery runs on a
-// shard unchanged.
+// many host cores instead, with M:N scheduling: a fixed pool of M
+// worker goroutines, each owning a *shard* — a private VMM instance
+// with its own virtual processor (CPU, MMU, TLB, decoded-instruction
+// cache), interval clock, I/O scratch buffer, statistics and allocator
+// cache — pulls N runnable VMs from a work queue. Physical memory and
+// the global page pool stay shared behind vmmShared, but nothing
+// touches them per step: workers refill and spill their allocator
+// caches in batches, and audit events carry cycle stamps instead of
+// taking a shared sequence. Because every VM occupies a disjoint range
+// of physical memory (its RAM and its shadow-table pages are both
+// carved out at CreateVM time), shards never write each other's bytes,
+// and all of the serial emulation machinery runs on a shard unchanged.
+//
+// A VM is dispatched onto whichever worker dequeues it. Dispatching is
+// a world switch on that worker's shard, so the architectural state
+// moves cleanly; three pieces of shard-local derived state need care
+// on migration and get it at attach/detach time: stale cached decodes
+// of the VM's pages are invalidated when the VM arrives on a different
+// worker than last time (a "steal"), the WAIT deadline is carried as
+// ticks-remaining because shard clocks advance independently, and the
+// uptime cell is rebased so the VM's view of time stays monotonic.
+// Parked VMs — idle in WAIT with nothing pending — leave the queue
+// entirely and cost zero worker time until a post or a fleet-wide idle
+// advance requeues them, which is what lets a small pool carry
+// thousands of mostly-idle VMs.
 //
 // The engine is intentionally NOT deterministic: interleaving depends
 // on the host scheduler. Experiments and the fault campaign therefore
@@ -37,6 +55,19 @@ type ParallelRunStats struct {
 	Steps   uint64 // total processor steps across all shards
 	Instrs  uint64 // guest instructions executed across all shards
 	Cycles  uint64 // machine cycle count at the end (furthest shard)
+
+	// Scheduler counters: queue dispatches, dispatches that moved a VM
+	// to a different worker than its last one (migrations, which pay a
+	// decode-cache invalidation), parks of idle VMs, external posts
+	// that requeued a parked VM, fleet-wide wakes when everything still
+	// live was parked, and the deepest the run queue ever got.
+	Dispatches    uint64
+	Steals        uint64
+	Parks         uint64
+	Wakes         uint64
+	IdleWakes     uint64
+	MaxQueueDepth int
+
 	// Slow-path totals at the end of the run, summed over the VMs that
 	// took part (captured after the merge barrier, so reading them is
 	// race-free even though per-VM counters are goroutine-confined
@@ -52,70 +83,167 @@ type ParallelRunStats struct {
 func (k *VMM) LastParallelRun() ParallelRunStats { return k.lastParallel }
 
 const (
-	// workerQuantum is how many processor steps a worker runs before
-	// releasing its semaphore slot, so N VMs share M < N workers fairly.
+	// workerQuantum is how many processor steps a worker runs one VM
+	// before considering rotation, so N VMs share M < N workers fairly.
 	workerQuantum = 1 << 16
 	// parkCheckChunk is the sub-quantum granularity at which a worker
 	// checks for halt and parking conditions while inside a quantum.
 	parkCheckChunk = 1 << 11
 	// parkAfterIdleWaits is how many consecutive WAIT timeouts (with
 	// nothing delivered in between) a VM accumulates before its worker
-	// parks on the mailbox instead of idling virtual time forward.
+	// parks it off the queue instead of idling virtual time forward.
 	parkAfterIdleWaits = 2
 )
 
-// engine coordinates the worker goroutines of one RunParallel call.
+// Per-VM scheduler states (VM.sched).
+const (
+	schedIdle    uint32 = iota // not part of a parallel run
+	schedQueued                // on the run queue
+	schedRunning               // attached to a worker shard
+	schedParked                // off the queue, waiting for a post
+	schedDone                  // halted or out of budget this run
+)
+
+// engine coordinates one RunParallel call: the run queue the workers
+// pull from, and the park/finish accounting. The queue is a buffered
+// channel with capacity for every live VM; the state machine ensures a
+// VM is enqueued at most once, so sends never block (including under
+// the mutex). All cold transitions — park, unpark, finish, fleet wake
+// — happen under mu, which is what makes the park/post race benign:
+// park publishes schedParked and re-checks the mailbox inside the same
+// critical section that unpark uses to test for schedParked, so one of
+// the two always sees the other.
 type engine struct {
-	vms    []*VM
-	sem    chan struct{} // worker slots: at most cap(sem) VMs run at once
-	live   atomic.Int32  // workers that have not finished
-	parked atomic.Int32  // workers blocked in park
+	root *VMM
+	vms  []*VM
+	runq chan *VM
+
+	budget uint64 // per-VM step budget (0 = unbounded)
+
+	qlen     atomic.Int32 // current queue depth
+	maxDepth atomic.Int32 // high-water mark of qlen
+
+	mu        sync.Mutex
+	remaining int // live VMs not yet done
+	parked    int // VMs in schedParked
+	wakes     uint64
+	idleWakes uint64
 }
 
-func (e *engine) acquire() { e.sem <- struct{}{} }
-func (e *engine) release() { <-e.sem }
+// push puts a VM on the run queue. Never blocks: capacity covers every
+// live VM and the state machine enqueues each at most once.
+func (e *engine) push(vm *VM) {
+	vm.sched.Store(schedQueued)
+	d := e.qlen.Add(1)
+	for {
+		m := e.maxDepth.Load()
+		if d <= m || e.maxDepth.CompareAndSwap(m, d) {
+			break
+		}
+	}
+	e.runq <- vm
+}
 
-// wakeAll nudges every VM's wake channel (buffered, capacity 1, so a
-// signal sent before the receiver blocks is not lost).
-func (e *engine) wakeAll() {
+// park moves a running VM off the queue. Returns false if a concurrent
+// post already filled the mailbox, in which case the VM went straight
+// back on the queue instead (the lost-wakeup window this closes is the
+// reason parking is a mutex transition and not an atomic counter
+// dance). If this VM was the last one not parked, parking it would
+// freeze virtual time on every shard with no one left to generate a
+// wake — so the whole fleet is requeued instead, letting all idle VMs
+// advance their WAIT timeouts in step.
+func (e *engine) park(vm *VM) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	vm.sched.Store(schedParked)
+	e.parked++
+	if vm.extMask.Load() != 0 {
+		e.parked--
+		vm.idleWaits = 0
+		e.push(vm)
+		return false
+	}
+	if e.parked == e.remaining {
+		e.idleWakes++
+		e.wakeAllLocked()
+	}
+	return true
+}
+
+// unpark requeues a parked VM after an external post. Called (via
+// VM.PostIRQ) from any goroutine.
+func (e *engine) unpark(vm *VM) {
+	if vm.sched.Load() != schedParked {
+		return // cheap pre-check; the decisive one is under the mutex
+	}
+	e.mu.Lock()
+	if vm.sched.Load() == schedParked {
+		e.parked--
+		e.wakes++
+		vm.idleWaits = 0
+		e.push(vm)
+	}
+	e.mu.Unlock()
+}
+
+// wakeAllLocked requeues every parked VM (mu held).
+func (e *engine) wakeAllLocked() {
 	for _, vm := range e.vms {
-		select {
-		case vm.wake <- struct{}{}:
-		default:
+		if vm.sched.Load() == schedParked {
+			e.parked--
+			vm.idleWaits = 0
+			e.push(vm)
 		}
 	}
 }
 
-// park blocks the worker until an external post (or a fleet-wide wake)
-// arrives. If this worker is the last one awake, parking would freeze
-// virtual time on every shard with no one left to generate a wake — so
-// it wakes the fleet instead, letting all idle VMs advance their WAIT
-// timeouts in step.
-func (e *engine) park(vm *VM) {
-	if e.parked.Add(1) >= e.live.Load() {
-		e.parked.Add(-1)
-		vm.idleWaits = 0
-		e.wakeAll()
-		return
+// finish retires a VM from the run (halted, or out of budget). The
+// last retirement closes the queue, which is what ends the run; and a
+// retirement that leaves only parked VMs triggers the fleet-wide idle
+// advance just as the last park does.
+func (e *engine) finish(vm *VM) {
+	e.mu.Lock()
+	vm.sched.Store(schedDone)
+	e.remaining--
+	done := e.remaining == 0
+	if !done && e.parked > 0 && e.parked == e.remaining {
+		e.idleWakes++
+		e.wakeAllLocked()
 	}
-	<-vm.wake
-	e.parked.Add(-1)
-	vm.idleWaits = 0
+	e.mu.Unlock()
+	if done {
+		close(e.runq)
+	}
 }
 
-// newShard builds the per-VM monitor a worker drives. It mirrors New,
-// but over the shared physical memory and shared allocator/audit
-// state, and with exactly one VM in its table. The shard's CPU cycle
-// counter and tick count continue from the root's so uptime cells,
-// WAIT deadlines and halt stamps stay on one monotonic timeline.
-func (k *VMM) newShard(vm *VM) *VMM {
+// worker is one goroutine of the pool with its shard and its owner-
+// confined counters, padded so adjacent workers' counter updates never
+// share a cache line.
+type worker struct {
+	id        int
+	shard     *VMM
+	ctx       context.Context // pprof label context ("worker" set)
+	instrBase uint64          // shard instruction count at run start
+
+	steps      uint64
+	dispatches uint64
+	steals     uint64
+	parks      uint64
+	_          [64]byte
+}
+
+// newWorkerShard builds a per-worker monitor. It mirrors New, but over
+// the shared physical memory and global page pool, with a one-slot VM
+// table that attach fills per dispatch. Shards live on the root's
+// workerShards pool and are reused across runs.
+func (k *VMM) newWorkerShard() *VMM {
 	c := cpu.New(k.Mem, k.CPU.Variant)
 	s := &VMM{
 		CPU:    c,
 		Mem:    k.Mem,
 		Clock:  dev.NewClock(),
 		cfg:    k.cfg,
-		vms:    []*VM{vm},
+		vms:    make([]*VM, 1),
 		cur:    -1,
 		shared: k.shared,
 		parent: k,
@@ -129,22 +257,38 @@ func (k *VMM) newShard(vm *VM) *VMM {
 	c.ProbeWTrapOnDeny = s.cfg.ReadOnlyShadow
 	s.Clock.Interval(s.cfg.ClockPeriod)
 	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
-	c.Cycles = k.CPU.Cycles
-	s.Stats.ClockTicks = k.Stats.ClockTicks
-	if k.audit != nil && vm.ring == nil {
-		vm.ring = trace.NewSPSC[AuditEvent](k.audit.Cap())
-	}
-	// A deadline minted by another clock domain would make the VM
-	// oversleep or wake instantly; re-arm it against this shard's ticks.
-	if vm.waiting {
-		vm.waitDeadline = s.Stats.ClockTicks + s.cfg.WaitTimeout
-	}
 	return s
+}
+
+// resetShard prepares a (possibly reused) worker shard for a run: the
+// processor restarts from the root's cycle and tick counts so machine
+// time stays monotonic, per-run statistics restart from zero so the
+// merge sums deltas, and the decode cache is flushed — between runs
+// the root may have run these VMs serially or recycled their pages, so
+// nothing cached from a previous run can be trusted.
+func (k *VMM) resetShard(s *VMM) {
+	c := s.CPU
+	if c.Halted {
+		c.ClearHalt()
+	}
+	c.SetWaiting(false)
+	c.FlushDecodeCache()
+	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
+	c.Cycles = k.CPU.Cycles
+	s.Stats = Stats{ClockTicks: k.Stats.ClockTicks}
+	s.vmmCycles = 0
+	s.switchStart = 0
+	s.cur = -1
+	s.vms[0] = nil
+	s.audit = k.audit
+	s.rec = k.rec
 }
 
 // mergeShard folds a finished shard's statistics back into the root.
 // Monotonic machine-wide clocks (cycles, ticks) take the furthest
-// shard; event counters sum.
+// shard; event counters sum (resetShard zeroed them, so these are this
+// run's deltas); cached free runs spill to the global pool so the
+// root's next CreateVM can recycle what halted VMs released here.
 func (k *VMM) mergeShard(s *VMM) {
 	k.Stats.VMMEntries += s.Stats.VMMEntries
 	k.Stats.WorldSwitches += s.Stats.WorldSwitches
@@ -159,14 +303,120 @@ func (k *VMM) mergeShard(s *VMM) {
 		k.CPU.Cycles = s.CPU.Cycles
 	}
 	k.vmmCycles += s.vmmCycles
+	s.spillAllocCache()
 }
 
-// RunParallel executes every live VM on its own goroutine, with at
-// most workers of them stepping at once, until each VM halts or has
-// consumed maxStepsPerVM processor steps (0 = no bound: run until all
-// halt — beware VMs that idle forever). It returns the total steps
-// executed across all shards. The root VMM must not itself be a shard
-// and must have no fault injector attached.
+// attach dispatches a VM onto a worker's shard. The previous owner
+// detached before the VM could be requeued, and queue/mutex handoffs
+// order its writes before this read, so the VM's owner-confined state
+// arrives consistent.
+func (e *engine) attach(w *worker, vm *VM) {
+	s := w.shard
+	w.dispatches++
+	if vm.lastShard != nil && vm.lastShard != s {
+		// Migration: this shard may hold decodes of the VM's pages from
+		// an earlier tenancy, gone stale through the VM's own writes
+		// elsewhere. (A VM's pages change only while it runs — its own
+		// stores and DMA both go through its current shard — so a VM
+		// that stayed put needs no invalidation.)
+		w.steals++
+		s.CPU.InvalidateDecode(vm.MemBase, vm.MemSize)
+		if vm.rec != nil {
+			vm.rec.Record(trace.EvSchedSteal, s.CPU.Cycles, uint32(w.id))
+		}
+	}
+	vm.sched.Store(schedRunning)
+	vm.k = s
+	s.vms[0] = vm
+	s.cur = -1
+	if s.CPU.Halted {
+		// The previous tenant halted, which halted the single-VM shard.
+		s.CPU.ClearHalt()
+	}
+	s.CPU.SetWaiting(false)
+	// Rebase clock-domain state into this shard's timeline.
+	if vm.waiting {
+		vm.waitDeadline = s.Stats.ClockTicks + vm.waitRemaining
+	}
+	vm.tickBias = s.Stats.ClockTicks - vm.uptimeSeen
+	pprof.SetGoroutineLabels(pprof.WithLabels(w.ctx, pprof.Labels("vm", vm.name)))
+}
+
+// detach suspends a VM off a worker's shard and captures the clock-
+// domain state (WAIT ticks remaining, uptime seen) that attach rebases
+// on the next shard. After detach the worker must not touch the VM
+// outside the engine mutex.
+func (e *engine) detach(w *worker, vm *VM) {
+	s := w.shard
+	if s.Current() == vm {
+		s.suspend(vm)
+	}
+	if vm.waiting {
+		vm.waitRemaining = vm.waitDeadline - s.Stats.ClockTicks
+	}
+	vm.uptimeSeen = s.Stats.ClockTicks - vm.tickBias
+	vm.lastShard = s
+	pprof.SetGoroutineLabels(w.ctx)
+}
+
+// runWorker is one pool goroutine: pull a VM, drive it, repeat until
+// the queue closes.
+func (e *engine) runWorker(w *worker) {
+	w.ctx = pprof.WithLabels(context.Background(), pprof.Labels("worker", strconv.Itoa(w.id)))
+	pprof.SetGoroutineLabels(w.ctx)
+	defer pprof.SetGoroutineLabels(context.Background())
+	for vm := range e.runq {
+		e.qlen.Add(-1)
+		e.drive(w, vm)
+	}
+}
+
+// drive runs one dispatched VM in quanta until it halts, runs out of
+// budget, parks, or yields to a VM waiting for a worker. When the
+// queue is empty the worker keeps its VM (affinity: no world switch,
+// no decode-cache migration cost); rotation happens exactly when
+// someone is waiting.
+func (e *engine) drive(w *worker, vm *VM) {
+	s := w.shard
+	e.attach(w, vm)
+	for {
+		q := uint64(workerQuantum)
+		if e.budget > 0 && vm.stepsLeft < q {
+			q = vm.stepsLeft
+		}
+		ran := s.runQuantum(vm, q)
+		w.steps += ran
+		if e.budget > 0 {
+			vm.stepsLeft -= ran
+		}
+		switch {
+		case vm.halted || s.CPU.Halted || ran == 0 ||
+			(e.budget > 0 && vm.stepsLeft == 0):
+			e.detach(w, vm)
+			e.finish(vm)
+			return
+		case s.shouldPark(vm):
+			if vm.rec != nil {
+				vm.rec.Record(trace.EvSchedPark, s.CPU.Cycles, 0)
+			}
+			e.detach(w, vm)
+			if e.park(vm) {
+				w.parks++
+			}
+			return
+		case e.qlen.Load() > 0:
+			e.detach(w, vm)
+			e.push(vm)
+			return
+		}
+	}
+}
+
+// RunParallel executes every live VM on a fixed pool of workers, until
+// each VM halts or has consumed maxStepsPerVM processor steps (0 = no
+// bound: run until all halt — beware VMs that idle forever). It
+// returns the total steps executed across all shards. The root VMM
+// must not itself be a shard and must have no fault injector attached.
 func (k *VMM) RunParallel(workers int, maxStepsPerVM uint64) uint64 {
 	if k.parent != nil || k.faults != nil {
 		return k.CPU.Run(maxStepsPerVM)
@@ -190,89 +440,91 @@ func (k *VMM) RunParallel(workers int, maxStepsPerVM uint64) uint64 {
 		workers = len(live)
 	}
 
-	eng := &engine{vms: live, sem: make(chan struct{}, workers)}
-	eng.live.Store(int32(len(live)))
-
-	shards := make([]*VMM, len(live))
-	for i, vm := range live {
-		shards[i] = k.newShard(vm)
-		vm.k = shards[i]
+	eng := &engine{
+		root:      k,
+		vms:       live,
+		runq:      make(chan *VM, len(live)),
+		budget:    maxStepsPerVM,
+		remaining: len(live),
+	}
+	for len(k.workerShards) < workers {
+		k.workerShards = append(k.workerShards, k.newWorkerShard())
+	}
+	ws := make([]*worker, workers)
+	for i := range ws {
+		s := k.workerShards[i]
+		k.resetShard(s)
+		ws[i] = &worker{id: i, shard: s, instrBase: s.CPU.Stats.Instructions}
+	}
+	for _, vm := range live {
+		vm.lastShard = nil
+		vm.stepsLeft = maxStepsPerVM
+		vm.uptimeSeen = k.Stats.ClockTicks - vm.tickBias
+		if vm.waiting {
+			if vm.waitDeadline > k.Stats.ClockTicks {
+				vm.waitRemaining = vm.waitDeadline - k.Stats.ClockTicks
+			} else {
+				vm.waitRemaining = 0
+			}
+		}
+		if k.audit != nil && vm.ring == nil {
+			vm.ring = trace.NewSPSC[AuditEvent](k.audit.Cap())
+		}
+		vm.eng.Store(eng)
+	}
+	for _, vm := range live {
+		eng.push(vm)
 	}
 
 	var wg sync.WaitGroup
-	var total, instrs atomic.Uint64
-	for i := range live {
+	for _, w := range ws {
 		wg.Add(1)
-		go func(vm *VM, s *VMM) {
+		go func(w *worker) {
 			defer wg.Done()
-			// A finished worker broadcasts so a parked sibling can
-			// re-evaluate whether it is now the last one awake.
-			defer func() {
-				eng.live.Add(-1)
-				eng.wakeAll()
-			}()
-			total.Add(s.runWorker(eng, vm, maxStepsPerVM))
-			instrs.Add(s.CPU.Stats.Instructions)
-		}(live[i], shards[i])
+			eng.runWorker(w)
+		}(w)
 	}
 	wg.Wait()
 
-	for i, vm := range live {
-		vm.k = k
-		k.mergeShard(shards[i])
+	// The wg.Wait above is the merge barrier: every worker goroutine is
+	// done, so shard statistics, per-VM state and the event rings are
+	// all quiescent.
+	pr := ParallelRunStats{
+		Workers:       workers,
+		VMs:           len(live),
+		Wakes:         eng.wakes,
+		IdleWakes:     eng.idleWakes,
+		MaxQueueDepth: int(eng.maxDepth.Load()),
 	}
-	// The wg.Wait above is the merge barrier: every shard's producer
-	// goroutine is done, so draining the per-VM event rings here is
-	// race-free.
+	for _, w := range ws {
+		pr.Steps += w.steps
+		pr.Instrs += w.shard.CPU.Stats.Instructions - w.instrBase
+		pr.Dispatches += w.dispatches
+		pr.Steals += w.steals
+		pr.Parks += w.parks
+		k.mergeShard(w.shard)
+	}
+	for _, vm := range live {
+		vm.k = k
+		vm.eng.Store(nil)
+		vm.sched.Store(schedIdle)
+		// Rebase clock-domain state back onto the merged root timeline.
+		if vm.waiting {
+			vm.waitDeadline = k.Stats.ClockTicks + vm.waitRemaining
+		}
+		vm.tickBias = k.Stats.ClockTicks - vm.uptimeSeen
+		pr.FillBatches += vm.Stats.FillBatches
+		pr.BatchFills += vm.Stats.BatchFills
+		pr.SlowPathAllocs += vm.Stats.SlowPathAllocs
+	}
 	if k.rec != nil {
 		k.rec.Sync()
 	}
-	k.lastParallel = ParallelRunStats{
-		Workers:          workers,
-		VMs:              len(live),
-		Steps:            total.Load(),
-		Instrs:           instrs.Load(),
-		Cycles:           k.CPU.Cycles,
-		ShadowPoolHits:   k.Stats.ShadowPoolHits,
-		ShadowPoolMisses: k.Stats.ShadowPoolMisses,
-	}
-	for _, vm := range live {
-		k.lastParallel.FillBatches += vm.Stats.FillBatches
-		k.lastParallel.BatchFills += vm.Stats.BatchFills
-		k.lastParallel.SlowPathAllocs += vm.Stats.SlowPathAllocs
-	}
-	return total.Load()
-}
-
-// runWorker drives one VM on its shard: acquire a worker slot, run a
-// quantum, release, and either loop, park (idle VM) or finish (halted
-// or out of budget). The VM is left suspended so the root monitor can
-// resume it serially afterwards.
-func (s *VMM) runWorker(eng *engine, vm *VM, budget uint64) uint64 {
-	var total uint64
-	for !vm.halted && !s.CPU.Halted {
-		if budget > 0 && total >= budget {
-			break
-		}
-		q := uint64(workerQuantum)
-		if budget > 0 && budget-total < q {
-			q = budget - total
-		}
-		eng.acquire()
-		ran := s.runQuantum(vm, q)
-		eng.release()
-		total += ran
-		if s.shouldPark(vm) {
-			if vm.rec != nil {
-				vm.rec.Record(trace.EvSchedPark, s.CPU.Cycles, 0)
-			}
-			eng.park(vm)
-		}
-	}
-	if s.Current() == vm {
-		s.suspend(vm)
-	}
-	return total
+	pr.Cycles = k.CPU.Cycles
+	pr.ShadowPoolHits = k.Stats.ShadowPoolHits
+	pr.ShadowPoolMisses = k.Stats.ShadowPoolMisses
+	k.lastParallel = pr
+	return pr.Steps
 }
 
 // runQuantum steps the shard for up to q processor steps, in chunks so

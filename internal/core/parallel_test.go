@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -339,5 +340,80 @@ func TestSerialEngineStaysDefault(t *testing.T) {
 	assertAllHaltedNormally(t, vms)
 	if pr := k.LastParallelRun(); pr.VMs != 0 {
 		t.Errorf("serial config used the parallel engine: %+v", pr)
+	}
+}
+
+// parChurnSrc needs four separately delivered disk interrupts before
+// it halts, parking between each — the repeated park/post/wake cycle
+// the churn test hammers.
+const parChurnSrc = `
+start:	cmpl r7, #4
+	bgeq done
+	wait
+	brb start
+done:	halt
+	.align 4
+dskh:	incl r7
+	rei
+`
+
+// TestParkPostWakeChurn is the lost-wakeup stress: 64 VMs that each
+// need four externally posted interrupts, on 4 workers, with host
+// goroutines hammering PostIRQ the whole time. Every park/post
+// interleaving must either see the post before parking or be unparked
+// by it; a single lost wakeup leaves a VM parked with a non-empty
+// mailbox forever and the run never finishes (caught by the timeout).
+// Run under -race this also exercises the engine's handoff ordering.
+func TestParkPostWakeChurn(t *testing.T) {
+	const nVMs = 64
+	k := New(16<<20, Config{Workers: 4, WaitTimeout: 4})
+	vms := make([]*VM, nVMs)
+	for i := range vms {
+		vms[i] = addTestVM(t, k, fmt.Sprintf("churn%d", i), parChurnSrc,
+			map[vax.Vector]string{vax.VecDisk: "dskh"})
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		k.Run(0)
+	}()
+	// Four hammers, one per stripe of the fleet, posting until the run
+	// completes. Posting to an already-halted VM is a harmless no-op,
+	// so the hammers need no per-VM completion tracking.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for i := g; i < nVMs; i += 4 {
+					vms[i].PostIRQ(vax.IPLDisk, vax.VecDisk)
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+		}(g)
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("fleet did not finish: a VM stayed parked with a non-empty mailbox")
+	}
+	wg.Wait()
+	assertAllHaltedNormally(t, vms)
+	pr := k.LastParallelRun()
+	if pr.VMs != nVMs || pr.Workers != 4 {
+		t.Errorf("LastParallelRun = %d VMs on %d workers, want %d on 4", pr.VMs, pr.Workers, nVMs)
+	}
+	if pr.Parks == 0 {
+		t.Error("no VM ever parked: the churn never exercised the park path")
+	}
+	if pr.Wakes == 0 {
+		t.Error("no parked VM was ever woken by a post")
 	}
 }

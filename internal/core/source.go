@@ -83,6 +83,12 @@ func (pr ParallelRunStats) Counters(emit func(name string, v uint64)) {
 	emit("steps", pr.Steps)
 	emit("instructions", pr.Instrs)
 	emit("cycles", pr.Cycles)
+	emit("dispatches", pr.Dispatches)
+	emit("steals", pr.Steals)
+	emit("parks", pr.Parks)
+	emit("wakes", pr.Wakes)
+	emit("idle_wakes", pr.IdleWakes)
+	emit("max_queue_depth", uint64(pr.MaxQueueDepth))
 	emit("fill_batches", pr.FillBatches)
 	emit("batch_fills", pr.BatchFills)
 	emit("slow_path_allocs", pr.SlowPathAllocs)

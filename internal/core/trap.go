@@ -224,9 +224,13 @@ func (k *VMM) handleRealInterrupt(e *vax.Exception, start uint64) {
 	// Therefore the VMOS code should read this time rather than
 	// computing it." The cell carries real uptime for every VM,
 	// running, waiting or preempted.
+	// tickBias rebases the cell into the VM's own clock domain: worker
+	// shards advance their clocks independently, so a VM migrating
+	// between them would otherwise see uptime jump or run backwards.
+	// On the serial engine the bias is zero and this is the identity.
 	for _, vm := range k.vms {
 		if !vm.halted && vm.uptime != 0 {
-			vm.writePhys(vm.uptime, uint32(k.Stats.ClockTicks))
+			vm.writePhys(vm.uptime, uint32(k.Stats.ClockTicks-vm.tickBias))
 		}
 	}
 	// Wake WAITing VMs whose timeout expired or that have work. Bare

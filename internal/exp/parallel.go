@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/vax"
 )
 
@@ -24,15 +25,10 @@ func ParallelScaling(fleets []int, workers int) (*Result, error) {
 		Title:   "Parallel multi-VM engine: aggregate throughput vs the serial engine",
 		Headers: []string{"VMs", "serial instr/sec", "parallel instr/sec", "speedup"},
 	}
-	const computeSrc = `
-start:	clrl r0
-	movl #200000, r1
-loop:	addl2 #7, r0
-	sobgtr r1, loop
-	halt
-`
+	cache := mem.NewCache()
+	defer cache.Drain()
 	for _, n := range fleets {
-		sInstr, sDur, err := runFleet(computeSrc, n, 1)
+		sRes, err := runFleet(n, 0, 1, cache)
 		if err != nil {
 			return nil, fmt.Errorf("%d VMs serial: %w", n, err)
 		}
@@ -40,12 +36,12 @@ loop:	addl2 #7, r0
 		if w <= 0 {
 			w = n
 		}
-		pInstr, pDur, err := runFleet(computeSrc, n, w)
+		pRes, err := runFleet(n, 0, w, cache)
 		if err != nil {
 			return nil, fmt.Errorf("%d VMs parallel: %w", n, err)
 		}
-		sRate := float64(sInstr) / sDur.Seconds()
-		pRate := float64(pInstr) / pDur.Seconds()
+		sRate := float64(sRes.instrs) / sRes.elapsed.Seconds()
+		pRate := float64(pRes.instrs) / pRes.elapsed.Seconds()
 		r.addRow(fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.0f", sRate),
 			fmt.Sprintf("%.0f", pRate),
@@ -56,22 +52,108 @@ loop:	addl2 #7, r0
 	return r, nil
 }
 
-// runFleet boots n identical compute guests and runs them to
-// completion under the given worker count (1 = serial engine).
-func runFleet(src string, n, workers int) (instrs uint64, elapsed time.Duration, err error) {
-	img, start, err := campaignImage(src, nil)
-	if err != nil {
-		return 0, 0, err
+// ParallelDensity pushes VM count instead of throughput: fleets that
+// are mostly idle guests (a WAIT loop, the shape of a logged-in but
+// inactive timesharing VM from the paper's world) with one compute
+// guest per 32, run on a small fixed worker pool. The interesting
+// output is the scheduler's behavior — parked VMs must cost no worker
+// time, so a pool of 8 should carry 1024 VMs without the wall clock
+// exploding. Wall-clock based, so not part of All().
+func ParallelDensity(fleets []int, workers int) (*Result, error) {
+	if len(fleets) == 0 {
+		fleets = []int{64, 256, 1024}
 	}
-	k := core.New(32<<20, core.Config{Workers: workers})
+	if workers <= 0 {
+		workers = 8
+	}
+	r := &Result{
+		ID:      "PD",
+		Title:   "Parallel engine density: mostly-idle fleets on a small worker pool",
+		Headers: []string{"VMs", "workers", "wall ms", "parks", "wakes", "steals", "max queue"},
+	}
+	cache := mem.NewCache()
+	defer cache.Drain()
+	for _, n := range fleets {
+		busy := n / 32
+		if busy < 1 {
+			busy = 1
+		}
+		res, err := runFleet(n, n-busy, workers, cache)
+		if err != nil {
+			return nil, fmt.Errorf("%d VMs density: %w", n, err)
+		}
+		pr := res.sched
+		r.addRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", pr.Workers),
+			fmt.Sprintf("%.1f", float64(res.elapsed.Microseconds())/1000),
+			fmt.Sprintf("%d", pr.Parks), fmt.Sprintf("%d", pr.Wakes),
+			fmt.Sprintf("%d", pr.Steals), fmt.Sprintf("%d", pr.MaxQueueDepth))
+	}
+	r.addNote("each fleet is idle WAIT-loop guests plus one compute guest per 32")
+	r.addNote("wall-clock measurement: not deterministic, excluded from the default experiment set")
+	return r, nil
+}
+
+// parallelComputeSrc is the busy guest: a counted add loop, then HALT.
+const parallelComputeSrc = `
+start:	clrl r0
+	movl #200000, r1
+loop:	addl2 #7, r0
+	sobgtr r1, loop
+	halt
+`
+
+// parallelIdleSrc is the idle guest: three WAITs (long enough to be
+// parked and ride the fleet-wide idle wakes), then HALT.
+const parallelIdleSrc = `
+start:	movl #3, r10
+loop:	wait
+	sobgtr r10, loop
+	halt
+`
+
+// fleetResult carries one fleet run's measurements.
+type fleetResult struct {
+	instrs  uint64
+	elapsed time.Duration
+	sched   core.ParallelRunStats
+}
+
+// runFleet boots n guests — the first `idlers` of them WAIT-loop idle
+// guests, the rest compute guests — and runs them to completion under
+// the given worker count (1 = serial engine). Monitor memory is sized
+// to the fleet: each VM needs its 64 KB of RAM plus a few dozen shadow
+// pages, so 128 KB per VM with 1 MB of slack keeps 1024 VMs around
+// 129 MB instead of a fixed huge arena. The backing store is recycled
+// across calls through the caller's mem.Cache.
+func runFleet(n, idlers, workers int, cache *mem.Cache) (fleetResult, error) {
+	compute, computeStart, err := campaignImage(parallelComputeSrc, nil)
+	if err != nil {
+		return fleetResult{}, err
+	}
+	idle, idleStart, err := campaignImage(parallelIdleSrc, nil)
+	if err != nil {
+		return fleetResult{}, err
+	}
+	memBytes := uint32(n)*(128<<10) + (1 << 20)
+	cfg := core.Config{Workers: workers, MemCache: cache}
+	if idlers > 0 {
+		// Idle guests' WAITs time out against virtual ticks; a short
+		// timeout keeps the idle portion of the run brief.
+		cfg.WaitTimeout = 2
+	}
+	k := core.New(memBytes, cfg)
 	vms := make([]*core.VM, n)
 	for i := range vms {
+		img, start := compute, computeStart
+		if i < idlers {
+			img, start = idle, idleStart
+		}
 		vm, cerr := k.CreateVM(core.VMConfig{
 			Name: fmt.Sprintf("vm%d", i), MemBytes: cgMem, Image: img,
 			StartPC: start, PreMapped: true, SBR: cgSPT, SLR: cgSPTLen, SCBB: 0,
 		})
 		if cerr != nil {
-			return 0, 0, cerr
+			return fleetResult{}, cerr
 		}
 		vm.SPs[vax.Kernel] = vax.SystemBase + 0x8000
 		vm.ISP = vax.SystemBase + 0x8800
@@ -79,16 +161,18 @@ func runFleet(src string, n, workers int) (instrs uint64, elapsed time.Duration,
 	}
 	t0 := time.Now()
 	k.Run(0)
-	elapsed = time.Since(t0)
+	res := fleetResult{elapsed: time.Since(t0)}
 	for _, vm := range vms {
 		if halted, msg := vm.Halted(); !halted || msg != vmHaltNormal {
-			return 0, 0, fmt.Errorf("%s did not halt normally (%q)", vm.Name(), msg)
+			return fleetResult{}, fmt.Errorf("%s did not halt normally (%q)", vm.Name(), msg)
 		}
 	}
-	if pr := k.LastParallelRun(); pr.VMs > 0 {
-		instrs = pr.Instrs
+	res.sched = k.LastParallelRun()
+	if res.sched.VMs > 0 {
+		res.instrs = res.sched.Instrs
 	} else {
-		instrs = k.CPU.Stats.Instructions
+		res.instrs = k.CPU.Stats.Instructions
 	}
-	return instrs, elapsed, nil
+	k.Release()
+	return res, nil
 }

@@ -1,0 +1,129 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/vax"
+)
+
+// drainPool empties the global pool of buffers of the given size so a
+// test starts from a known state (other tests share the pool).
+func drainPool(size uint32) {
+	pool.mu.Lock()
+	delete(pool.bufs, size)
+	pool.mu.Unlock()
+}
+
+// TestCacheReusesReleasedBuffer: release-then-new of the same size is
+// served locally, and the recycled buffer comes back fully zero even
+// after guest writes.
+func TestCacheReusesReleasedBuffer(t *testing.T) {
+	const size = 8 * vax.PageSize
+	drainPool(size)
+	c := NewCache()
+	m := c.New(size)
+	if err := m.StoreLong(3*vax.PageSize+4, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	data := &m.data[0]
+	c.Release(m, size)
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d buffers after release, want 1", c.Len())
+	}
+	m2 := c.New(size)
+	if &m2.data[0] != data {
+		t.Error("cache did not reuse the released buffer")
+	}
+	v, err := m2.LoadLong(3*vax.PageSize + 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("recycled buffer not zeroed: read %#x", v)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache holds %d buffers after reuse, want 0", c.Len())
+	}
+}
+
+// TestCacheSpillBound: the local cache keeps at most cacheMaxPerSize
+// buffers of one size; extras spill to the global pool.
+func TestCacheSpillBound(t *testing.T) {
+	const size = 2 * vax.PageSize
+	drainPool(size)
+	c := NewCache()
+	mems := make([]*Memory, cacheMaxPerSize+2)
+	for i := range mems {
+		mems[i] = &Memory{data: make([]byte, size)}
+	}
+	for _, m := range mems {
+		c.Release(m, 0)
+	}
+	if c.Len() != cacheMaxPerSize {
+		t.Errorf("cache holds %d buffers, bound is %d", c.Len(), cacheMaxPerSize)
+	}
+	pool.mu.Lock()
+	spilled := len(pool.bufs[size])
+	pool.mu.Unlock()
+	if spilled != 2 {
+		t.Errorf("global pool got %d spilled buffers, want 2", spilled)
+	}
+}
+
+// TestCacheBatchRefill: a local miss pulls a batch from the global
+// pool — one buffer returned, the rest stashed so the next miss of the
+// same size stays local.
+func TestCacheBatchRefill(t *testing.T) {
+	const size = 4 * vax.PageSize
+	drainPool(size)
+	for i := 0; i < 3; i++ {
+		(&Memory{data: make([]byte, size)}).Release(0)
+	}
+	c := NewCache()
+	m := c.New(size)
+	if m.Size() != size {
+		t.Fatalf("got %d bytes, want %d", m.Size(), size)
+	}
+	if c.Len() != cacheRefillBatch-1 {
+		t.Errorf("cache stashed %d buffers on refill, want %d", c.Len(), cacheRefillBatch-1)
+	}
+	pool.mu.Lock()
+	left := len(pool.bufs[size])
+	pool.mu.Unlock()
+	if left != 3-cacheRefillBatch {
+		t.Errorf("global pool has %d buffers after refill, want %d", left, 3-cacheRefillBatch)
+	}
+}
+
+// TestCacheDrain: Drain moves everything back to the global pool and
+// empties the cache.
+func TestCacheDrain(t *testing.T) {
+	const size = vax.PageSize
+	drainPool(size)
+	c := NewCache()
+	c.Release(&Memory{data: make([]byte, size)}, 0)
+	c.Release(&Memory{data: make([]byte, size)}, 0)
+	c.Drain()
+	if c.Len() != 0 {
+		t.Errorf("cache holds %d buffers after drain, want 0", c.Len())
+	}
+	pool.mu.Lock()
+	pooled := len(pool.bufs[size])
+	pool.mu.Unlock()
+	if pooled != 2 {
+		t.Errorf("global pool has %d buffers after drain, want 2", pooled)
+	}
+}
+
+// TestCacheRoundsUpToPages: Cache.New matches New's page rounding, so
+// cache-served and pool-served memories are interchangeable.
+func TestCacheRoundsUpToPages(t *testing.T) {
+	c := NewCache()
+	m := c.New(vax.PageSize + 1)
+	if m.Size() != 2*vax.PageSize {
+		t.Errorf("got %d bytes, want %d", m.Size(), 2*vax.PageSize)
+	}
+	if m2 := c.New(0); m2.Size() != vax.PageSize {
+		t.Errorf("zero-size request got %d bytes, want one page", m2.Size())
+	}
+}

@@ -488,5 +488,11 @@ func (m *Monitor) stat() string {
 		out += fmt.Sprintf("vm%d %s: fill-batches %d  batched-ptes %d  avg-width %.1f  slow-allocs %d\n",
 			vm.ID, vm.Name(), vs.FillBatches, vs.BatchFills, width, vs.SlowPathAllocs)
 	}
+	if pr := m.VMM.LastParallelRun(); pr.VMs > 0 {
+		out += fmt.Sprintf(
+			"parallel: %d workers  %d vms  steps %d  instrs %d\nsched: dispatches %d  steals %d  parks %d  wakes %d  idle-wakes %d  max-queue %d\n",
+			pr.Workers, pr.VMs, pr.Steps, pr.Instrs,
+			pr.Dispatches, pr.Steals, pr.Parks, pr.Wakes, pr.IdleWakes, pr.MaxQueueDepth)
+	}
 	return out
 }

@@ -33,6 +33,7 @@ const (
 	EvSchedPark                // VM gave up the processor (WAIT / worker park)
 	EvWatchdogTrip             // watchdog halted the VM; arg = idle ticks
 	EvMachineCheck             // virtual machine check delivered; arg = cause
+	EvSchedSteal               // VM migrated to a new worker; arg = worker id
 
 	NumKinds
 )
@@ -41,6 +42,7 @@ var kindNames = [NumKinds]string{
 	"vm-trap", "chm", "rei", "shadow-fill", "batch-fill", "modify-fault",
 	"virtual-irq", "kcall-start", "kcall-done", "kcall-retry",
 	"sched-run", "sched-park", "watchdog-trip", "machine-check",
+	"sched-steal",
 }
 
 func (k Kind) String() string {

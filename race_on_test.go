@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation changes allocation counts, so exact alloc-parity
+// assertions only hold without it.
+const raceEnabled = true
