@@ -87,6 +87,9 @@ func BenchmarkE8ModifyFaultAblation(b *testing.B) { benchExperiment(b, "E8") }
 func BenchmarkE9CostSensitivity(b *testing.B) { benchExperiment(b, "E9") }
 func BenchmarkE10FaultCampaign(b *testing.B)  { benchExperiment(b, "E10") }
 
+// Section 5 extended: recoverable deaths roll back to checkpoints.
+func BenchmarkE11RecoveryCampaign(b *testing.B) { benchExperiment(b, "E11") }
+
 // BenchmarkInterpreterThroughput measures the raw fetch-decode-execute
 // rate of the interpreter on a tight guest compute loop, after the
 // decoded-instruction cache is warm. It reports guest instructions per

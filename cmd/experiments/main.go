@@ -10,6 +10,7 @@
 //	experiments -md        # emit Markdown (the body of EXPERIMENTS.md)
 //	experiments -cpuprofile cpu.pprof -run E6   # profile the hot path
 //	experiments -faults -seeds 16 -seedbase 100 # fault campaign only
+//	experiments -recover -seeds 8               # recovery campaign only
 //	experiments -parallel -vms 1,2,4,8          # multi-VM engine scaling
 //	experiments -density -vms 64,256,1024       # mostly-idle fleet density
 package main
@@ -38,6 +39,7 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	faults := flag.Bool("faults", false, "run only the fault-injection campaign (E10) with -seeds/-seedbase")
+	recoverFlag := flag.Bool("recover", false, "run only the recovery campaign (E11) with -seeds/-seedbase")
 	seeds := flag.Int("seeds", 8, "number of campaign seeds (with -faults)")
 	seedbase := flag.Int64("seedbase", 1, "first campaign seed (with -faults)")
 	parallel := flag.Bool("parallel", false, "measure the parallel multi-VM engine against the serial engine (wall-clock, not deterministic)")
@@ -108,10 +110,14 @@ func run() int {
 		return 0
 	}
 
-	if *faults {
-		r, err := exp.FaultCampaign(exp.DefaultCampaignSeeds(*seeds, *seedbase))
+	if *faults || *recoverFlag {
+		name, campaign := "fault campaign", exp.FaultCampaign
+		if *recoverFlag {
+			name, campaign = "recovery campaign", exp.RecoveryCampaign
+		}
+		r, err := campaign(exp.DefaultCampaignSeeds(*seeds, *seedbase))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fault campaign: %v\n", err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			return 2
 		}
 		if *md {
@@ -120,7 +126,7 @@ func run() int {
 			fmt.Println(r.Format())
 		}
 		if !r.Match {
-			fmt.Fprintln(os.Stderr, "fault campaign failed")
+			fmt.Fprintln(os.Stderr, name+" failed")
 			return 1
 		}
 		return 0

@@ -36,6 +36,11 @@ const (
 	AuditSelfCheckRepair // shadow PTE repaired by the self-check pass
 	AuditFaultInjected   // fault injector applied a scheduled event
 	AuditUnknownKCALL    // KCALL with an unrecognized function code
+
+	AuditCheckpoint        // checkpoint generation taken
+	AuditVMRecovered       // supervisor restored a VM from a checkpoint
+	AuditRecoveryFallback  // a generation failed validation; older one tried
+	AuditRecoveryEscalated // recovery abandoned: VM halted permanently
 )
 
 func (k AuditKind) String() string {
@@ -66,6 +71,14 @@ func (k AuditKind) String() string {
 		return "fault-injected"
 	case AuditUnknownKCALL:
 		return "unknown-kcall"
+	case AuditCheckpoint:
+		return "checkpoint"
+	case AuditVMRecovered:
+		return "vm-recovered"
+	case AuditRecoveryFallback:
+		return "recovery-fallback"
+	case AuditRecoveryEscalated:
+		return "recovery-escalated"
 	}
 	return fmt.Sprintf("audit(%d)", uint8(k))
 }

@@ -129,6 +129,35 @@ type Config struct {
 	// (SelfCheck can still be called explicitly).
 	SelfCheckInterval uint64
 
+	// CheckpointEvery takes a periodic checkpoint of the running VM
+	// every n ticks of its own virtual clock (n × ClockPeriod guest
+	// cycles), quiesced at an instruction boundary, into an in-memory
+	// ring of CheckpointGenerations generations per VM. 0 disables
+	// periodic checkpointing; the disabled path costs one comparison
+	// per tick and no allocation. A checkpoint is skipped while the VM
+	// has made no progress event since its last one, so a stalling
+	// guest cannot flood its ring with stall-state generations.
+	CheckpointEvery uint64
+
+	// CheckpointGenerations is the per-VM checkpoint ring depth. 0
+	// selects the default of 4 when CheckpointEvery is set.
+	CheckpointGenerations int
+
+	// CheckpointCompress stores checkpoint sections DEFLATE-compressed
+	// (slower to take, roughly 10x smaller for mostly-zero guests).
+	CheckpointCompress bool
+
+	// Recover arms the supervisor: a VM that dies from a watchdog trip
+	// or a handler-less virtual machine check is rolled back to its
+	// newest valid checkpoint generation instead of staying dead,
+	// falling back a generation when one fails validation, and
+	// escalating to a permanent halt after RecoverBudget recoveries.
+	Recover bool
+
+	// RecoverBudget bounds recoveries per VM (0 selects the default of
+	// 8 when Recover is set).
+	RecoverBudget int
+
 	// Workers selects the execution engine. The default (0 or 1) is the
 	// deterministic single-threaded round-robin scheduler, which every
 	// experiment and the fault campaign rely on for exact replay. A
@@ -175,6 +204,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.WaitTimeout == 0 {
 		cfg.WaitTimeout = 16
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointGenerations == 0 {
+		cfg.CheckpointGenerations = 4
+	}
+	if cfg.Recover && cfg.RecoverBudget == 0 {
+		cfg.RecoverBudget = 8
 	}
 	return cfg
 }
@@ -548,7 +583,32 @@ func (k *VMM) Run(maxSteps uint64) uint64 {
 	if k.Current() == nil {
 		k.scheduleNext()
 	}
-	return k.CPU.Run(maxSteps)
+	if !k.cfg.Recover {
+		return k.CPU.Run(maxSteps)
+	}
+	// With the supervisor armed, a machine halt may mean "every live VM
+	// is dead but some are recoverable": recover them and keep going.
+	// (Deaths while other VMs stay runnable are recovered by the tick
+	// handler without the machine ever halting.)
+	total := k.CPU.Run(maxSteps)
+	for k.CPU.Halted && (maxSteps == 0 || total < maxSteps) {
+		if !k.recoverPending() {
+			break
+		}
+		k.CPU.ClearHalt()
+		if k.Current() == nil {
+			k.scheduleNext()
+		}
+		if k.CPU.Halted {
+			break
+		}
+		var budget uint64
+		if maxSteps > 0 {
+			budget = maxSteps - total
+		}
+		total += k.CPU.Run(budget)
+	}
+	return total
 }
 
 // liveVMs counts VMs that have not halted.

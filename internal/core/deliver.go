@@ -170,7 +170,15 @@ func (k *VMM) deliverToVM(vm *VM, vec vax.Vector, params []uint32, pc uint32,
 	handler := scbLong &^ 3
 	useIS := scbLong&1 == 1 && newMode == vax.Kernel
 	if handler == 0 {
-		k.haltVM(vm, "VM has no handler for "+vec.String())
+		// A machine check the guest never wired a handler for is a
+		// recoverable death: the error is external to the checkpointed
+		// state, so the supervisor may roll the VM back. Every other
+		// missing handler is the guest's own structural bug.
+		cause := haltFatal
+		if vec == vax.VecMachineCheck {
+			cause = haltNoHandler
+		}
+		k.haltVMCause(vm, "VM has no handler for "+vec.String(), cause)
 		return
 	}
 

@@ -45,8 +45,15 @@ func (k *VMM) Faults() *fault.Injector { return k.faults }
 func (k *VMM) SetWatchdog(ticks uint64) { k.cfg.Watchdog = ticks }
 
 // noteProgress stamps a progress event — WAIT, CHM, completed I/O or a
-// context switch — against the VM's own CPU time.
-func (k *VMM) noteProgress(vm *VM) { vm.lastProgress = vm.ticks }
+// context switch — against the VM's own CPU time. Progress also resets
+// the supervisor's generation fallback: a VM that recovers and then
+// demonstrably moves forward has earned a fresh newest-generation
+// restore at its next death.
+func (k *VMM) noteProgress(vm *VM) {
+	vm.lastProgress = vm.ticks
+	vm.progressSeq++
+	vm.ckptFallback = 0
+}
 
 // machineCheck delivers a virtual machine check to the current VM: the
 // parameter longwords are {byte count, cause code, cause info}, so the
@@ -79,7 +86,8 @@ func (k *VMM) checkWatchdog(vm *VM) bool {
 		vm.rec.Record(trace.EvWatchdogTrip, k.CPU.Cycles, uint32(idle))
 	}
 	k.record(vm, AuditWatchdogTrip, fmt.Sprintf("no progress event in %d ticks", idle))
-	k.haltVM(vm, fmt.Sprintf("watchdog: no progress event in %d ticks", idle))
+	k.haltVMCause(vm, fmt.Sprintf("watchdog: no progress event in %d ticks", idle),
+		haltWatchdog)
 	return true
 }
 

@@ -33,6 +33,25 @@ func WithRecorder(rec *trace.Recorder) Option {
 	return func(cfg *Config) { cfg.Recorder = rec }
 }
 
+// WithCheckpoints enables periodic checkpointing: one generation every
+// `every` ticks of each VM's virtual clock, kept in a ring of `gens`
+// generations (0 selects the default depth).
+func WithCheckpoints(every uint64, gens int) Option {
+	return func(cfg *Config) {
+		cfg.CheckpointEvery = every
+		cfg.CheckpointGenerations = gens
+	}
+}
+
+// WithRecovery arms the supervisor with the given per-VM recovery
+// budget (0 selects the default).
+func WithRecovery(budget int) Option {
+	return func(cfg *Config) {
+		cfg.Recover = true
+		cfg.RecoverBudget = budget
+	}
+}
+
 // WithMemCache routes the monitor's physical-memory allocation and
 // release through a goroutine-confined backing-store cache instead of
 // the global pool, so concurrent harness workers booting and
@@ -62,6 +81,12 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.CostScalePercent < 0 {
 		return fmt.Errorf("CostScalePercent must be non-negative, got %d", cfg.CostScalePercent)
+	}
+	if cfg.CheckpointGenerations < 0 || cfg.CheckpointGenerations > 64 {
+		return fmt.Errorf("CheckpointGenerations must be in [0, 64], got %d", cfg.CheckpointGenerations)
+	}
+	if cfg.RecoverBudget < 0 {
+		return fmt.Errorf("RecoverBudget must be non-negative, got %d", cfg.RecoverBudget)
 	}
 	return nil
 }

@@ -77,6 +77,11 @@ type ParallelRunStats struct {
 	SlowPathAllocs   uint64
 	ShadowPoolHits   uint64
 	ShadowPoolMisses uint64
+
+	// Supervisor totals over the participating VMs: checkpoint
+	// generations taken and recoveries performed on worker shards.
+	Checkpoints uint64
+	Recoveries  uint64
 }
 
 // LastParallelRun returns statistics for the most recent RunParallel.
@@ -282,6 +287,10 @@ func (k *VMM) resetShard(s *VMM) {
 	s.vms[0] = nil
 	s.audit = k.audit
 	s.rec = k.rec
+	// The root's config may have moved since the shard was built
+	// (SetCheckpointPolicy, SetRecovery, SetWatchdog); shards carry a
+	// copy, so refresh it per run.
+	s.cfg = k.cfg
 }
 
 // mergeShard folds a finished shard's statistics back into the root.
@@ -390,6 +399,21 @@ func (e *engine) drive(w *worker, vm *VM) {
 			vm.stepsLeft -= ran
 		}
 		switch {
+		case vm.pendingRecover:
+			// The VM died recoverably on this shard. The worker is its
+			// owner and sits at an instruction boundary — a safe point —
+			// so recover on-shard and keep driving; decode invalidation
+			// and WAIT rebasing happen against this shard's CPU and
+			// clock, which is exactly where the VM resumes.
+			if s.tryRecover(vm) {
+				if s.CPU.Halted {
+					s.CPU.ClearHalt()
+				}
+				continue
+			}
+			e.detach(w, vm)
+			e.finish(vm)
+			return
 		case vm.halted || s.CPU.Halted || ran == 0 ||
 			(e.budget > 0 && vm.stepsLeft == 0):
 			e.detach(w, vm)
@@ -516,6 +540,8 @@ func (k *VMM) RunParallel(workers int, maxStepsPerVM uint64) uint64 {
 		pr.FillBatches += vm.Stats.FillBatches
 		pr.BatchFills += vm.Stats.BatchFills
 		pr.SlowPathAllocs += vm.Stats.SlowPathAllocs
+		pr.Checkpoints += vm.Stats.Checkpoints
+		pr.Recoveries += vm.Stats.Recoveries
 	}
 	if k.rec != nil {
 		k.rec.Sync()

@@ -71,6 +71,10 @@ func (vm *VM) Counters(emit func(name string, v uint64)) {
 	emit("watchdog_trips", s.WatchdogTrips)
 	emit("selfcheck_repairs", s.SelfCheckRepairs)
 	emit("unknown_kcalls", s.UnknownKCALLs)
+	emit("checkpoints", s.Checkpoints)
+	emit("recoveries", s.Recoveries)
+	emit("recovery_fallbacks", s.RecoveryFallbacks)
+	emit("recovery_escalations", s.RecoveryEscalations)
 }
 
 // Name identifies the parallel-run counter source.
@@ -94,4 +98,6 @@ func (pr ParallelRunStats) Counters(emit func(name string, v uint64)) {
 	emit("slow_path_allocs", pr.SlowPathAllocs)
 	emit("shadow_pool_hits", pr.ShadowPoolHits)
 	emit("shadow_pool_miss", pr.ShadowPoolMisses)
+	emit("checkpoints", pr.Checkpoints)
+	emit("recoveries", pr.Recoveries)
 }

@@ -259,7 +259,17 @@ func (k *VMM) handleRealInterrupt(e *vax.Exception, start uint64) {
 	if k.cfg.SelfCheckInterval > 0 && k.Stats.ClockTicks%k.cfg.SelfCheckInterval == 0 {
 		k.SelfCheck()
 	}
+	// Supervisor hooks, still inside the reattribution window below so
+	// recovery and checkpoint work lands in the VMM bucket: bring back
+	// VMs that died recoverably since the last tick, then take any due
+	// periodic checkpoint of the running VM.
+	if k.cfg.Recover {
+		k.recoverPending()
+	}
 	cur = k.Current()
+	if k.cfg.CheckpointEvery > 0 {
+		k.maybeCheckpoint(cur)
+	}
 	if k.checkWatchdog(cur) {
 		return // haltVM already scheduled a neighbor
 	}

@@ -65,6 +65,11 @@ type VMStats struct {
 	FillBatches    uint64 // demand fills that batched at least one neighbor PTE
 	BatchFills     uint64 // neighbor shadow PTEs filled by batching
 	SlowPathAllocs uint64 // slow-path events that fell back to heap allocation
+
+	Checkpoints         uint64 // checkpoint generations taken
+	Recoveries          uint64 // supervisor restores from a checkpoint
+	RecoveryFallbacks   uint64 // generations rejected (bad CRC etc.) during recovery
+	RecoveryEscalations uint64 // recoveries abandoned: VM permanently halted
 }
 
 // VMConfig describes a virtual machine to create.
@@ -172,6 +177,24 @@ type VM struct {
 	haltCycles   uint64 // real cycle count at the moment of the halt
 
 	lastProgress uint64 // vm.ticks at the last progress event (watchdog)
+
+	// Checkpoint ring and supervisor state, owner-confined like Stats.
+	// Everything here is lazily initialized by the first checkpoint so
+	// a VM on a monitor with checkpointing disabled carries only zero
+	// values (CreateVM stays allocation-neutral).
+	ckptGens     [][]byte // generation ring; nil until the first checkpoint
+	ckptHead     int      // ring index of the newest generation
+	ckptSeq      uint64   // checkpoints taken over the VM's lifetime
+	ckptLastTick uint64   // vm.ticks at the last periodic checkpoint
+	ckptMark     uint64   // progressSeq at the last periodic checkpoint
+	ckptFallback int      // generations to step back at the next recovery
+	progressSeq  uint64   // monotonic progress-event counter
+	// pendingRecover marks a recoverable death (watchdog trip,
+	// handler-less machine check) awaiting the supervisor. The VM halts
+	// normally first — callers unwind through the vm.halted guards —
+	// and a safe point (the tick handler, the Run halt loop, or the
+	// parallel drive loop) performs the actual rollback.
+	pendingRecover bool
 
 	shadow *shadowSpace
 	disk   *vDisk
@@ -476,11 +499,36 @@ func (k *VMM) guestSP(vm *VM) uint32 {
 	return vm.SPs[k.CPU.VMPSL.Cur()]
 }
 
+// haltCause classifies why a VM is being halted, which decides whether
+// the supervisor may bring it back.
+type haltCause int
+
+const (
+	// haltFatal deaths (guest HALT, nonexistent-memory references,
+	// unrecoverable VMM state) are final even with the supervisor armed.
+	haltFatal haltCause = iota
+	// haltWatchdog and haltNoHandler deaths are external to the
+	// checkpointed state — a stall, or a device error the guest has no
+	// handler for — so rolling back to a checkpoint is meaningful.
+	haltWatchdog
+	haltNoHandler
+)
+
 // haltVM stops a VM permanently — the response to HALT in VM-kernel
 // mode and to references to nonexistent memory ("we respond by halting
 // the VM, because touching non-existent memory can be a symptom of a
 // security attack", Section 5).
 func (k *VMM) haltVM(vm *VM, msg string) {
+	k.haltVMCause(vm, msg, haltFatal)
+}
+
+// haltVMCause is haltVM with a death classification. A recoverable
+// death under an armed supervisor halts the VM exactly like a fatal one
+// — every unwinding caller checks vm.halted, and recovery in their
+// midst would hand another VM's state to code still unwinding this
+// one's — but keeps the shadow frames and marks the VM for deferred
+// recovery at the next safe point.
+func (k *VMM) haltVMCause(vm *VM, msg string, cause haltCause) {
 	vm.halted = true
 	vm.haltMsg = msg
 	vm.haltCycles = k.CPU.Cycles
@@ -488,6 +536,11 @@ func (k *VMM) haltVM(vm *VM, msg string) {
 	if k.Current() == vm {
 		k.suspend(vm)
 		vm.halted = true // suspend does not clear it; keep explicit
+	}
+	if cause != haltFatal && k.cfg.Recover {
+		vm.pendingRecover = true
+		k.scheduleNext()
+		return
 	}
 	// A halted VM never resumes: its shadow-table frames are dead, and
 	// the bump allocator cannot reclaim them on its own. Park the runs

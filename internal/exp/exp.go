@@ -115,6 +115,7 @@ func All() []Spec {
 		{"E8", "Modify fault vs read-only shadow (Section 4.4.2 ablation)", E8ModifyFaultAblation},
 		{"E9", "Cost-model sensitivity (methodology check)", E9CostSensitivity},
 		{"E10", "Fault-injection campaign: isolation under injected faults", E10FaultCampaign},
+		{"E11", "Recovery campaign: checkpointed VMs survive injected deaths", E11RecoveryCampaign},
 	}
 }
 

@@ -138,8 +138,8 @@ func TestAllSpecsDistinct(t *testing.T) {
 			t.Errorf("%s incomplete", s.ID)
 		}
 	}
-	if len(seen) != 17 {
-		t.Errorf("%d experiments, want 17", len(seen))
+	if len(seen) != 18 {
+		t.Errorf("%d experiments, want 18", len(seen))
 	}
 	if _, ok := ByID("nope"); ok {
 		t.Error("ByID accepted an unknown id")

@@ -45,6 +45,11 @@ type Config struct {
 	// the injector with VM -1).
 	TargetVM int
 
+	// TargetVMs, when non-empty, overrides TargetVM with an explicit
+	// victim set — the recovery campaign aims different fault classes
+	// at different VMs of one machine.
+	TargetVMs []int
+
 	// TransientDiskRate is the per-operation probability that a disk
 	// transfer starts a transient error burst of 1..TransientBurst
 	// failed attempts; PermanentDiskRate is the per-operation
@@ -73,6 +78,12 @@ type Config struct {
 	// PTECorruptions shadow-PTE corruption events spread over the
 	// horizon: each flips the frame number of one live shadow PTE.
 	PTECorruptions int
+
+	// CkptCorruptions poisons the newest checkpoint generation of a
+	// targeted VM at recovery time, for the first n recoveries: the
+	// supervisor must reject the corrupted image (CRC) and fall back a
+	// generation.
+	CkptCorruptions int
 
 	// Horizon is the tick range over which scheduled events spread.
 	Horizon uint64
@@ -106,6 +117,7 @@ type Stats struct {
 	BusErrors       uint64
 	StormDeliveries uint64 // delivery opportunities inside a storm
 	PTECorruptions  uint64 // corruption events applied by the caller
+	CkptCorruptions uint64 // checkpoint generations poisoned by the caller
 }
 
 // window is a half-open tick range, optionally with a physical range.
@@ -127,6 +139,7 @@ type Injector struct {
 	corrupts   []uint64 // sorted maturity ticks, consumed front to back
 
 	failLeft int // remaining attempts of the current transient burst
+	ckptLeft int // remaining checkpoint-corruption events
 
 	Stats Stats
 }
@@ -150,7 +163,8 @@ func New(seed int64, cfg Config) *Injector {
 	if cfg.StormTicks == 0 {
 		cfg.StormTicks = 2
 	}
-	i := &Injector{seed: seed, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	i := &Injector{seed: seed, cfg: cfg, rng: rand.New(rand.NewSource(seed)),
+		ckptLeft: cfg.CkptCorruptions}
 	for n := 0; n < cfg.BusWindows; n++ {
 		from := uint64(i.rng.Int63n(int64(cfg.Horizon)))
 		base := cfg.BusBase
@@ -180,8 +194,17 @@ func (i *Injector) Seed() int64 { return i.seed }
 func (i *Injector) Config() Config { return i.cfg }
 
 // Targets reports whether the plan injects into the given VM (negative
-// TargetVM matches everything).
+// TargetVM matches everything; a non-empty TargetVMs set wins over
+// TargetVM).
 func (i *Injector) Targets(vm int) bool {
+	if len(i.cfg.TargetVMs) > 0 {
+		for _, t := range i.cfg.TargetVMs {
+			if vm == t {
+				return true
+			}
+		}
+		return false
+	}
 	return i.cfg.TargetVM < 0 || vm == i.cfg.TargetVM
 }
 
@@ -255,6 +278,20 @@ func (i *Injector) TakeCorruption(vm int, tick uint64) bool {
 // NoteCorruption records that the caller applied a corruption event.
 func (i *Injector) NoteCorruption() { i.Stats.PTECorruptions++ }
 
+// TakeCkptCorruption consumes one checkpoint-corruption event for the
+// given VM, if any remain: count-based rather than tick-based, because
+// the events fire at recovery time, whenever that happens to be.
+func (i *Injector) TakeCkptCorruption(vm int) bool {
+	if !i.Targets(vm) || i.ckptLeft == 0 {
+		return false
+	}
+	i.ckptLeft--
+	return true
+}
+
+// NoteCkptCorruption records that the caller poisoned a generation.
+func (i *Injector) NoteCkptCorruption() { i.Stats.CkptCorruptions++ }
+
 // Pick returns a deterministic choice in [0, n) for the caller's own
 // randomized decisions (which PTE to corrupt, which bit to flip).
 func (i *Injector) Pick(n int) int {
@@ -267,8 +304,12 @@ func (i *Injector) Pick(n int) int {
 // Summary renders the applied-fault counters on one line.
 func (i *Injector) Summary() string {
 	s := i.Stats
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"seed %d: transient bursts %d (%d failed attempts), permanent %d, bus errors %d, storm deliveries %d, pte corruptions %d (%d pending)",
 		i.seed, s.TransientBursts, s.TransientFails, s.PermanentErrors,
 		s.BusErrors, s.StormDeliveries, s.PTECorruptions, len(i.corrupts))
+	if i.cfg.CkptCorruptions > 0 {
+		line += fmt.Sprintf(", ckpt corruptions %d (%d pending)", s.CkptCorruptions, i.ckptLeft)
+	}
+	return line
 }

@@ -7,6 +7,7 @@ package monitor
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -75,6 +76,12 @@ func (m *Monitor) Execute(line string) (string, bool) {
 		return m.traceCmd(args), false
 	case "hist":
 		return m.histCmd(), false
+	case "checkpoint":
+		return m.checkpointCmd(args), false
+	case "restore":
+		return m.restoreCmd(args), false
+	case "recover":
+		return m.recoverCmd(args), false
 	}
 	return fmt.Sprintf("unknown command %q; try help", cmd), false
 }
@@ -98,6 +105,12 @@ commands:
   watchdog [n]    show or set the per-VM watchdog budget (0 = off)
   trace [n]       show the last n flight-recorder events (default 20)
   hist            show trap/shadow-fill/KCALL latency percentiles
+  checkpoint vm [file]  take a checkpoint generation (and save it to file)
+  restore file [name]   create a new VM from a checkpoint file
+  recover         show supervisor status and per-VM generation rings
+  recover vm      force recovery of a halted VM from its newest generation
+  recover on [budget] | off   arm or disarm automatic recovery
+  recover every n [gens]      set the periodic checkpoint policy (0 = off)
   quit            leave the monitor
 addresses accept 0x hex, decimal, or a symbol name`)
 }
@@ -458,6 +471,152 @@ func (m *Monitor) histCmd() string {
 		return "no VMM attached (hist needs -vm mode)"
 	}
 	return strings.TrimRight(trace.HistTable(m.VMM.Recorder()), "\n")
+}
+
+// vmByID finds the attached VMM's VM with the given numeric ID.
+func (m *Monitor) vmByID(arg string) (*core.VM, string) {
+	id, err := strconv.Atoi(arg)
+	if err != nil {
+		return nil, "bad vm id " + arg
+	}
+	for _, vm := range m.VMM.VMs() {
+		if vm.ID == id {
+			return vm, ""
+		}
+	}
+	return nil, fmt.Sprintf("no vm with id %d", id)
+}
+
+// checkpointCmd takes an immediate checkpoint generation of a VM and
+// optionally externalizes the stream to a file.
+func (m *Monitor) checkpointCmd(args []string) string {
+	if m.VMM == nil {
+		return "no VMM attached (checkpoint needs -vm mode)"
+	}
+	if len(args) == 0 {
+		return "usage: checkpoint vm [file]"
+	}
+	vm, errs := m.vmByID(args[0])
+	if errs != "" {
+		return errs
+	}
+	if err := m.VMM.CheckpointNow(vm); err != nil {
+		return "checkpoint failed: " + err.Error()
+	}
+	out := fmt.Sprintf("vm%d %s: checkpoint taken (%d generations held)",
+		vm.ID, vm.Name(), vm.CheckpointGenerations())
+	if len(args) > 1 {
+		img, err := m.VMM.Snapshot(vm)
+		if err != nil {
+			return "checkpoint failed: " + err.Error()
+		}
+		if err := os.WriteFile(args[1], img, 0o644); err != nil {
+			return "checkpoint write failed: " + err.Error()
+		}
+		out += fmt.Sprintf(", %d bytes written to %s", len(img), args[1])
+	}
+	return out
+}
+
+// restoreCmd creates a new VM from an externalized checkpoint stream.
+func (m *Monitor) restoreCmd(args []string) string {
+	if m.VMM == nil {
+		return "no VMM attached (restore needs -vm mode)"
+	}
+	if len(args) == 0 {
+		return "usage: restore file [name]"
+	}
+	img, err := os.ReadFile(args[0])
+	if err != nil {
+		return "restore failed: " + err.Error()
+	}
+	name := ""
+	if len(args) > 1 {
+		name = args[1]
+	}
+	vm, err := m.VMM.Restore(name, img)
+	if err != nil {
+		return "restore failed: " + err.Error()
+	}
+	return fmt.Sprintf("vm%d %s: restored from %s (%d bytes)",
+		vm.ID, vm.Name(), args[0], len(img))
+}
+
+// recoverCmd shows and controls the recovery supervisor.
+func (m *Monitor) recoverCmd(args []string) string {
+	if m.VMM == nil {
+		return "no VMM attached (recover needs -vm mode)"
+	}
+	if len(args) == 0 {
+		cfg := m.VMM.Config()
+		var b strings.Builder
+		if cfg.Recover {
+			fmt.Fprintf(&b, "supervisor armed, budget %d recoveries per VM\n", cfg.RecoverBudget)
+		} else {
+			b.WriteString("supervisor disarmed\n")
+		}
+		if cfg.CheckpointEvery > 0 {
+			fmt.Fprintf(&b, "checkpoint every %d ticks, ring of %d generations\n",
+				cfg.CheckpointEvery, cfg.CheckpointGenerations)
+		} else {
+			b.WriteString("periodic checkpoints off\n")
+		}
+		for _, vm := range m.VMM.VMs() {
+			s := vm.Stats
+			fmt.Fprintf(&b, "vm%d %s: %d generations  checkpoints %d  recoveries %d  fallbacks %d  escalations %d\n",
+				vm.ID, vm.Name(), vm.CheckpointGenerations(),
+				s.Checkpoints, s.Recoveries, s.RecoveryFallbacks, s.RecoveryEscalations)
+		}
+		return strings.TrimRight(b.String(), "\n")
+	}
+	switch args[0] {
+	case "on":
+		budget := 0
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v < 0 {
+				return "usage: recover on [budget]"
+			}
+			budget = v
+		}
+		m.VMM.SetRecovery(true, budget)
+		return fmt.Sprintf("supervisor armed, budget %d recoveries per VM", m.VMM.Config().RecoverBudget)
+	case "off":
+		m.VMM.SetRecovery(false, 0)
+		return "supervisor disarmed"
+	case "every":
+		if len(args) < 2 {
+			return "usage: recover every n [gens]"
+		}
+		every, err := strconv.ParseUint(args[1], 0, 64)
+		if err != nil {
+			return "usage: recover every n [gens]"
+		}
+		gens := 0
+		if len(args) > 2 {
+			v, err := strconv.Atoi(args[2])
+			if err != nil || v < 0 {
+				return "usage: recover every n [gens]"
+			}
+			gens = v
+		}
+		m.VMM.SetCheckpointPolicy(every, gens)
+		cfg := m.VMM.Config()
+		if cfg.CheckpointEvery == 0 {
+			return "periodic checkpoints off"
+		}
+		return fmt.Sprintf("checkpoint every %d ticks, ring of %d generations",
+			cfg.CheckpointEvery, cfg.CheckpointGenerations)
+	}
+	vm, errs := m.vmByID(args[0])
+	if errs != "" {
+		return errs
+	}
+	if err := m.VMM.RecoverNow(vm); err != nil {
+		return "recover failed: " + err.Error()
+	}
+	return fmt.Sprintf("vm%d %s: recovered (%d recoveries, %d fallbacks)",
+		vm.ID, vm.Name(), vm.Stats.Recoveries, vm.Stats.RecoveryFallbacks)
 }
 
 func (m *Monitor) stat() string {

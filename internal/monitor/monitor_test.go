@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -265,5 +267,100 @@ func TestWatchdogCommand(t *testing.T) {
 	}
 	if out := run(t, m, "watchdog 0"); !strings.Contains(out, "disabled") {
 		t.Errorf("watchdog 0 = %q", out)
+	}
+}
+
+func TestCheckpointCommandNeedsVMM(t *testing.T) {
+	m, _ := testMachine(t)
+	for _, cmd := range []string{"checkpoint 0", "restore x", "recover"} {
+		if out := run(t, m, cmd); !strings.Contains(out, "no VMM attached") {
+			t.Errorf("%q = %q", cmd, out)
+		}
+	}
+}
+
+func TestCheckpointAndRestoreCommands(t *testing.T) {
+	m, k := vmMonitor(t)
+	if out := run(t, m, "checkpoint"); !strings.Contains(out, "usage") {
+		t.Errorf("checkpoint = %q", out)
+	}
+	if out := run(t, m, "checkpoint zz"); !strings.Contains(out, "bad vm id") {
+		t.Errorf("checkpoint zz = %q", out)
+	}
+	if out := run(t, m, "checkpoint 9"); !strings.Contains(out, "no vm with id 9") {
+		t.Errorf("checkpoint 9 = %q", out)
+	}
+	file := filepath.Join(t.TempDir(), "vm0.ckpt")
+	out := run(t, m, "checkpoint 0 "+file)
+	if !strings.Contains(out, "checkpoint taken") || !strings.Contains(out, "written to") {
+		t.Fatalf("checkpoint 0 = %q", out)
+	}
+	if fi, err := os.Stat(file); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+	if out := run(t, m, "restore"); !strings.Contains(out, "usage") {
+		t.Errorf("restore = %q", out)
+	}
+	if out := run(t, m, "restore /nonexistent.ckpt"); !strings.Contains(out, "restore failed") {
+		t.Errorf("restore missing = %q", out)
+	}
+	out = run(t, m, "restore "+file+" clone")
+	if !strings.Contains(out, "restored from") || !strings.Contains(out, "clone") {
+		t.Fatalf("restore = %q", out)
+	}
+	vms := k.VMs()
+	if len(vms) != 2 || vms[1].Name() != "clone" {
+		t.Fatalf("restore did not create the clone: %d VMs", len(vms))
+	}
+	k.Run(0)
+	for _, vm := range vms {
+		if halted, msg := vm.Halted(); !halted || !strings.Contains(msg, "HALT") {
+			t.Errorf("%s: halted=%v msg=%q after restore run", vm.Name(), halted, msg)
+		}
+	}
+}
+
+func TestRecoverCommand(t *testing.T) {
+	m, k := vmMonitor(t)
+	out := run(t, m, "recover")
+	if !strings.Contains(out, "supervisor disarmed") ||
+		!strings.Contains(out, "periodic checkpoints off") ||
+		!strings.Contains(out, "vm0") {
+		t.Errorf("recover status = %q", out)
+	}
+	if out := run(t, m, "recover on 4"); !strings.Contains(out, "armed, budget 4") {
+		t.Errorf("recover on 4 = %q", out)
+	}
+	if !k.Config().Recover || k.Config().RecoverBudget != 4 {
+		t.Errorf("supervisor not armed: %+v", k.Config())
+	}
+	if out := run(t, m, "recover on zz"); !strings.Contains(out, "usage") {
+		t.Errorf("recover on zz = %q", out)
+	}
+	if out := run(t, m, "recover every 100 8"); !strings.Contains(out, "every 100 ticks") ||
+		!strings.Contains(out, "8 generations") {
+		t.Errorf("recover every = %q", out)
+	}
+	if out := run(t, m, "recover every 0"); !strings.Contains(out, "periodic checkpoints off") {
+		t.Errorf("recover every 0 = %q", out)
+	}
+	if out := run(t, m, "recover every"); !strings.Contains(out, "usage") {
+		t.Errorf("recover every = %q", out)
+	}
+	if out := run(t, m, "recover off"); !strings.Contains(out, "disarmed") {
+		t.Errorf("recover off = %q", out)
+	}
+	if out := run(t, m, "recover zz"); !strings.Contains(out, "bad vm id") {
+		t.Errorf("recover zz = %q", out)
+	}
+	if out := run(t, m, "recover 0"); !strings.Contains(out, "not halted") {
+		t.Errorf("recover live vm = %q", out)
+	}
+	// A clean guest HALT is a fatal death: the frames are released and
+	// operator recovery must refuse rather than resurrect it.
+	run(t, m, "checkpoint 0")
+	k.Run(0)
+	if out := run(t, m, "recover 0"); !strings.Contains(out, "halted permanently") {
+		t.Errorf("recover fatal vm = %q", out)
 	}
 }

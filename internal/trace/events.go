@@ -34,6 +34,8 @@ const (
 	EvWatchdogTrip             // watchdog halted the VM; arg = idle ticks
 	EvMachineCheck             // virtual machine check delivered; arg = cause
 	EvSchedSteal               // VM migrated to a new worker; arg = worker id
+	EvCheckpoint               // checkpoint generation taken; arg = sequence
+	EvRecover                  // VM restored from a checkpoint; arg = generation
 
 	NumKinds
 )
@@ -42,7 +44,7 @@ var kindNames = [NumKinds]string{
 	"vm-trap", "chm", "rei", "shadow-fill", "batch-fill", "modify-fault",
 	"virtual-irq", "kcall-start", "kcall-done", "kcall-retry",
 	"sched-run", "sched-park", "watchdog-trip", "machine-check",
-	"sched-steal",
+	"sched-steal", "checkpoint", "recover",
 }
 
 func (k Kind) String() string {
@@ -71,11 +73,12 @@ const (
 	LatTrap       Lat = iota // VM-emulation trap service, entry to exit
 	LatShadowFill            // one demand fill, including any batch
 	LatKCall                 // KCALL entry to completion, retries included
+	LatRecover               // supervisor recovery, death detection to resume-ready
 
 	NumLat
 )
 
-var latNames = [NumLat]string{"trap", "shadow_fill", "kcall"}
+var latNames = [NumLat]string{"trap", "shadow_fill", "kcall", "recover"}
 
 func (l Lat) String() string {
 	if l < NumLat {

@@ -21,7 +21,7 @@ func TestFacade(t *testing.T) {
 		t.Fatalf("bare run failed: halted=%t r0=%d", c.Halted, c.R[0])
 	}
 
-	if len(Experiments()) != 17 {
+	if len(Experiments()) != 18 {
 		t.Errorf("Experiments() = %d entries", len(Experiments()))
 	}
 	if _, ok := ExperimentByID("E1"); !ok {
