@@ -90,12 +90,12 @@ func BenchmarkE10FaultCampaign(b *testing.B)  { benchExperiment(b, "E10") }
 // Section 5 extended: recoverable deaths roll back to checkpoints.
 func BenchmarkE11RecoveryCampaign(b *testing.B) { benchExperiment(b, "E11") }
 
-// BenchmarkInterpreterThroughput measures the raw fetch-decode-execute
-// rate of the interpreter on a tight guest compute loop, after the
-// decoded-instruction cache is warm. It reports guest instructions per
-// second and, via ReportAllocs, holds the steady-state hot path to zero
+// benchThroughput measures the raw execution rate of a tight guest
+// compute loop, after the decoded-instruction cache (and, tier-on, the
+// superblock cache) is warm. It reports guest instructions per second
+// and, via ReportAllocs, holds the steady-state hot path to zero
 // allocations per iteration.
-func BenchmarkInterpreterThroughput(b *testing.B) {
+func benchThroughput(b *testing.B, translate bool) {
 	prog, err := asm.Assemble(`
 start:	clrl r0
 	movl #1000, r1
@@ -113,10 +113,11 @@ loop:	addl2 #7, r0
 	c := cpu.New(m, cpu.StandardVAX)
 	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
 	c.SetSP(0x8000)
+	c.EnableTranslation(translate)
 	start := prog.MustSymbol("start")
 
-	// Warm-up run: populates the decode cache so the timed iterations
-	// measure the replay path.
+	// Warm-up run: populates the decode cache (and crosses the heat
+	// threshold, tier-on) so the timed iterations measure the hot path.
 	c.SetPC(start)
 	c.Run(0)
 	if !c.Halted {
@@ -136,8 +137,19 @@ loop:	addl2 #7, r0
 	if c.R[0] != 7000 {
 		b.Fatalf("guest computed %d, want 7000", c.R[0])
 	}
+	if translate && c.Stats.SBEnters == 0 {
+		b.Fatal("translation tier never entered a superblock")
+	}
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "instr/sec")
 }
+
+// BenchmarkInterpreterThroughput is the baseline fetch-decode-execute
+// rate with the hot-trace tier off.
+func BenchmarkInterpreterThroughput(b *testing.B) { benchThroughput(b, false) }
+
+// BenchmarkTranslationThroughput is the same loop with the hot-trace
+// superblock tier on; ci.sh gates on its speedup over the baseline.
+func BenchmarkTranslationThroughput(b *testing.B) { benchThroughput(b, true) }
 
 // Guest layout for the multi-VM scaling benchmark (mirrors the
 // internal/core test harness: identity-mapped SPT, code at S+0x1000).

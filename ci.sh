@@ -194,6 +194,42 @@ awk -v off="$off" -v on="$on" 'BEGIN {
     if (delta > 5) { print "  REGRESSION: recorder-on E3 more than 5% slower"; exit 1 }
 }'
 
+echo "== translation-tier gate (superblock vs interpreter instr/sec, <2x fails)"
+best_rate() {
+    awk '/^Benchmark/ {
+        for (i = 2; i <= NF; i++)
+            if ($(i) == "instr/sec" && $(i-1) + 0 > best) best = $(i-1) + 0
+    } END { print best + 0 }'
+}
+# Interleave baseline/tier measurements (three alternating pairs, best
+# of each) so host noise lands on both sides of the ratio.
+base=0; tier=0
+for pass in 1 2 3; do
+    b=$(go test -run '^$' -bench 'BenchmarkInterpreterThroughput$' -benchtime 5x . | best_rate)
+    t=$(go test -run '^$' -bench 'BenchmarkTranslationThroughput$' -benchtime 5x . | best_rate)
+    if [ "$(echo "$b $base" | awk '{print ($1 > $2)}')" = 1 ]; then base=$b; fi
+    if [ "$(echo "$t $tier" | awk '{print ($1 > $2)}')" = 1 ]; then tier=$t; fi
+done
+echo "  instr/sec (best of 3 interleaved): interpreter $base, translation $tier"
+awk -v base="$base" -v tier="$tier" 'BEGIN {
+    if (base + 0 == 0 || tier + 0 == 0) { print "  no benchmark output"; exit 1 }
+    printf "  translation speedup %.2fx\n", tier / base
+    if (tier / base < 2) { print "  REGRESSION: translation tier under 2x the interpreter"; exit 1 }
+}'
+
+echo "== experiments output identical with translation off"
+tmpmd=$(mktemp) tmpwant=$(mktemp) tmpgot=$(mktemp)
+go run ./cmd/experiments -md > "$tmpmd"
+grep -q '^## T1' "$tmpmd" || { echo "generated output missing '## T1' marker" >&2; exit 1; }
+sed -n '/^## T1/,$p' EXPERIMENTS.md > "$tmpwant"
+sed -n '/^## T1/,$p' "$tmpmd" > "$tmpgot"
+if ! diff "$tmpwant" "$tmpgot"; then
+    echo "EXPERIMENTS.md body diverges from tier-off output; regenerate it" >&2
+    rm -f "$tmpmd" "$tmpwant" "$tmpgot"
+    exit 1
+fi
+rm -f "$tmpmd" "$tmpwant" "$tmpgot"
+
 echo "== fault-injection campaign (fixed seeds)"
 go run ./cmd/experiments -faults -seeds 8 -seedbase 1 > /dev/null
 

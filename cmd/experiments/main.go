@@ -48,8 +48,11 @@ func run() int {
 	workersFlag := flag.Int("workers", 0, "worker goroutines for the parallel engine; 0 = one per VM with -parallel, 8 with -density")
 	traceCap := flag.Int("trace", exp.RecorderCap,
 		"flight-recorder ring capacity per VM; 0 disables tracing (also VAX_TRACE)")
+	translate := flag.Bool("translate", exp.Translation,
+		"enable the hot-trace superblock translation tier (also VAX_TRANSLATE)")
 	flag.Parse()
 	exp.RecorderCap = *traceCap
+	exp.Translation = *translate
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

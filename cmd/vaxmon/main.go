@@ -36,6 +36,8 @@ func main() {
 		"flight-recorder ring capacity per VM in -vm mode; 0 disables tracing")
 	httpAddr := flag.String("http", "",
 		"serve Prometheus (/metrics) and JSON (/metrics.json) exports on this address")
+	translate := flag.Bool("translate", false,
+		"enable the hot-trace superblock translation tier")
 	flag.Parse()
 
 	var procs []vmos.Process
@@ -71,6 +73,9 @@ func main() {
 		if *traceCap > 0 {
 			opts = append(opts, core.WithRecorder(trace.NewRecorder(*traceCap)))
 		}
+		if *translate {
+			opts = append(opts, core.WithTranslation(true))
+		}
 		k := core.New(16<<20, core.Config{}, opts...)
 		if _, err := vmos.BootVM(k, im, 16); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -85,6 +90,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		ma.CPU.EnableTranslation(*translate)
 		mon = monitor.New(ma.CPU)
 	}
 	mon.Symbols = im.Kernel.Symbols

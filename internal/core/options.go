@@ -52,6 +52,13 @@ func WithRecovery(budget int) Option {
 	}
 }
 
+// WithTranslation toggles the hot-trace superblock execution tier on
+// every processor the monitor drives (the serial machine and, under
+// the parallel engine, each worker shard).
+func WithTranslation(on bool) Option {
+	return func(cfg *Config) { cfg.Translation = on }
+}
+
 // WithMemCache routes the monitor's physical-memory allocation and
 // release through a goroutine-confined backing-store cache instead of
 // the global pool, so concurrent harness workers booting and

@@ -68,6 +68,24 @@ type ParallelRunStats struct {
 	IdleWakes     uint64
 	MaxQueueDepth int
 
+	// Worker occupancy: the fewest and most processor steps any single
+	// worker ran this run. A wide spread means the queue kept some
+	// workers starved while others carried the fleet.
+	MinWorkerSteps uint64
+	MaxWorkerSteps uint64
+
+	// Processor-tier totals summed over the worker shards: decoded-
+	// instruction cache hits, misses and invalidations, and — when the
+	// translation tier is on — superblock builds, entries, steps
+	// retired in blocks, and invalidations.
+	DecodeHits          uint64
+	DecodeMisses        uint64
+	DecodeInvalidations uint64
+	SBBuilds            uint64
+	SBEnters            uint64
+	SBSteps             uint64
+	SBInvalidations     uint64
+
 	// Slow-path totals at the end of the run, summed over the VMs that
 	// took part (captured after the merge barrier, so reading them is
 	// race-free even though per-VM counters are goroutine-confined
@@ -228,7 +246,7 @@ type worker struct {
 	id        int
 	shard     *VMM
 	ctx       context.Context // pprof label context ("worker" set)
-	instrBase uint64          // shard instruction count at run start
+	statsBase cpu.Stats       // shard processor stats at run start (for deltas)
 
 	steps      uint64
 	dispatches uint64
@@ -262,6 +280,9 @@ func (k *VMM) newWorkerShard() *VMM {
 	c.ProbeWTrapOnDeny = s.cfg.ReadOnlyShadow
 	s.Clock.Interval(s.cfg.ClockPeriod)
 	c.SetPSL(vax.PSL(0).WithCur(vax.Kernel))
+	if s.cfg.Translation {
+		s.enableTranslation(c)
+	}
 	return s
 }
 
@@ -478,7 +499,7 @@ func (k *VMM) RunParallel(workers int, maxStepsPerVM uint64) uint64 {
 	for i := range ws {
 		s := k.workerShards[i]
 		k.resetShard(s)
-		ws[i] = &worker{id: i, shard: s, instrBase: s.CPU.Stats.Instructions}
+		ws[i] = &worker{id: i, shard: s, statsBase: s.CPU.Stats}
 	}
 	for _, vm := range live {
 		vm.lastShard = nil
@@ -520,9 +541,24 @@ func (k *VMM) RunParallel(workers int, maxStepsPerVM uint64) uint64 {
 		IdleWakes:     eng.idleWakes,
 		MaxQueueDepth: int(eng.maxDepth.Load()),
 	}
+	pr.MinWorkerSteps = ws[0].steps
 	for _, w := range ws {
 		pr.Steps += w.steps
-		pr.Instrs += w.shard.CPU.Stats.Instructions - w.instrBase
+		if w.steps < pr.MinWorkerSteps {
+			pr.MinWorkerSteps = w.steps
+		}
+		if w.steps > pr.MaxWorkerSteps {
+			pr.MaxWorkerSteps = w.steps
+		}
+		cs := &w.shard.CPU.Stats
+		pr.Instrs += cs.Instructions - w.statsBase.Instructions
+		pr.DecodeHits += cs.DecodeHits - w.statsBase.DecodeHits
+		pr.DecodeMisses += cs.DecodeMisses - w.statsBase.DecodeMisses
+		pr.DecodeInvalidations += cs.DecodeInvalidations - w.statsBase.DecodeInvalidations
+		pr.SBBuilds += cs.SBBuilds - w.statsBase.SBBuilds
+		pr.SBEnters += cs.SBEnters - w.statsBase.SBEnters
+		pr.SBSteps += cs.SBSteps - w.statsBase.SBSteps
+		pr.SBInvalidations += cs.SBInvalidations - w.statsBase.SBInvalidations
 		pr.Dispatches += w.dispatches
 		pr.Steals += w.steals
 		pr.Parks += w.parks

@@ -93,6 +93,15 @@ func (pr ParallelRunStats) Counters(emit func(name string, v uint64)) {
 	emit("wakes", pr.Wakes)
 	emit("idle_wakes", pr.IdleWakes)
 	emit("max_queue_depth", uint64(pr.MaxQueueDepth))
+	emit("min_worker_steps", pr.MinWorkerSteps)
+	emit("max_worker_steps", pr.MaxWorkerSteps)
+	emit("decode_hits", pr.DecodeHits)
+	emit("decode_misses", pr.DecodeMisses)
+	emit("decode_invalidations", pr.DecodeInvalidations)
+	emit("sb_builds", pr.SBBuilds)
+	emit("sb_enters", pr.SBEnters)
+	emit("sb_steps", pr.SBSteps)
+	emit("sb_invalidations", pr.SBInvalidations)
 	emit("fill_batches", pr.FillBatches)
 	emit("batch_fills", pr.BatchFills)
 	emit("slow_path_allocs", pr.SlowPathAllocs)

@@ -9,6 +9,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 	"repro/internal/mmu"
@@ -91,6 +92,15 @@ type Stats struct {
 	DecodeHits          uint64
 	DecodeMisses        uint64
 	DecodeInvalidations uint64
+
+	// Superblock translation-tier counters (see sblock.go): blocks
+	// built, block entries, instructions retired inside blocks, exits
+	// before a block's last step, and blocks dropped by invalidation.
+	SBBuilds        uint64
+	SBEnters        uint64
+	SBSteps         uint64
+	SBEarlyExits    uint64
+	SBInvalidations uint64
 }
 
 // HaltReason explains why the processor stopped.
@@ -137,6 +147,7 @@ type CPU struct {
 	mmio    []MMIOHandler
 
 	pendingIRQ [32]uint32 // vector per device IPL; 0 = none
+	irqSummary uint32     // bit per IPL with a pending device interrupt
 	waiting    bool       // inside a WAIT (bare modified machine never waits)
 
 	// TrapAllInVM models Goldberg's first ring-mapping scheme (paper
@@ -185,9 +196,19 @@ type CPU struct {
 	vmScratch vax.VMTrapScratch
 
 	// dc is the decoded-instruction cache; cur is the record/replay
-	// cursor of the instruction currently executing (dcache.go).
+	// cursor of the instruction currently executing (dcache.go). sb is
+	// the hot-trace superblock tier, nil unless EnableTranslation
+	// opted this processor in (sblock.go).
 	dc  dcache
 	cur cursor
+	sb  *sbCache
+
+	// OnTraceCompile, when non-nil, is invoked after each superblock
+	// install with the block's start VA and step count (the flight
+	// recorder's EvTraceCompile rides on it). Wired by the VMM only
+	// when the translation tier is enabled, so the default path keeps
+	// no closure.
+	OnTraceCompile func(startVA uint32, steps int)
 }
 
 // New creates a processor over the given memory with mapping disabled,
@@ -288,6 +309,7 @@ func (c *CPU) AddDevice(d Device) {
 func (c *CPU) RequestInterrupt(ipl uint8, vec vax.Vector) {
 	if ipl < 32 {
 		c.pendingIRQ[ipl] = uint32(vec)
+		c.irqSummary |= 1 << ipl
 		c.waiting = false
 	}
 }
@@ -296,23 +318,26 @@ func (c *CPU) RequestInterrupt(ipl uint8, vec vax.Vector) {
 func (c *CPU) ClearInterrupt(ipl uint8) {
 	if ipl < 32 {
 		c.pendingIRQ[ipl] = 0
+		c.irqSummary &^= 1 << ipl
 	}
 }
 
 // PendingAbove returns the highest pending interrupt level above ipl,
 // considering both device interrupts and software interrupt requests,
-// or 0 if none.
+// or 0 if none. The per-level vectors are summarized into one bitmask
+// (irqSummary; SISR already is one), so the poll every Step performs is
+// a mask and a leading-zero count instead of a 31-level scan.
 func (c *CPU) PendingAbove(ipl uint8) uint8 {
-	for l := uint8(31); l > ipl; l-- {
-		if c.pendingIRQ[l] != 0 {
-			return l
-		}
-		if l <= vax.IPLSoftwareMax && c.SISR&(1<<l) != 0 {
-			return l
-		}
+	m := c.irqSummary | c.SISR&sisrMask
+	m &^= (uint32(2) << ipl) - 1 // keep bits strictly above ipl
+	if m == 0 {
+		return 0
 	}
-	return 0
+	return uint8(31 - bits.LeadingZeros32(m))
 }
+
+// sisrMask bounds software interrupt requests to levels 1..15.
+const sisrMask = (uint32(1)<<(vax.IPLSoftwareMax+1) - 1) &^ 1
 
 // AddCycles charges extra cycles to the machine (used by the VMM for its
 // emulation-path costs; see costs.go).

@@ -59,9 +59,10 @@ type dcEntry struct {
 	tag2     uint32 // physical address of the second page's first byte (straddle)
 	ie       *instrEntry
 	valid    bool
-	straddle bool  // recorded bytes span a page boundary
-	opLen    uint8 // opcode length (2 for 0xFD-prefixed)
-	n        uint8 // recorded items
+	straddle bool   // recorded bytes span a page boundary
+	opLen    uint8  // opcode length (2 for 0xFD-prefixed)
+	n        uint8  // recorded items
+	heat     uint16 // replays seen by the superblock tier (sblock.go)
 	items    [dcItemsMax]ditem
 }
 
@@ -194,6 +195,13 @@ func (c *CPU) initDecodeCache() {
 // entry.
 func (c *CPU) execOne() error {
 	pa, paOK := c.MMU.TranslateFast(c.R[RegPC], mmu.Read, c.psl.Cur())
+	return c.execOneAt(pa, paOK)
+}
+
+// execOneAt is execOne with the PC's translation already done (the
+// superblock tier translates once for its block probe and passes the
+// result through here on a miss).
+func (c *CPU) execOneAt(pa uint32, paOK bool) error {
 	if paOK {
 		e := &c.dc.entries[pa&(dcSlots-1)]
 		if e.valid && e.tag == pa &&
@@ -329,6 +337,7 @@ func (c *CPU) finishRecord(pa, va uint32, opLen uint8, ie *instrEntry) {
 	e.straddle = straddle
 	e.opLen = opLen
 	e.n = cu.n
+	e.heat = 0
 	e.items = cu.items
 	e.valid = true
 	c.dc.markPage(pa / vax.PageSize)
@@ -347,6 +356,9 @@ func (c *CPU) invalidateDecodePA(pa uint32) {
 			(c.instStartPC&vax.PageMask)+uint32(cu.lastOff) > vax.PageSize {
 			cu.aborted = true
 		}
+	}
+	if c.sb != nil {
+		c.sbInvalidatePage(page)
 	}
 	if !c.dc.pageMarked(page) {
 		return
@@ -395,6 +407,7 @@ func (c *CPU) FlushDecodeCache() {
 		c.dc.pageBits[i] = 0
 	}
 	c.dc.straddles = 0
+	c.sbFlush()
 }
 
 // flushStraddleDecodes drops the entries that depend on two
@@ -403,6 +416,13 @@ func (c *CPU) FlushDecodeCache() {
 // straddling entry's second page was translated at record time, so a
 // TLB invalidate must drop it.
 func (c *CPU) flushStraddleDecodes() {
+	if c.sb != nil {
+		// Superblocks revalidate their code-page translations at entry,
+		// so a TLB invalidate between blocks costs nothing; one issued
+		// mid-block must force an exit before the next step, because the
+		// entry check has already passed.
+		c.sb.tlbFlush = true
+	}
 	if c.dc.straddles == 0 {
 		return
 	}

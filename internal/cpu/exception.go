@@ -86,6 +86,7 @@ func (c *CPU) deliverInterrupt(level uint8) {
 	if c.pendingIRQ[level] != 0 {
 		vec = vax.Vector(c.pendingIRQ[level])
 		c.pendingIRQ[level] = 0
+		c.irqSummary &^= 1 << level
 	} else {
 		// Software interrupt: delivering clears the SISR bit.
 		vec = vax.SoftwareVector(level)
@@ -124,6 +125,11 @@ func (c *CPU) Step() {
 	}
 	before := c.Cycles
 	if lvl := c.PendingAbove(c.psl.IPL()); lvl > 0 {
+		if c.sb != nil && c.sb.building {
+			// Delivery redirects PC into a handler; the trace being
+			// recorded ends at the instruction before it.
+			c.sbFinishBuild()
+		}
 		c.deliverInterrupt(lvl)
 		c.tick(c.Cycles - before)
 		return
@@ -141,12 +147,23 @@ func (c *CPU) Step() {
 		// emulation before it is even decoded.
 		c.Stats.VMTraps++
 		c.Cycles += CostVMTrap
+		if c.sb != nil && c.sb.building {
+			c.sbFinishBuild()
+		}
 		c.raise(c.vmScratch.Set(vax.Fault, 0xFFFF, c.instStartPC,
 			c.instStartPC, c.GuestPSL(), nil, nil))
 		c.tick(c.Cycles - before)
 		return
 	}
 	c.trapAllSkipOnce = false
+	if c.sb != nil {
+		// The translation tier executes a whole superblock per Step
+		// when one is valid at the PC (interrupts were polled above;
+		// devices tick below on the block's accumulated cycles).
+		c.stepTranslated()
+		c.tick(c.Cycles - before)
+		return
+	}
 	if err := c.execOne(); err != nil {
 		c.handleError(err, c.instStartPC)
 	}

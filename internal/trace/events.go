@@ -36,6 +36,7 @@ const (
 	EvSchedSteal               // VM migrated to a new worker; arg = worker id
 	EvCheckpoint               // checkpoint generation taken; arg = sequence
 	EvRecover                  // VM restored from a checkpoint; arg = generation
+	EvTraceCompile             // superblock installed by the hot-trace tier; arg = start VA
 
 	NumKinds
 )
@@ -44,7 +45,7 @@ var kindNames = [NumKinds]string{
 	"vm-trap", "chm", "rei", "shadow-fill", "batch-fill", "modify-fault",
 	"virtual-irq", "kcall-start", "kcall-done", "kcall-retry",
 	"sched-run", "sched-park", "watchdog-trip", "machine-check",
-	"sched-steal", "checkpoint", "recover",
+	"sched-steal", "checkpoint", "recover", "trace-compile",
 }
 
 func (k Kind) String() string {
