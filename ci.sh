@@ -68,10 +68,22 @@ if [ "${1:-}" = "bench" ]; then
                 bad = 0
                 for (i = 1; i <= nbench; i++) {
                     b = benches[i]
+                    gated[b] = 1
                     nmetric = split("ns allocs", metrics, " ")
                     for (j = 1; j <= nmetric; j++) {
                         m = metrics[j]; k = b ":" m
-                        if (!(k in old) || !(k in cur) || old[k] + 0 == 0) continue
+                        # A gated benchmark absent from the current run is a
+                        # coverage regression, not a skip: fail loudly.
+                        if (!(k in cur)) {
+                            printf "  MISSING: %s %s/op absent from current run\n", b, m
+                            bad = 1
+                            continue
+                        }
+                        # First appearance (or zero baseline): record, never gate.
+                        if (!(k in old) || old[k] + 0 == 0) {
+                            printf "  %-28s %-6s %14s -> %14s  (new, no baseline)\n", b, m, "-", cur[k]
+                            continue
+                        }
                         ratio = cur[k] / old[k]
                         printf "  %-28s %-6s %14s -> %14s  (%+.1f%%)\n", b, m, old[k], cur[k], (ratio - 1) * 100
                         if (ratio > 1.10) {
@@ -79,6 +91,16 @@ if [ "${1:-}" = "bench" ]; then
                             bad = 1
                         }
                     }
+                }
+                # Benchmarks present only in the newer file (BenchmarkVMClone,
+                # clone-backed density variants, ...) are informational: they
+                # gain a baseline for the NEXT diff, and must neither trip the
+                # gate nor vanish silently.
+                for (k in cur) {
+                    if (k !~ /:ns$/ || k in old) continue
+                    name = substr(k, 1, length(k) - 3)
+                    if (name in gated) continue
+                    printf "  NEW (no baseline): %s\n", name
                 }
                 exit bad
             }'
@@ -229,6 +251,12 @@ if ! diff "$tmpwant" "$tmpgot"; then
     exit 1
 fi
 rm -f "$tmpmd" "$tmpwant" "$tmpgot"
+
+echo "== clone smoke (256 clones: shared pages, completion, parity with boots)"
+go test -run 'TestCloneSmokeParity$' -count=1 ./internal/core/ > /dev/null
+
+echo "== clone fleet bring-up (wall-clock, informational)"
+go run ./cmd/experiments -clone -vms 256
 
 echo "== fault-injection campaign (fixed seeds)"
 go run ./cmd/experiments -faults -seeds 8 -seedbase 1 > /dev/null

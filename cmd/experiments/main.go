@@ -13,6 +13,7 @@
 //	experiments -recover -seeds 8               # recovery campaign only
 //	experiments -parallel -vms 1,2,4,8          # multi-VM engine scaling
 //	experiments -density -vms 64,256,1024       # mostly-idle fleet density
+//	experiments -clone -vms 64,256,1024         # COW-clone fleet bring-up vs full boots
 package main
 
 import (
@@ -44,8 +45,9 @@ func run() int {
 	seedbase := flag.Int64("seedbase", 1, "first campaign seed (with -faults)")
 	parallel := flag.Bool("parallel", false, "measure the parallel multi-VM engine against the serial engine (wall-clock, not deterministic)")
 	density := flag.Bool("density", false, "measure mostly-idle fleet density on a small worker pool (wall-clock, not deterministic)")
-	vmsFlag := flag.String("vms", "", "comma-separated fleet sizes (with -parallel or -density)")
-	workersFlag := flag.Int("workers", 0, "worker goroutines for the parallel engine; 0 = one per VM with -parallel, 8 with -density")
+	clone := flag.Bool("clone", false, "measure COW-clone fleet bring-up against full boots (wall-clock, not deterministic)")
+	vmsFlag := flag.String("vms", "", "comma-separated fleet sizes (with -parallel, -density or -clone)")
+	workersFlag := flag.Int("workers", 0, "worker goroutines for the parallel engine; 0 = one per VM with -parallel, 8 with -density/-clone")
 	traceCap := flag.Int("trace", exp.RecorderCap,
 		"flight-recorder ring capacity per VM; 0 disables tracing (also VAX_TRACE)")
 	translate := flag.Bool("translate", exp.Translation,
@@ -89,16 +91,19 @@ func run() int {
 		return 0
 	}
 
-	if *parallel || *density {
+	if *parallel || *density || *clone {
 		fleets, err := parseFleets(*vmsFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "-vms: %v\n", err)
 			return 2
 		}
 		var r *exp.Result
-		if *density {
+		switch {
+		case *clone:
+			r, err = exp.CloneDensity(fleets, *workersFlag)
+		case *density:
 			r, err = exp.ParallelDensity(fleets, *workersFlag)
-		} else {
+		default:
 			r, err = exp.ParallelScaling(fleets, *workersFlag)
 		}
 		if err != nil {

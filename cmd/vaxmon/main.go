@@ -129,6 +129,12 @@ func sources(mon *monitor.Monitor) []trace.Source {
 		for _, vm := range mon.VMM.VMs() {
 			srcs = append(srcs, vm)
 		}
+		// The merged totals of the last parallel run carry the scheduler
+		// counters (and the worker_occupancy_permille balance ratio) that
+		// no per-VM or monitor source exposes.
+		if pr := mon.VMM.LastParallelRun(); pr.VMs > 0 {
+			srcs = append(srcs, pr)
+		}
 	}
 	return srcs
 }

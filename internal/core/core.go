@@ -256,6 +256,14 @@ type vmmShared struct {
 	// backing a halted VM's shadow tables are parked here and reused
 	// by the next newShadowSpace of the same geometry.
 	pageRuns map[uint32][]uint32
+
+	// refs is the per-frame reference-count table behind COW cloning,
+	// nil until the first Clone (machines that never clone pay nothing).
+	// The pointer is written once, under mu, while no run is in flight;
+	// shards read it without locking — the parallel engine's goroutine
+	// start orders the store before any shard load. The counters inside
+	// are atomics (see mem.PageRefs).
+	refs *mem.PageRefs
 }
 
 // Per-worker allocator cache tuning. Spans and run batches are small:
@@ -428,11 +436,22 @@ func (k *VMM) Current() *VM {
 // stay precise for the serial harness); a worker shard over-allocates
 // a span and serves subsequent requests from it without locking.
 func (k *VMM) allocPages(n uint32) (uint32, error) {
+	p, err := k.allocPagesRaw(n)
+	if err != nil {
+		return 0, err
+	}
+	return p, k.zeroPages(p, n)
+}
+
+// allocPagesRaw carves page frames without zeroing them. Callers that
+// fully initialize the run (shadow-table construction, COW page
+// copies) skip the memclr; everything else goes through allocPages.
+func (k *VMM) allocPagesRaw(n uint32) (uint32, error) {
 	if k.alloc.spanLeft >= n && n > 0 {
 		p := k.alloc.spanPage
 		k.alloc.spanPage += n
 		k.alloc.spanLeft -= n
-		return p, k.zeroPages(p, n)
+		return p, nil
 	}
 	want := n
 	if k.parent != nil && want < allocSpanPages {
@@ -460,27 +479,23 @@ func (k *VMM) allocPages(n uint32) (uint32, error) {
 		k.alloc.spanPage = p + n
 		k.alloc.spanLeft = want - n
 	}
-	return p, k.zeroPages(p, n)
+	return p, nil
 }
 
 // zeroPages clears n page frames starting at p (allocPages' contract:
 // carved pages come back zero regardless of their provenance).
 func (k *VMM) zeroPages(p, n uint32) error {
-	for i := uint32(0); i < n; i++ {
-		if err := k.Mem.ZeroPage(p + i); err != nil {
-			return err
-		}
-	}
-	return nil
+	return k.Mem.ZeroRun(p, n)
 }
 
 // allocRun allocates a run of n pages for shadow-table storage,
 // preferring recycled runs over the bump allocator — first from this
 // instance's private cache, then from the global pool (a worker shard
 // pulls a small batch under one lock so repeated allocations stay
-// local). Pooled runs are handed back with stale contents; every
-// caller initializes the run (clear-on-reuse restores the null-PTE
-// default), so no zeroing happens here.
+// local). Runs are handed back with stale contents — pooled runs carry
+// the previous owner's PTEs and carved runs skip the memclr — so every
+// caller must initialize the run (clear-on-reuse restores the null-PTE
+// default; COW breaks copy a whole page over it).
 func (k *VMM) allocRun(n uint32) (uint32, error) {
 	if local := k.alloc.runs[n]; len(local) > 0 {
 		p := local[len(local)-1]
@@ -509,7 +524,7 @@ func (k *VMM) allocRun(n uint32) (uint32, error) {
 	}
 	k.shared.mu.Unlock()
 	k.Stats.ShadowPoolMisses++
-	return k.allocPages(n)
+	return k.allocPagesRaw(n)
 }
 
 // freeRun parks a page run for recycling. The root goes straight to
@@ -586,6 +601,36 @@ func (k *VMM) FreePages() uint32 {
 	k.shared.mu.Lock()
 	defer k.shared.mu.Unlock()
 	return k.Mem.Pages() - k.shared.nextPage
+}
+
+// CarvedPages reports the bump allocator's high-water mark: the real
+// page frames ever handed out (the allocator never reclaims, so this is
+// also the monitor's resident footprint in pages). With COW cloning it
+// can sit far below NominalPages — that gap is the overcommit.
+func (k *VMM) CarvedPages() uint32 {
+	k.shared.mu.Lock()
+	defer k.shared.mu.Unlock()
+	return k.shared.nextPage
+}
+
+// NominalPages sums every VM's configured memory in pages — what the
+// fleet would occupy if each clone held private copies of all its
+// pages. Clones make this exceed physical memory; CarvedPages is what
+// is actually backed.
+func (k *VMM) NominalPages() uint32 {
+	var n uint32
+	for _, vm := range k.vms {
+		n += vm.MemSize / vax.PageSize
+	}
+	return n
+}
+
+// cowShared reports whether a real page frame currently backs more than
+// one VM. Safe from worker shards: the refs pointer is published before
+// any parallel run starts and the counters are atomics.
+func (k *VMM) cowShared(frame uint32) bool {
+	r := k.shared.refs
+	return r != nil && r.Shared(frame)
 }
 
 // VMMCycles returns the cycles consumed by VMM housekeeping that is

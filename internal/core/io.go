@@ -71,8 +71,7 @@ func (k *VMM) kcall(vm *VM, _ uint32) {
 func (k *VMM) kcallDisk(vm *VM, write bool) uint32 {
 	c := k.CPU
 	block, buf := c.R[1], c.R[2]
-	host, ok := vm.hostAddr(buf, vax.PageSize)
-	if !ok {
+	if buf > vm.MemSize || vax.PageSize > vm.MemSize-buf {
 		k.haltVM(vm, "KCALL disk buffer outside VM memory")
 		return KCallStatusError
 	}
@@ -82,9 +81,12 @@ func (k *VMM) kcallDisk(vm *VM, write bool) uint32 {
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = k.diskTransfer(vm, write, block, host, attempt)
+		err = k.diskTransfer(vm, write, block, buf, attempt)
 		if err == nil || err == errOutOfRange || err == errDiskPermanent {
 			break
+		}
+		if vm.halted { // COW break ran out of physical memory mid-DMA
+			return KCallStatusError
 		}
 		if attempt+1 >= maxDiskRetries {
 			break
@@ -112,8 +114,10 @@ func (k *VMM) kcallDisk(vm *VM, write bool) uint32 {
 }
 
 // diskTransfer performs one attempt of a KCALL disk transfer through
-// the VMM's scratch page (no per-call allocation).
-func (k *VMM) diskTransfer(vm *VM, write bool, block, host uint32, attempt int) error {
+// the VMM's scratch page (no per-call allocation). buf is the VM-
+// physical DMA address; dmaRead/dmaWrite handle the frame walk (and
+// COW breaks) for cloned VMs.
+func (k *VMM) diskTransfer(vm *VM, write bool, block, buf uint32, attempt int) error {
 	if k.faults != nil {
 		switch k.faults.DiskAttempt(vm.ID, attempt, write) {
 		case fault.DiskTransient:
@@ -123,7 +127,7 @@ func (k *VMM) diskTransfer(vm *VM, write bool, block, host uint32, attempt int) 
 		}
 	}
 	if write {
-		if err := k.Mem.LoadBytesInto(host, k.ioBuf); err != nil {
+		if err := vm.dmaRead(buf, k.ioBuf); err != nil {
 			return err
 		}
 		return vm.disk.writeBlock(block, k.ioBuf)
@@ -131,18 +135,23 @@ func (k *VMM) diskTransfer(vm *VM, write bool, block, host uint32, attempt int) 
 	if err := vm.disk.readBlock(block, k.ioBuf); err != nil {
 		return err
 	}
-	// DMA into guest memory: drop cached decodes it overlaps.
-	k.CPU.InvalidateDecode(host, vax.PageSize)
-	return k.Mem.StoreBytes(host, k.ioBuf)
+	// DMA into guest memory: dmaWrite drops the cached decodes it
+	// overlaps and breaks COW sharing page by page.
+	return vm.dmaWrite(buf, k.ioBuf)
 }
 
 // --- virtual disk ---
 
 // vDisk is a per-VM virtual disk. Under KCALL I/O only the block
 // methods are used; under MMIO emulation the VMM also models its
-// controller registers (same layout as dev.Disk).
+// controller registers (same layout as dev.Disk). Like VM memory, the
+// image is copy-on-write under cloning — at clone time the image
+// freezes into an immutable shared base, and the first write (by the
+// source or any clone) materializes a private copy — so a thousand
+// clones of one golden image share one disk's worth of bytes.
 type vDisk struct {
-	image []byte
+	image []byte // private, mutable image; nil while frozen
+	base  []byte // immutable backing shared with clones; never written
 
 	// Controller registers for the MMIO-emulation baseline.
 	csr, block, addr, count, stat uint32
@@ -154,30 +163,68 @@ func newVDisk(blocks int) *vDisk {
 	return &vDisk{image: make([]byte, blocks*vax.PageSize), csr: devCSRReady}
 }
 
-// Image exposes the disk image for loading test data.
-func (d *vDisk) Image() []byte { return d.image }
+// data returns the current image bytes for reading only.
+func (d *vDisk) data() []byte {
+	if d.image != nil {
+		return d.image
+	}
+	return d.base
+}
+
+// freeze demotes the private image (if any) to the shared immutable
+// base and returns it, so a clone can reference the same bytes.
+func (d *vDisk) freeze() []byte {
+	if d.image != nil {
+		d.base = d.image
+		d.image = nil
+	}
+	return d.base
+}
+
+// materialize ensures the disk has a private mutable image, copying the
+// shared base on the first write after a freeze.
+func (d *vDisk) materialize() []byte {
+	if d.image == nil {
+		d.image = append([]byte(nil), d.base...)
+		d.base = nil
+	}
+	return d.image
+}
+
+// clone builds a new disk sharing this one's (frozen) image bytes, with
+// the controller registers copied and the transfer counters fresh.
+func (d *vDisk) clone() *vDisk {
+	return &vDisk{base: d.freeze(), csr: d.csr, block: d.block,
+		addr: d.addr, count: d.count, stat: d.stat}
+}
+
+// Image exposes the disk image for loading test data. The caller may
+// mutate it, so a frozen disk materializes its private copy first.
+func (d *vDisk) Image() []byte { return d.materialize() }
 
 func (d *vDisk) reset() {
 	d.csr, d.block, d.addr, d.count, d.stat = devCSRReady, 0, 0, 0, 0
 }
 
 func (d *vDisk) readBlock(block uint32, buf []byte) error {
+	data := d.data()
 	off := int(block) * vax.PageSize
-	if off < 0 || off+len(buf) > len(d.image) {
+	if off < 0 || off+len(buf) > len(data) {
 		return errOutOfRange
 	}
 	d.Reads++
-	copy(buf, d.image[off:])
+	copy(buf, data[off:])
 	return nil
 }
 
 func (d *vDisk) writeBlock(block uint32, buf []byte) error {
-	off := int(block) * vax.PageSize
-	if off < 0 || off+len(buf) > len(d.image) {
+	if off := int(block) * vax.PageSize; off < 0 || off+len(buf) > len(d.data()) {
 		return errOutOfRange
 	}
+	image := d.materialize()
+	off := int(block) * vax.PageSize
 	d.Writes++
-	copy(d.image[off:], buf)
+	copy(image[off:], buf)
 	return nil
 }
 
@@ -248,20 +295,19 @@ func (k *VMM) diskRegWrite(vm *VM, off, v uint32) {
 		injected := k.faults != nil &&
 			(k.faults.DiskAttempt(vm.ID, 0, v&devCSRFunc == devFuncWrite) != fault.DiskOK ||
 				k.faults.BusErrorHit(vm.ID, k.Stats.ClockTicks, d.addr, d.count))
-		host, ok := vm.hostAddr(d.addr, d.count)
-		if ok && !injected && d.count <= vax.PageSize {
+		inRange := d.addr <= vm.MemSize && d.count <= vm.MemSize-d.addr
+		if inRange && !injected && d.count <= vax.PageSize {
 			buf := make([]byte, d.count)
 			switch v & devCSRFunc {
 			case devFuncRead:
 				if d.readBlock(d.block, buf[:min32len(buf, d)]) == nil {
-					k.CPU.InvalidateDecode(host, d.count)
-					if k.Mem.StoreBytes(host, buf) == nil {
+					if vm.dmaWrite(d.addr, buf) == nil {
 						d.stat = KCallStatusOK
 					}
 				}
 			case devFuncWrite:
-				if data, err := k.Mem.LoadBytes(host, d.count); err == nil {
-					if d.writeBlock(d.block, data) == nil {
+				if vm.dmaRead(d.addr, buf) == nil {
+					if d.writeBlock(d.block, buf) == nil {
 						d.stat = KCallStatusOK
 					}
 				}
@@ -280,8 +326,8 @@ func (k *VMM) diskRegWrite(vm *VM, off, v uint32) {
 }
 
 func min32len(buf []byte, d *vDisk) int {
-	if len(buf) > len(d.image) {
-		return len(d.image)
+	if data := d.data(); len(buf) > len(data) {
+		return len(data)
 	}
 	return len(buf)
 }

@@ -100,6 +100,25 @@ type ParallelRunStats struct {
 	// generations taken and recoveries performed on worker shards.
 	Checkpoints uint64
 	Recoveries  uint64
+
+	// COW cloning totals over the participating VMs: breaks serviced
+	// during the run, and the fleet's shared/private page gauges at the
+	// end of it (resident footprint = PrivatePages; the gap between
+	// SharedPages and its deduplicated backing is the overcommit win).
+	CowBreaks    uint64
+	SharedPages  uint64
+	PrivatePages uint64
+}
+
+// OccupancyPermille expresses worker occupancy balance as
+// MinWorkerSteps/MaxWorkerSteps in parts per thousand: 1000 means every
+// worker ran the same number of steps, 0 means at least one worker
+// never ran any (or no run has happened).
+func (pr ParallelRunStats) OccupancyPermille() uint64 {
+	if pr.MaxWorkerSteps == 0 {
+		return 0
+	}
+	return pr.MinWorkerSteps * 1000 / pr.MaxWorkerSteps
 }
 
 // LastParallelRun returns statistics for the most recent RunParallel.
@@ -350,7 +369,13 @@ func (e *engine) attach(w *worker, vm *VM) {
 		// stores and DMA both go through its current shard — so a VM
 		// that stayed put needs no invalidation.)
 		w.steals++
-		s.CPU.InvalidateDecode(vm.MemBase, vm.MemSize)
+		if vm.frames != nil {
+			// A clone's frames scatter; a base+size range cannot cover
+			// them, so drop the shard's whole decode cache.
+			s.CPU.FlushDecodeCache()
+		} else {
+			s.CPU.InvalidateDecode(vm.MemBase, vm.MemSize)
+		}
 		if vm.rec != nil {
 			vm.rec.Record(trace.EvSchedSteal, s.CPU.Cycles, uint32(w.id))
 		}
@@ -578,6 +603,9 @@ func (k *VMM) RunParallel(workers int, maxStepsPerVM uint64) uint64 {
 		pr.SlowPathAllocs += vm.Stats.SlowPathAllocs
 		pr.Checkpoints += vm.Stats.Checkpoints
 		pr.Recoveries += vm.Stats.Recoveries
+		pr.CowBreaks += vm.Stats.COWBreaks
+		pr.SharedPages += vm.Stats.SharedPages
+		pr.PrivatePages += vm.Stats.PrivatePages
 	}
 	if k.rec != nil {
 		k.rec.Sync()

@@ -101,6 +101,11 @@ func (k *VMM) newShadowSpace(vm *VM) (*shadowSpace, error) {
 		return page * vax.PageSize, va, nil
 	}
 
+	// mapRegion already null-filled the slot and P1 runs; clearing them
+	// again here would double the host-side table-initialization cost
+	// that dominates VM creation and cloning. The *simulated* cost and
+	// the ShadowClears count stay exactly what clearSlot would have
+	// charged per slot, so guest-visible cycle totals are unchanged.
 	for i := 0; i < slots; i++ {
 		phys, va, err := mapRegion(procSlotPages)
 		if err != nil {
@@ -110,29 +115,38 @@ func (k *VMM) newShadowSpace(vm *VM) (*shadowSpace, error) {
 		s.slotVA = append(s.slotVA, va)
 		s.slotOwner = append(s.slotOwner, 0)
 		s.slotLRU = append(s.slotLRU, 0)
-		if err := s.clearSlot(k, i); err != nil {
-			return nil, err
-		}
+		vm.Stats.ShadowClears++
+		k.CPU.AddCycles(uint64(ProcTablePTEs) / 8)
 	}
 	if s.p1Phys, s.p1VA, err = mapRegion(p1TablePages); err != nil {
-		return nil, err
-	}
-	if err := s.clearP1(k); err != nil {
 		return nil, err
 	}
 	if s.identPhys, s.identVA, err = mapRegion(identPages); err != nil {
 		return nil, err
 	}
-	// The identity table is fixed: VM-physical page j at real frame
-	// MemBase/512 + j, all modes, premodified (no M-bit tracking while
-	// the VM runs unmapped).
-	for j := uint32(0); j < s.identPTEs; j++ {
-		pte := vax.NewPTE(true, vax.ProtUW, true, vm.MemBase/vax.PageSize+j)
-		if err := k.Mem.StoreLong(s.identPhys+4*j, uint32(pte)); err != nil {
-			return nil, err
-		}
+	if err := s.buildIdentity(k); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// buildIdentity (re)writes the identity P0 table for MAPEN=0: VM-
+// physical page j at its real frame, all modes. On a contiguous VM the
+// entries are premodified (no M-bit tracking while the VM runs
+// unmapped); on a frames-backed VM a shared frame is mapped with M
+// clear so the first unmapped store takes a modify fault and COW-breaks
+// (clone.go rewrites the entry when the frame privatizes).
+func (s *shadowSpace) buildIdentity(k *VMM) error {
+	vm := s.vm
+	for j := uint32(0); j < s.identPTEs; j++ {
+		f := vm.frame(j)
+		m := vm.frames == nil || !k.cowShared(f)
+		pte := vax.NewPTE(true, vax.ProtUW, m, f)
+		if err := k.Mem.StoreLong(s.identPhys+4*j, uint32(pte)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // clearSlot resets a shadow P0 table to null PTEs. The host-side bulk
@@ -331,8 +345,16 @@ func (k *VMM) fillShadow(vm *VM, va uint32, wantWrite bool) *guestFault {
 		if nPFN*vax.PageSize >= vm.MemSize || (k.cfg.MMIOEmulatedIO && isDeviceFrame(nPFN)) {
 			continue
 		}
-		ns := vax.NewPTE(true, npte.Prot().Compress(), npte.Modified(),
-			vm.MemBase/vax.PageSize+nPFN)
+		nf := vm.frame(nPFN)
+		nm := npte.Modified()
+		if vm.frames != nil {
+			if k.cowShared(nf) {
+				nm = false
+			} else if nm {
+				vm.cowClean = false
+			}
+		}
+		ns := vax.NewPTE(true, npte.Prot().Compress(), nm, nf)
 		_ = k.Mem.StoreLong(nslot, uint32(ns))
 		vm.Stats.PrefetchFills++
 		k.charge(cpu.CostVMMShadowFill)
@@ -461,6 +483,12 @@ func (k *VMM) guestPTEWindow(vm *VM, va uint32) (ptePhys, avail uint32, ok bool)
 // under the rejected Section 4.4.2 alternative — "unmodified" encoded
 // as a write-denying protection with the shadow M bit held set so the
 // modify fault never fires.
+//
+// On a frames-backed VM a shared frame must never be mapped writable
+// without a fault between the guest and the store: under the default
+// scheme the shadow M bit is held clear so the first write takes a
+// modify fault, and under the read-only scheme the protection is
+// demoted so the write takes the upgrade path — both land in cowBreak.
 func shadowPTEFor(vm *VM, gpte vax.PTE, roScheme bool) vax.PTE {
 	prot := gpte.Prot().Compress()
 	modified := gpte.Modified()
@@ -470,7 +498,21 @@ func shadowPTEFor(vm *VM, gpte vax.PTE, roScheme bool) vax.PTE {
 		}
 		modified = true
 	}
-	return vax.NewPTE(true, prot, modified, vm.MemBase/vax.PageSize+gpte.PFN())
+	frame := vm.frame(gpte.PFN())
+	if vm.frames != nil {
+		if vm.k.cowShared(frame) {
+			if roScheme {
+				prot = prot.ReadOnly()
+			} else {
+				modified = false
+			}
+		} else if modified {
+			// Writable mapping of a private frame: a future Clone must
+			// demote it before the frame can be re-shared.
+			vm.cowClean = false
+		}
+	}
+	return vax.NewPTE(true, prot, modified, frame)
 }
 
 // guestPTE performs the software walk of the VM's own page tables for

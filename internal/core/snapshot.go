@@ -164,8 +164,8 @@ func (k *VMM) WriteCheckpoint(vm *VM, w io.Writer, compress bool) error {
 
 	var dev leBuf
 	d := vm.disk
-	dev.u32(uint32(len(d.image)))
-	diskPacked, err := ckpt.PackPages(d.image, vax.PageSize)
+	dev.u32(uint32(len(d.data())))
+	diskPacked, err := ckpt.PackPages(d.data(), vax.PageSize)
 	if err != nil {
 		return err
 	}
@@ -437,17 +437,33 @@ func (k *VMM) restoreInPlace(vm *VM, image []byte) error {
 		return fmt.Errorf("vmm: checkpoint is for a %d KB VM, this VM has %d KB",
 			st.memSize/1024, vm.MemSize/1024)
 	}
+	// A clone restored before its first dispatch has no shadow tables
+	// yet (s == nil below); ensureShadow builds them fresh at the next
+	// dispatch, over the privatized frames, so every rebuild step here
+	// is skipped rather than performed on nothing.
 	s := vm.shadow
-	if s.released {
+	if s != nil && s.released {
 		return fmt.Errorf("vmm: shadow frames already released")
 	}
 	memory := make([]byte, st.memSize)
 	if err := ckpt.UnpackPages(st.pages, memory, vax.PageSize); err != nil {
 		return err
 	}
-	k.CPU.InvalidateDecode(vm.MemBase, vm.MemSize)
-	if err := k.Mem.StoreBytes(vm.MemBase, memory); err != nil {
-		return err
+	if vm.frames != nil {
+		// Full overwrite: every shared frame gets a fresh private page
+		// (no copy — the image lands on top) and the scattered frames
+		// take the page-walking write path.
+		if err := k.cowPrivatize(vm); err != nil {
+			return err
+		}
+		if err := vm.dmaWrite(0, memory); err != nil {
+			return err
+		}
+	} else {
+		k.CPU.InvalidateDecode(vm.MemBase, vm.MemSize)
+		if err := k.Mem.StoreBytes(vm.MemBase, memory); err != nil {
+			return err
+		}
 	}
 	k.applyVirtState(vm, st)
 
@@ -455,22 +471,32 @@ func (k *VMM) restoreInPlace(vm *VM, image []byte) error {
 	// every slot back to null PTEs, slot 0 claiming the restored P0
 	// base. switchProcess is not used here — it activates the shadow on
 	// the live processor, which may be running another VM.
-	for i := range s.slotOwner {
-		if err := s.clearSlot(k, i); err != nil {
+	if s != nil {
+		for i := range s.slotOwner {
+			if err := s.clearSlot(k, i); err != nil {
+				return err
+			}
+			s.slotOwner[i] = 0
+			s.slotLRU[i] = 0
+		}
+		if err := s.clearP1(k); err != nil {
 			return err
 		}
-		s.slotOwner[i] = 0
-		s.slotLRU[i] = 0
-	}
-	if err := s.clearP1(k); err != nil {
-		return err
-	}
-	if err := s.clearSRegion(k); err != nil {
-		return err
-	}
-	s.active = 0
-	if vm.mapen && vm.p0br != 0 {
-		s.slotOwner[0] = vm.p0br
+		if err := s.clearSRegion(k); err != nil {
+			return err
+		}
+		s.active = 0
+		if vm.mapen && vm.p0br != 0 {
+			s.slotOwner[0] = vm.p0br
+		}
+		if vm.frames != nil {
+			// The identity table still points at pre-restore frames;
+			// rebuild it over the privatized map (all frames now
+			// exclusive, so every entry comes back premodified).
+			if err := s.buildIdentity(k); err != nil {
+				return err
+			}
+		}
 	}
 	k.CPU.MMU.TBIA()
 

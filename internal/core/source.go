@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/vax"
+)
 
 // trace.Source implementations: the VMM, each VM, and the merged
 // parallel-run totals expose their counters through the one interface
@@ -21,6 +25,10 @@ func (k *VMM) Counters(emit func(name string, v uint64)) {
 	emit("deliveries", s.ReflectedTraps)
 	emit("shadow_pool_hits", s.ShadowPoolHits)
 	emit("shadow_pool_miss", s.ShadowPoolMisses)
+	// Overcommit accounting: real pages ever carved (resident high
+	// water) against the fleet's nominal footprint.
+	emit("carved_pages", uint64(k.CarvedPages()))
+	emit("nominal_pages", uint64(k.NominalPages()))
 }
 
 // Name returns the VM's label (configured, or "vm<ID>").
@@ -75,6 +83,13 @@ func (vm *VM) Counters(emit func(name string, v uint64)) {
 	emit("recoveries", s.Recoveries)
 	emit("recovery_fallbacks", s.RecoveryFallbacks)
 	emit("recovery_escalations", s.RecoveryEscalations)
+	emit("cow_breaks", s.COWBreaks)
+	emit("shared_pages", s.SharedPages)
+	emit("private_pages", s.PrivatePages)
+	// Resident vs nominal: what the VM actually occupies against what
+	// it is configured with. A never-cloned VM is fully resident.
+	emit("resident_pages", vm.ResidentPages())
+	emit("nominal_pages", uint64(vm.MemSize/vax.PageSize))
 }
 
 // Name identifies the parallel-run counter source.
@@ -109,4 +124,10 @@ func (pr ParallelRunStats) Counters(emit func(name string, v uint64)) {
 	emit("shadow_pool_miss", pr.ShadowPoolMisses)
 	emit("checkpoints", pr.Checkpoints)
 	emit("recoveries", pr.Recoveries)
+	emit("cow_breaks", pr.CowBreaks)
+	emit("shared_pages", pr.SharedPages)
+	emit("private_pages", pr.PrivatePages)
+	// Occupancy balance in parts per thousand: 1000 = perfectly even,
+	// 0 = at least one worker never ran a step.
+	emit("worker_occupancy_permille", pr.OccupancyPermille())
 }

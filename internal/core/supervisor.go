@@ -194,7 +194,9 @@ func (k *VMM) tryRecover(vm *VM) bool {
 func (k *VMM) escalate(vm *VM, why string) {
 	vm.Stats.RecoveryEscalations++
 	k.record(vm, AuditRecoveryEscalated, why)
-	vm.shadow.releaseRuns(k)
+	if vm.shadow != nil {
+		vm.shadow.releaseRuns(k)
+	}
 }
 
 // --- public control surface (vaxmon, harness) ---
@@ -212,7 +214,7 @@ func (k *VMM) RecoverNow(vm *VM) error {
 	if !vm.halted {
 		return fmt.Errorf("vmm: %s is not halted", vm.Name())
 	}
-	if vm.shadow.released {
+	if vm.shadow != nil && vm.shadow.released {
 		return fmt.Errorf("vmm: %s halted permanently (shadow frames released)", vm.Name())
 	}
 	vm.pendingRecover = true

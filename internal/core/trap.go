@@ -163,10 +163,19 @@ func (k *VMM) tryROShadowUpgrade(vm *VM, va uint32) bool {
 	}
 	vm.Stats.ROWriteFaults++
 	k.charge(cpu.CostVMMModifyFault + cpu.CostVMMShadowFill)
+	if vm.frames != nil {
+		// The denied write may target a COW-shared frame (the read-only
+		// scheme encodes both "unmodified" and "shared" as write-denying
+		// protection): privatize before granting write access.
+		if !k.cowBreak(vm, gpte.PFN()) {
+			return true
+		}
+		vm.cowClean = false
+	}
 	k.setGuestPTEModify(vm, va)
 	if slot, ok := vm.shadow.shadowSlot(va); ok {
 		spte := vax.NewPTE(true, gpte.Prot().Compress(), true,
-			vm.MemBase/vax.PageSize+gpte.PFN())
+			vm.frame(gpte.PFN()))
 		_ = k.Mem.StoreLong(slot, uint32(spte))
 	}
 	k.CPU.MMU.TBIS(va)
@@ -183,6 +192,10 @@ func (k *VMM) handleModifyFault(vm *VM, e *vax.Exception) {
 		vm.rec.Record(trace.EvModifyFault, k.CPU.Cycles, va)
 	}
 	k.charge(cpu.CostVMMModifyFault)
+	if vm.frames != nil {
+		k.cowModifyFault(vm, va)
+		return
+	}
 	if slot, ok := vm.shadow.shadowSlot(va); ok {
 		if v, err := k.Mem.LoadLong(slot); err == nil {
 			_ = k.Mem.StoreLong(slot, uint32(vax.PTE(v).WithModify(true)))

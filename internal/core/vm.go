@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/mem"
 	"repro/internal/trace"
 	"repro/internal/vax"
 )
@@ -70,6 +71,14 @@ type VMStats struct {
 	Recoveries          uint64 // supervisor restores from a checkpoint
 	RecoveryFallbacks   uint64 // generations rejected (bad CRC etc.) during recovery
 	RecoveryEscalations uint64 // recoveries abandoned: VM permanently halted
+
+	// COW cloning (clone.go). COWBreaks counts privatizations over the
+	// VM's lifetime; SharedPages/PrivatePages are gauges over the VM's
+	// current frame map (shared = refcount above one at the last
+	// transition; they sum to the VM's page count once frames exist).
+	COWBreaks    uint64
+	SharedPages  uint64
+	PrivatePages uint64
 }
 
 // VMConfig describes a virtual machine to create.
@@ -99,6 +108,26 @@ type VM struct {
 
 	MemBase uint32 // real physical base of the VM's memory
 	MemSize uint32 // bytes
+
+	// frames maps VM-physical page number to real page frame, the COW
+	// indirection of clone.go. It is nil for a normal VM, whose memory
+	// is one contiguous carve at MemBase — the fast path everywhere —
+	// and non-nil for clones and cloned-from sources, whose frames
+	// scatter as breaks privatize pages. A clone's MemBase is a sentinel
+	// outside physical memory so any path that forgot the indirection
+	// fails as a bus error instead of corrupting a neighbor.
+	frames []uint32
+	// cowClean marks a frames-backed VM whose shadow tables hold no
+	// writable mapping of any frame: every mapping of a shared frame
+	// faults on write, and no private frame is mapped modified. Clone
+	// may then skip the shadow demotion pass. Cleared by every path that
+	// installs a writable mapping or privatizes a frame.
+	cowClean bool
+	// cowMask has one bit per VM-physical page, set while the page is
+	// counted in Stats.SharedPages; cowNotePrivate moves a page to
+	// PrivatePages exactly once per transition, keeping the two gauges
+	// summing to the page count.
+	cowMask []uint64
 
 	// Virtual processor state (live in the CPU while running).
 	regs   [14]uint32 // R0..R13 when suspended
@@ -274,13 +303,43 @@ func (k *VMM) CreateVM(cfg VMConfig) (*VM, error) {
 	return vm, nil
 }
 
+// frame returns the real page frame backing VM-physical page pfn. The
+// caller guarantees pfn is in range (MemSize pages).
+func (vm *VM) frame(pfn uint32) uint32 {
+	if vm.frames == nil {
+		return vm.MemBase/vax.PageSize + pfn
+	}
+	return vm.frames[pfn]
+}
+
 // hostAddr bounds-checks a VM-physical range and returns its real
-// physical address.
+// physical address. On a frames-backed VM the range must also be
+// physically contiguous (frames scatter after COW breaks); callers
+// moving bulk data across page boundaries use dmaRead/dmaWrite, which
+// walk page by page.
 func (vm *VM) hostAddr(vmPhys, n uint32) (uint32, bool) {
 	if vmPhys > vm.MemSize || n > vm.MemSize-vmPhys {
 		return 0, false
 	}
-	return vm.MemBase + vmPhys, true
+	if vm.frames == nil {
+		return vm.MemBase + vmPhys, true
+	}
+	span := n
+	if span > 0 {
+		span--
+	}
+	first, last := vmPhys/vax.PageSize, (vmPhys+span)/vax.PageSize
+	if first == uint32(len(vm.frames)) {
+		// Zero-length range starting exactly at MemSize: legal per the
+		// bounds check but one past the frame map.
+		first, last = first-1, first-1
+	}
+	for p := first; p < last; p++ {
+		if vm.frames[p+1] != vm.frames[p]+1 {
+			return 0, false
+		}
+	}
+	return vm.frames[first]*vax.PageSize + vmPhys&vax.PageMask, true
 }
 
 // readPhys reads a longword of VM-physical memory.
@@ -295,8 +354,18 @@ func (vm *VM) readPhys(vmPhys uint32) (uint32, bool) {
 
 // writePhys writes a longword of VM-physical memory. The write bypasses
 // the CPU's store path, so it must drop any cached decoded instructions
-// on the host page itself.
+// on the host page itself — and, on a frames-backed VM, break sharing
+// first: a VMM-side store must never land in a frame another VM reads.
 func (vm *VM) writePhys(vmPhys, v uint32) bool {
+	if vm.frames != nil {
+		if vmPhys > vm.MemSize || 4 > vm.MemSize-vmPhys {
+			return false
+		}
+		if !vm.k.cowBreak(vm, vmPhys/vax.PageSize) ||
+			!vm.k.cowBreak(vm, (vmPhys+3)/vax.PageSize) {
+			return false
+		}
+	}
 	host, ok := vm.hostAddr(vmPhys, 4)
 	if !ok {
 		return false
@@ -305,12 +374,93 @@ func (vm *VM) writePhys(vmPhys, v uint32) bool {
 	return vm.k.Mem.StoreLong(host, v) == nil
 }
 
+// dmaRead copies len(b) bytes of VM-physical memory starting at vmPhys
+// into b, walking the frame map page by page when the range is not
+// physically contiguous.
+func (vm *VM) dmaRead(vmPhys uint32, b []byte) error {
+	n := uint32(len(b))
+	if host, ok := vm.hostAddr(vmPhys, n); ok {
+		return vm.k.Mem.LoadBytesInto(host, b)
+	}
+	if vm.frames == nil || vmPhys > vm.MemSize || n > vm.MemSize-vmPhys {
+		return &mem.BusError{Addr: vmPhys}
+	}
+	for off := uint32(0); off < n; {
+		p := vmPhys + off
+		chunk := vax.PageSize - p&vax.PageMask
+		if chunk > n-off {
+			chunk = n - off
+		}
+		host := vm.frames[p/vax.PageSize]*vax.PageSize + p&vax.PageMask
+		if err := vm.k.Mem.LoadBytesInto(host, b[off:off+chunk]); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// dmaWrite copies b into VM-physical memory starting at vmPhys — the
+// device-DMA store path. On a frames-backed VM every touched page is
+// COW-broken first (DMA must never land in a frame another VM
+// references) and cached decodes are dropped chunk by chunk; a normal
+// VM takes the historical single-invalidate, single-copy path.
+func (vm *VM) dmaWrite(vmPhys uint32, b []byte) error {
+	n := uint32(len(b))
+	if vmPhys > vm.MemSize || n > vm.MemSize-vmPhys {
+		return &mem.BusError{Addr: vmPhys, Write: true}
+	}
+	if vm.frames == nil {
+		host := vm.MemBase + vmPhys
+		vm.k.CPU.InvalidateDecode(host, n)
+		return vm.k.Mem.StoreBytes(host, b)
+	}
+	for off := uint32(0); off < n; {
+		p := vmPhys + off
+		chunk := vax.PageSize - p&vax.PageMask
+		if chunk > n-off {
+			chunk = n - off
+		}
+		if !vm.k.cowBreak(vm, p/vax.PageSize) {
+			return &mem.BusError{Addr: p, Write: true}
+		}
+		host := vm.frames[p/vax.PageSize]*vax.PageSize + p&vax.PageMask
+		vm.k.CPU.InvalidateDecode(host, chunk)
+		if err := vm.k.Mem.StoreBytes(host, b[off:off+chunk]); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// ResidentPages reports the physical pages this VM exclusively
+// occupies: its full footprint for a contiguous VM, only the privatized
+// pages for a frames-backed one (shared pages are charged to no single
+// holder — that deduplication is the point of cloning).
+func (vm *VM) ResidentPages() uint64 {
+	if vm.frames == nil {
+		return uint64(vm.MemSize / vax.PageSize)
+	}
+	return vm.Stats.PrivatePages
+}
+
 // Halted reports whether the VM has stopped, with the reason.
 func (vm *VM) Halted() (bool, string) { return vm.halted, vm.haltMsg }
 
 // DumpMemory copies out the VM's physical memory (for post-run
 // inspection by tests and the experiment harness).
 func (vm *VM) DumpMemory() []byte {
+	if vm.frames != nil {
+		out := make([]byte, vm.MemSize)
+		for i, f := range vm.frames {
+			p := uint32(i) * vax.PageSize
+			if vm.k.Mem.LoadBytesInto(f*vax.PageSize, out[p:p+vax.PageSize]) != nil {
+				return nil
+			}
+		}
+		return out
+	}
 	b, err := vm.k.Mem.LoadBytes(vm.MemBase, vm.MemSize)
 	if err != nil {
 		return nil
@@ -545,8 +695,11 @@ func (k *VMM) haltVMCause(vm *VM, msg string, cause haltCause) {
 	// A halted VM never resumes: its shadow-table frames are dead, and
 	// the bump allocator cannot reclaim them on its own. Park the runs
 	// in the shared pool so the next VM's shadow space recycles them
-	// (the self-check and snapshot paths both skip halted VMs).
-	vm.shadow.releaseRuns(k)
+	// (the self-check and snapshot paths both skip halted VMs). A clone
+	// halted before its first dispatch has no tables yet.
+	if vm.shadow != nil {
+		vm.shadow.releaseRuns(k)
+	}
 	k.scheduleNext()
 }
 
@@ -575,6 +728,12 @@ func (k *VMM) scheduleNext() {
 		allHalted = false
 		vm.drainExternalIRQs()
 		if vm.runnable() {
+			if vm.shadow == nil && !k.ensureShadow(vm) {
+				// Out of memory building the clone's deferred shadow
+				// tables: the VM just halted; rescan with it excluded.
+				k.scheduleNext()
+				return
+			}
 			if vm.waiting {
 				vm.waiting = false
 			}

@@ -84,6 +84,12 @@ const (
 	CostVMMShadowFill = 55
 	// CostVMMModifyFault sets PTE<M> in both shadow and VM page tables.
 	CostVMMModifyFault = 30
+	// CostVMMCowBreak is a copy-on-write break on a shared frame: one
+	// page copy (512 bytes at the VMM's block-move rate) plus the frame
+	// remap and the alias sweep of the faulting VM's shadow tables. It
+	// is charged on top of CostVMMModifyFault, since a break begins life
+	// as an ordinary modify fault.
+	CostVMMCowBreak = 80
 	// CostVMMIOStart is the KCALL start-I/O service path.
 	CostVMMIOStart = 90
 	// CostVMMMMIOEmul is the cost of emulating one memory-mapped device

@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/vax"
+)
+
+// CloneDensity compares two ways to bring up the same mostly-idle
+// fleet: booting every VM from its image, and booting two template VMs
+// (one compute, one idle) then stamping the rest out with COW clones.
+// Both fleets run to completion and must halt identically — the clones
+// are behaviorally indistinguishable from boots; only the bring-up
+// cost and the memory residency differ. The clone-backed monitor is
+// deliberately sized below the fleet's nominal footprint (overcommit):
+// clones only occupy what they write. Wall-clock based, so not part of
+// All(); invoke with `experiments -clone`.
+func CloneDensity(fleets []int, workers int) (*Result, error) {
+	if len(fleets) == 0 {
+		fleets = []int{64, 256, 1024}
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	r := &Result{
+		ID:    "CD",
+		Title: "COW clone fleets: bring-up cost and residency vs full boots",
+		Headers: []string{"VMs", "boot ms", "clone ms", "µs/clone", "speedup",
+			"cow breaks", "resident"},
+	}
+	cache := mem.NewCache()
+	defer cache.Drain()
+	for _, n := range fleets {
+		if n < 2 {
+			return nil, fmt.Errorf("clone fleets need at least 2 VMs, got %d", n)
+		}
+		busy := n / 32
+		if busy < 1 {
+			busy = 1
+		}
+		boot, err := runFleet(n, n-busy, workers, cache)
+		if err != nil {
+			return nil, fmt.Errorf("%d VMs booted: %w", n, err)
+		}
+		clone, err := runCloneFleet(n, n-busy, workers, cache)
+		if err != nil {
+			return nil, fmt.Errorf("%d VMs cloned: %w", n, err)
+		}
+		perClone := float64(clone.cloning.Microseconds()) / float64(n-2)
+		r.addRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", float64(boot.setup.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(clone.setup.Microseconds())/1000),
+			fmt.Sprintf("%.1f", perClone),
+			fmt.Sprintf("%.1fx", float64(boot.setup)/float64(clone.setup)),
+			fmt.Sprintf("%d", clone.breaks),
+			fmt.Sprintf("%d%%", clone.residentPct))
+	}
+	r.addNote("each fleet is idle WAIT-loop guests plus one compute guest per 32")
+	r.addNote("boot/clone ms is fleet bring-up; µs/clone excludes the two template boots")
+	r.addNote("resident is fleet pages actually occupied vs nominal (clone monitors are overcommitted)")
+	r.addNote("wall-clock measurement: not deterministic, excluded from the default experiment set")
+	return r, nil
+}
+
+// cloneFleetResult extends fleetResult with the clone-specific
+// measurements CloneDensity reports.
+type cloneFleetResult struct {
+	fleetResult
+	cloning     time.Duration // the clone loop alone (setup minus template boots)
+	breaks      uint64
+	residentPct uint64
+}
+
+// runCloneFleet brings up the same fleet shape as runFleet but via
+// Clone: two template VMs are booted from images and every other VM is
+// a COW clone of one of them. Monitor memory is sized well below the
+// fleet's nominal footprint — a clone occupies its shadow tables plus
+// whatever it breaks, not its 64 KB — which is the overcommit half of
+// the experiment: the same fleet that needs 128 KB per VM booted runs
+// in a fraction of that cloned.
+func runCloneFleet(n, idlers, workers int, cache *mem.Cache) (cloneFleetResult, error) {
+	if n < 2 || idlers < 1 || idlers >= n {
+		return cloneFleetResult{}, fmt.Errorf("clone fleet needs both templates: n=%d idlers=%d", n, idlers)
+	}
+	compute, computeStart, err := campaignImage(parallelComputeSrc, nil)
+	if err != nil {
+		return cloneFleetResult{}, err
+	}
+	idle, idleStart, err := campaignImage(parallelIdleSrc, nil)
+	if err != nil {
+		return cloneFleetResult{}, err
+	}
+	memBytes := uint32(n)*(48<<10) + (1 << 20)
+	cfg := core.Config{Workers: workers, MemCache: cache}
+	if idlers > 0 {
+		cfg.WaitTimeout = 2
+	}
+	tSetup := time.Now()
+	k := core.New(memBytes, cfg)
+	boot := func(name string, img []byte, start uint32) (*core.VM, error) {
+		vm, err := k.CreateVM(core.VMConfig{
+			Name: name, MemBytes: cgMem, Image: img,
+			StartPC: start, PreMapped: true, SBR: cgSPT, SLR: cgSPTLen, SCBB: 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vm.SPs[vax.Kernel] = vax.SystemBase + 0x8000
+		vm.ISP = vax.SystemBase + 0x8800
+		return vm, nil
+	}
+	idleT, err := boot("vm0", idle, idleStart)
+	if err != nil {
+		return cloneFleetResult{}, err
+	}
+	computeT, err := boot(fmt.Sprintf("vm%d", idlers), compute, computeStart)
+	if err != nil {
+		return cloneFleetResult{}, err
+	}
+	tClone := time.Now()
+	for i := 1; i < n; i++ {
+		if i == idlers {
+			continue // the compute template holds this slot's role
+		}
+		src := computeT
+		if i < idlers {
+			src = idleT
+		}
+		if _, err := k.Clone(src, fmt.Sprintf("vm%d", i)); err != nil {
+			return cloneFleetResult{}, err
+		}
+	}
+	res := cloneFleetResult{cloning: time.Since(tClone)}
+	res.setup = time.Since(tSetup)
+
+	t0 := time.Now()
+	k.Run(0)
+	res.elapsed = time.Since(t0)
+	// Fleet residency: the two golden images are physically present
+	// once each, plus whatever every VM privatized by writing. Shared
+	// pages beyond the golden copies cost nothing per clone.
+	resident := uint64(2) * uint64(cgMem/vax.PageSize)
+	for _, vm := range k.VMs() {
+		if halted, msg := vm.Halted(); !halted || msg != vmHaltNormal {
+			return cloneFleetResult{}, fmt.Errorf("%s did not halt normally (%q)", vm.Name(), msg)
+		}
+		res.breaks += vm.Stats.COWBreaks
+		resident += vm.Stats.PrivatePages
+	}
+	nominal := uint64(n) * uint64(cgMem/vax.PageSize)
+	res.residentPct = resident * 100 / nominal
+	res.sched = k.LastParallelRun()
+	if res.sched.VMs > 0 {
+		res.instrs = res.sched.Instrs
+	} else {
+		res.instrs = k.CPU.Stats.Instructions
+	}
+	k.Release()
+	return res, nil
+}

@@ -93,12 +93,15 @@ func ParallelDensity(fleets []int, workers int) (*Result, error) {
 	return r, nil
 }
 
-// parallelComputeSrc is the busy guest: a counted add loop, then HALT.
+// parallelComputeSrc is the busy guest: a counted add loop that stores
+// its result (so a cloned instance privatizes at least one page), then
+// HALT.
 const parallelComputeSrc = `
 start:	clrl r0
 	movl #200000, r1
 loop:	addl2 #7, r0
 	sobgtr r1, loop
+	movl r0, @#0x80006000
 	halt
 `
 
@@ -114,6 +117,7 @@ loop:	wait
 // fleetResult carries one fleet run's measurements.
 type fleetResult struct {
 	instrs  uint64
+	setup   time.Duration // monitor creation + fleet bring-up (images excluded)
 	elapsed time.Duration
 	sched   core.ParallelRunStats
 }
@@ -141,6 +145,7 @@ func runFleet(n, idlers, workers int, cache *mem.Cache) (fleetResult, error) {
 		// timeout keeps the idle portion of the run brief.
 		cfg.WaitTimeout = 2
 	}
+	tSetup := time.Now()
 	k := core.New(memBytes, cfg)
 	vms := make([]*core.VM, n)
 	for i := range vms {
@@ -159,9 +164,10 @@ func runFleet(n, idlers, workers int, cache *mem.Cache) (fleetResult, error) {
 		vm.ISP = vax.SystemBase + 0x8800
 		vms[i] = vm
 	}
+	setup := time.Since(tSetup)
 	t0 := time.Now()
 	k.Run(0)
-	res := fleetResult{elapsed: time.Since(t0)}
+	res := fleetResult{setup: setup, elapsed: time.Since(t0)}
 	for _, vm := range vms {
 		if halted, msg := vm.Halted(); !halted || msg != vmHaltNormal {
 			return fleetResult{}, fmt.Errorf("%s did not halt normally (%q)", vm.Name(), msg)

@@ -142,15 +142,45 @@ func (m *Memory) StoreBytes(addr uint32, b []byte) error {
 	return nil
 }
 
+// Window returns the live backing slice for [addr, addr+n): no copy,
+// valid until Release. Intended for bulk scanners (the COW alias sweep
+// walks whole shadow tables) where per-longword Load calls would pay a
+// bounds check and a decode per entry.
+func (m *Memory) Window(addr, n uint32) ([]byte, error) {
+	if !m.Contains(addr, n) {
+		return nil, &BusError{Addr: addr}
+	}
+	return m.data[addr : addr+n : addr+n], nil
+}
+
+// CopyPage copies page frame src into page frame dst — the data
+// movement of one COW break.
+func (m *Memory) CopyPage(dst, src uint32) error {
+	da, sa := dst*vax.PageSize, src*vax.PageSize
+	if !m.Contains(da, vax.PageSize) {
+		return &BusError{Addr: da, Write: true}
+	}
+	if !m.Contains(sa, vax.PageSize) {
+		return &BusError{Addr: sa}
+	}
+	copy(m.data[da:da+vax.PageSize], m.data[sa:sa+vax.PageSize])
+	return nil
+}
+
 // ZeroPage clears the page frame pfn.
 func (m *Memory) ZeroPage(pfn uint32) error {
+	return m.ZeroRun(pfn, 1)
+}
+
+// ZeroRun clears n consecutive page frames starting at pfn in one
+// memclr — the bulk path behind page-frame allocation, where a
+// per-byte loop shows up directly in VM-creation latency.
+func (m *Memory) ZeroRun(pfn, n uint32) error {
 	addr := pfn * vax.PageSize
-	if !m.Contains(addr, vax.PageSize) {
+	if !m.Contains(addr, n*vax.PageSize) {
 		return &BusError{Addr: addr, Write: true}
 	}
-	for i := range m.data[addr : addr+vax.PageSize] {
-		m.data[addr+uint32(i)] = 0
-	}
+	clear(m.data[addr : addr+n*vax.PageSize])
 	return nil
 }
 

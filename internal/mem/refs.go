@@ -1,0 +1,61 @@
+package mem
+
+import "sync/atomic"
+
+// PageRefs tracks how many VMs reference each physical page frame, the
+// bookkeeping behind copy-on-write cloning. A count of 0 or 1 means the
+// frame is exclusively owned (0 is the common case: frames of VMs that
+// have never been cloned are not tracked at all); a count above 1 means
+// the frame backs more than one VM and must not be written in place.
+//
+// Counts are atomics because COW breaks run concurrently on the
+// parallel engine's worker shards: two clones of the same source can
+// break the same shared frame at the same time, and each must observe
+// the other's decrement. The slice itself is sized once at VMM
+// construction (one counter per physical frame, four bytes each) and
+// never grows, so readers need no lock.
+type PageRefs struct {
+	counts []atomic.Uint32
+}
+
+// NewPageRefs builds a refcount table covering pages frames.
+func NewPageRefs(pages uint32) *PageRefs {
+	return &PageRefs{counts: make([]atomic.Uint32, pages)}
+}
+
+// Shared reports whether frame pfn backs more than one VM. A write to a
+// shared frame must COW-break first.
+func (r *PageRefs) Shared(pfn uint32) bool {
+	return r.counts[pfn].Load() > 1
+}
+
+// Refs returns the current count for frame pfn (0 = untracked).
+func (r *PageRefs) Refs(pfn uint32) uint32 {
+	return r.counts[pfn].Load()
+}
+
+// Share records one more reference to frame pfn. An untracked frame
+// (count 0) becomes shared between its existing owner and the new
+// reference, so the count jumps to 2.
+func (r *PageRefs) Share(pfn uint32) {
+	if r.counts[pfn].CompareAndSwap(0, 2) {
+		return
+	}
+	r.counts[pfn].Add(1)
+}
+
+// Drop releases one reference to frame pfn and reports whether the
+// caller was the last holder (count reached zero — the frame is free to
+// recycle). Dropping an untracked frame reports true without touching
+// the counter.
+func (r *PageRefs) Drop(pfn uint32) bool {
+	for {
+		n := r.counts[pfn].Load()
+		if n == 0 {
+			return true
+		}
+		if r.counts[pfn].CompareAndSwap(n, n-1) {
+			return n == 1
+		}
+	}
+}

@@ -638,6 +638,21 @@ func (m *Monitor) stat() string {
 	}
 	ks := m.VMM.Stats
 	out += fmt.Sprintf("shadow-pool %d/%d hit/miss\n", ks.ShadowPoolHits, ks.ShadowPoolMisses)
+	if nominal := m.VMM.NominalPages(); nominal > 0 {
+		out += fmt.Sprintf("pages: carved %d  nominal %d  backing %d\n",
+			m.VMM.CarvedPages(), nominal, m.VMM.Mem.Pages())
+	}
+	for _, vm := range m.VMM.VMs() {
+		vs := vm.Stats
+		if vs.SharedPages == 0 && vs.COWBreaks == 0 && vs.PrivatePages == 0 {
+			continue // never took part in cloning: fully resident
+		}
+		nominal := uint64(vm.MemSize / vax.PageSize)
+		resident := vm.ResidentPages()
+		out += fmt.Sprintf("vm%d %s: resident %d/%d pages (%d%%)  shared %d  private %d  cow-breaks %d\n",
+			vm.ID, vm.Name(), resident, nominal, resident*100/nominal,
+			vs.SharedPages, vs.PrivatePages, vs.COWBreaks)
+	}
 	for _, vm := range m.VMM.VMs() {
 		vs := vm.Stats
 		if vs.FillBatches == 0 && vs.BatchFills == 0 && vs.SlowPathAllocs == 0 {
@@ -656,8 +671,9 @@ func (m *Monitor) stat() string {
 			"parallel: %d workers  %d vms  steps %d  instrs %d\nsched: dispatches %d  steals %d  parks %d  wakes %d  idle-wakes %d  max-queue %d\n",
 			pr.Workers, pr.VMs, pr.Steps, pr.Instrs,
 			pr.Dispatches, pr.Steals, pr.Parks, pr.Wakes, pr.IdleWakes, pr.MaxQueueDepth)
-		out += fmt.Sprintf("parallel: worker-steps %d min / %d max  decode %d/%d hit/miss\n",
-			pr.MinWorkerSteps, pr.MaxWorkerSteps, pr.DecodeHits, pr.DecodeMisses)
+		out += fmt.Sprintf("parallel: worker-steps %d min / %d max  occupancy %d%%  decode %d/%d hit/miss\n",
+			pr.MinWorkerSteps, pr.MaxWorkerSteps, pr.OccupancyPermille()/10,
+			pr.DecodeHits, pr.DecodeMisses)
 		if pr.SBBuilds > 0 || pr.SBEnters > 0 {
 			out += fmt.Sprintf("parallel: sb-builds %d  sb-enters %d  sb-steps %d  sb-invalidations %d\n",
 				pr.SBBuilds, pr.SBEnters, pr.SBSteps, pr.SBInvalidations)

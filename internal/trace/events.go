@@ -37,6 +37,7 @@ const (
 	EvCheckpoint               // checkpoint generation taken; arg = sequence
 	EvRecover                  // VM restored from a checkpoint; arg = generation
 	EvTraceCompile             // superblock installed by the hot-trace tier; arg = start VA
+	EvCowBreak                 // copy-on-write break: shared page privatized; arg = VM page frame
 
 	NumKinds
 )
@@ -46,6 +47,7 @@ var kindNames = [NumKinds]string{
 	"virtual-irq", "kcall-start", "kcall-done", "kcall-retry",
 	"sched-run", "sched-park", "watchdog-trip", "machine-check",
 	"sched-steal", "checkpoint", "recover", "trace-compile",
+	"cow-break",
 }
 
 func (k Kind) String() string {
@@ -75,11 +77,12 @@ const (
 	LatShadowFill            // one demand fill, including any batch
 	LatKCall                 // KCALL entry to completion, retries included
 	LatRecover               // supervisor recovery, death detection to resume-ready
+	LatCowBreak              // one COW break, fault to private page mapped
 
 	NumLat
 )
 
-var latNames = [NumLat]string{"trap", "shadow_fill", "kcall", "recover"}
+var latNames = [NumLat]string{"trap", "shadow_fill", "kcall", "recover", "cow_break"}
 
 func (l Lat) String() string {
 	if l < NumLat {

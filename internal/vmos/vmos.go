@@ -14,6 +14,7 @@ package vmos
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"strings"
 	"sync"
 
@@ -147,7 +148,32 @@ type Image struct {
 	Kernel *asm.Program
 	// EntryPC is the kernel entry point (an S-space address).
 	EntryPC uint32
+	// pin fingerprints Bytes at build time. The memoized image is the
+	// golden source that every boot — and, through COW cloning, whole
+	// fleets of VMs — copies from; a caller scribbling on the shared
+	// slice would silently corrupt every machine built after it. The
+	// pin makes that detectable instead.
+	pin uint32
 }
+
+// Fingerprint returns the golden image's build-time content hash.
+func (im *Image) Fingerprint() uint32 { return im.pin }
+
+// VerifyPinned recomputes the image fingerprint and reports drift: a
+// non-nil error means some caller mutated the shared golden bytes after
+// Build memoized them.
+func (im *Image) VerifyPinned() error {
+	if got := crc32.Checksum(im.Bytes, crcTable); got != im.pin {
+		return fmt.Errorf("vmos: golden image mutated since build (pin %#x, now %#x)",
+			im.pin, got)
+	}
+	return nil
+}
+
+// crcTable backs the golden-image pin (Castagnoli: hardware-assisted
+// on the hosts that matter, and collision behavior is irrelevant here —
+// the pin detects accidental mutation, not adversaries).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Symbol returns the S-space address of a kernel symbol.
 func (im *Image) Symbol(name string) uint32 { return im.Kernel.MustSymbol(name) }
@@ -176,19 +202,26 @@ var buildCache = struct {
 	m  map[string]*Image
 }{m: make(map[string]*Image)}
 
-// Build assembles a MiniOS image (memoized per Config).
+// Build assembles a MiniOS image (memoized per Config). A cache hit
+// re-verifies the golden image's pin before handing it out, so a caller
+// that mutated the shared bytes is caught at the next Build instead of
+// corrupting every machine booted afterward.
 func Build(cfg Config) (*Image, error) {
 	key := fmt.Sprintf("%+v", cfg)
 	buildCache.mu.Lock()
 	im := buildCache.m[key]
 	buildCache.mu.Unlock()
 	if im != nil {
+		if err := im.VerifyPinned(); err != nil {
+			return nil, err
+		}
 		return im, nil
 	}
 	im, err := build(cfg)
 	if err != nil {
 		return nil, err
 	}
+	im.pin = crc32.Checksum(im.Bytes, crcTable)
 	buildCache.mu.Lock()
 	buildCache.m[key] = im
 	buildCache.mu.Unlock()

@@ -520,3 +520,30 @@ func TestSleeperSharesWithWorker(t *testing.T) {
 		t.Errorf("alive = %d", got)
 	}
 }
+
+// TestGoldenImagePin: the memoized Build image is the golden source
+// fleets of clones copy from; mutating its shared bytes must be caught
+// at the next Build rather than silently corrupting later machines.
+func TestGoldenImagePin(t *testing.T) {
+	cfg := vmos.Config{Target: vmos.TargetVM,
+		Processes: []vmos.Process{{Source: "\tchmk #0"}}, NoClock: true}
+	im := buildImage(t, cfg)
+	if im.Fingerprint() == 0 {
+		t.Fatal("built image carries no pin")
+	}
+	if err := im.VerifyPinned(); err != nil {
+		t.Fatalf("pristine image fails verification: %v", err)
+	}
+	again := buildImage(t, cfg)
+	if again != im {
+		t.Fatal("second Build did not hit the memo cache")
+	}
+	im.Bytes[vmos.KernelPhys] ^= 0xFF
+	defer func() { im.Bytes[vmos.KernelPhys] ^= 0xFF }()
+	if err := im.VerifyPinned(); err == nil {
+		t.Error("mutated image passes verification")
+	}
+	if _, err := vmos.Build(cfg); err == nil {
+		t.Error("Build handed out a mutated golden image")
+	}
+}
