@@ -11,7 +11,28 @@
 #                              # ns/op or allocs/op on the E-series
 #                              # benchmarks fails the run
 #   ./ci.sh bench --warn-only  # report regressions without failing
+#   ./ci.sh soak-smoke         # fleet-API soak gate: 200+ HTTP-driven
+#                              # VM lifecycles, zero leaked VMs/pages,
+#                              # p99 latency per phase reported
+#   ./ci.sh soak-smoke --warn-only
 set -eu
+
+if [ "${1:-}" = "soak-smoke" ]; then
+    warn_only=0
+    [ "${2:-}" = "--warn-only" ] && warn_only=1
+    echo "== fleet-API soak smoke (two epochs x 100 lifecycles, leak gate)"
+    if go run ./cmd/experiments -soak -lifecycles 100 -clients 8 -tenants 4; then
+        echo "soak smoke OK"
+    else
+        if [ "$warn_only" = 1 ]; then
+            echo "soak smoke failed (warn-only): not failing" >&2
+        else
+            echo "soak smoke failed; rerun with --warn-only to continue anyway" >&2
+            exit 1
+        fi
+    fi
+    exit 0
+fi
 
 if [ "${1:-}" = "bench" ]; then
     warn_only=0
@@ -257,6 +278,9 @@ go test -run 'TestCloneSmokeParity$' -count=1 ./internal/core/ > /dev/null
 
 echo "== clone fleet bring-up (wall-clock, informational)"
 go run ./cmd/experiments -clone -vms 256
+
+echo "== fleet-API soak smoke (200+ lifecycles over HTTP, leak gate)"
+./ci.sh soak-smoke
 
 echo "== fault-injection campaign (fixed seeds)"
 go run ./cmd/experiments -faults -seeds 8 -seedbase 1 > /dev/null

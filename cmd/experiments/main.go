@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/monitor"
 )
 
 func main() {
@@ -52,6 +53,10 @@ func run() int {
 		"flight-recorder ring capacity per VM; 0 disables tracing (also VAX_TRACE)")
 	translate := flag.Bool("translate", exp.Translation,
 		"enable the hot-trace superblock translation tier (also VAX_TRANSLATE)")
+	soak := flag.Bool("soak", false, "run the fleet-API soak: concurrent HTTP-driven VM lifecycles with leak and latency gates")
+	lifecycles := flag.Int("lifecycles", 2000, "total VM lifecycles (with -soak)")
+	clients := flag.Int("clients", 8, "concurrent API clients (with -soak)")
+	tenants := flag.Int("tenants", 4, "tenants the lifecycles spread across (with -soak)")
 	flag.Parse()
 	exp.RecorderCap = *traceCap
 	exp.Translation = *translate
@@ -87,6 +92,27 @@ func run() int {
 	if *list {
 		for _, s := range exp.All() {
 			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return 0
+	}
+
+	if *soak {
+		rep, err := monitor.Soak(monitor.SoakOptions{
+			Lifecycles: *lifecycles,
+			Clients:    *clients,
+			Tenants:    *tenants,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			return 2
+		}
+		fmt.Println(rep)
+		if rep.Errors > 0 || rep.Leaked() {
+			fmt.Fprintln(os.Stderr, "soak failed: lifecycle errors or leaked VMs/pages")
+			return 1
 		}
 		return 0
 	}

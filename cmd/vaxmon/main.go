@@ -1,16 +1,20 @@
 // Command vaxmon is an interactive monitor (debugger) for the simulated
 // VAX: it boots MiniOS — bare or inside a VM — and drops into a command
 // loop with stepping, breakpoints, disassembly and memory inspection.
+// In -vm mode it also carries the fleet control plane: lifecycle
+// commands on the REPL, and the same commands over HTTP with -http.
 //
 // Usage:
 //
 //	vaxmon                  # MiniOS on a bare standard VAX
 //	vaxmon -vm              # MiniOS in a virtual machine under the VMM
 //	vaxmon -vm -trace 8192  # with a larger flight-recorder ring
-//	vaxmon -vm -http :9110  # serve /metrics and /metrics.json
+//	vaxmon -vm -http :9110  # serve the fleet API, /metrics, /metrics.json
+//	vaxmon -vm -http :9110 -serve   # and drive the fleet in the background
 //	vaxmon -workload tp
 //
-// Try: help, dis, step 20, break chmk_h, continue, regs, stat, trace, hist.
+// Try: help, dis, step 20, break chmk_h, continue, regs, stat, trace,
+// hist, create, clone 1, snapshot 1, fleet.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fleet"
 	"repro/internal/monitor"
 	"repro/internal/trace"
 	"repro/internal/vmos"
@@ -35,9 +40,11 @@ func main() {
 	traceCap := flag.Int("trace", 4096,
 		"flight-recorder ring capacity per VM in -vm mode; 0 disables tracing")
 	httpAddr := flag.String("http", "",
-		"serve Prometheus (/metrics) and JSON (/metrics.json) exports on this address")
+		"serve the fleet API (/v1), Prometheus (/metrics) and JSON (/metrics.json) on this address")
 	translate := flag.Bool("translate", false,
 		"enable the hot-trace superblock translation tier")
+	serve := flag.Bool("serve", false,
+		"drive the fleet continuously in the background (for API-driven use)")
 	flag.Parse()
 
 	var procs []vmos.Process
@@ -73,9 +80,7 @@ func main() {
 		if *traceCap > 0 {
 			opts = append(opts, core.WithRecorder(trace.NewRecorder(*traceCap)))
 		}
-		if *translate {
-			opts = append(opts, core.WithTranslation(true))
-		}
+		opts = append(opts, core.WithTranslation(*translate))
 		k := core.New(16<<20, core.Config{}, opts...)
 		if _, err := vmos.BootVM(k, im, 16); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -84,6 +89,7 @@ func main() {
 		k.Run(1) // enter the VM so PC/PSL show guest state
 		mon = monitor.New(k.CPU)
 		mon.VMM = k
+		mon.Fleet = fleet.NewManager(k, fleet.Config{})
 	} else {
 		ma, err := vmos.BootBare(im, cpu.StandardVAX, 16)
 		if err != nil {
@@ -95,12 +101,22 @@ func main() {
 	}
 	mon.Symbols = im.Kernel.Symbols
 
-	// mu serializes the REPL against the export handlers: the machine
-	// is single-threaded, so an HTTP scrape must never observe (or
-	// race with) a step in progress.
+	// mu serializes the REPL against the HTTP handlers and the fleet
+	// drive loop: the machine is single-threaded, so an API call must
+	// never observe (or race with) a step in progress.
 	var mu sync.Mutex
 	if *httpAddr != "" {
-		serveMetrics(*httpAddr, mon, &mu)
+		handler := monitor.APIHandler(mon, &mu)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, handler); err != nil {
+				fmt.Fprintln(os.Stderr, "http:", err)
+			}
+		}()
+		fmt.Printf("fleet API on http://%s/v1, metrics on /metrics and /metrics.json\n", *httpAddr)
+	}
+	if *serve && mon.Fleet != nil {
+		mon.Fleet.Start(&mu)
+		defer mon.Fleet.Stop()
 	}
 
 	fmt.Printf("MiniOS monitor — %s, %d process(es). Type help.\n", target, len(procs))
@@ -119,54 +135,6 @@ func main() {
 		}
 		fmt.Print("vax> ")
 	}
-}
-
-// sources collects every counter source the machine exposes.
-func sources(mon *monitor.Monitor) []trace.Source {
-	srcs := []trace.Source{mon.CPU, mon.CPU.MMU}
-	if mon.VMM != nil {
-		srcs = append(srcs, mon.VMM)
-		for _, vm := range mon.VMM.VMs() {
-			srcs = append(srcs, vm)
-		}
-		// The merged totals of the last parallel run carry the scheduler
-		// counters (and the worker_occupancy_permille balance ratio) that
-		// no per-VM or monitor source exposes.
-		if pr := mon.VMM.LastParallelRun(); pr.VMs > 0 {
-			srcs = append(srcs, pr)
-		}
-	}
-	return srcs
-}
-
-// serveMetrics starts the opt-in export listener.
-func serveMetrics(addr string, mon *monitor.Monitor, mu *sync.Mutex) {
-	recorder := func() *trace.Recorder {
-		if mon.VMM == nil {
-			return nil
-		}
-		return mon.VMM.Recorder()
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		mu.Lock()
-		defer mu.Unlock()
-		trace.WritePrometheus(w, trace.CaptureAll(sources(mon)...), recorder())
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-		mu.Lock()
-		defer mu.Unlock()
-		w.Header().Set("Content-Type", "application/json")
-		if err := trace.WriteJSON(w, trace.CaptureAll(sources(mon)...), recorder()); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics.json:", err)
-		}
-	})
-	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
-			fmt.Fprintln(os.Stderr, "http:", err)
-		}
-	}()
-	fmt.Printf("metrics on http://%s/metrics and /metrics.json\n", addr)
 }
 
 func must(m *monitor.Monitor, cmd string, mu *sync.Mutex) string {

@@ -41,6 +41,8 @@ const (
 	AuditVMRecovered       // supervisor restored a VM from a checkpoint
 	AuditRecoveryFallback  // a generation failed validation; older one tried
 	AuditRecoveryEscalated // recovery abandoned: VM halted permanently
+
+	AuditVMDestroyed // halted VM unregistered, pages recycled
 )
 
 func (k AuditKind) String() string {
@@ -79,6 +81,8 @@ func (k AuditKind) String() string {
 		return "recovery-fallback"
 	case AuditRecoveryEscalated:
 		return "recovery-escalated"
+	case AuditVMDestroyed:
+		return "vm-destroyed"
 	}
 	return fmt.Sprintf("audit(%d)", uint8(k))
 }

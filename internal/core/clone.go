@@ -78,8 +78,11 @@ func (k *VMM) Clone(src *VM, name string) (*VM, error) {
 	if src.halted {
 		return nil, fmt.Errorf("vmm: cannot clone a halted VM (%s)", src.haltMsg)
 	}
-	k.captureLive(src)
 	pages := src.MemSize / vax.PageSize
+	if err := k.checkQuota(pages); err != nil {
+		return nil, err
+	}
+	k.captureLive(src)
 
 	k.shared.mu.Lock()
 	if k.shared.refs == nil {
@@ -113,7 +116,7 @@ func (k *VMM) Clone(src *VM, name string) (*VM, error) {
 	}
 
 	vm := &VM{
-		ID:       len(k.vms),
+		ID:       k.nextID,
 		name:     name,
 		MemBase:  cloneBaseSentinel,
 		MemSize:  src.MemSize,
@@ -164,6 +167,7 @@ func (k *VMM) Clone(src *VM, name string) (*VM, error) {
 	vm.disk = src.disk.clone()
 	vm.Stats.SharedPages = uint64(pages)
 
+	k.nextID++
 	k.vms = append(k.vms, vm)
 	k.record(vm, AuditVMCreated,
 		fmt.Sprintf("cloned from %s (%d shared pages)", src.name, pages))

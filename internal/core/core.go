@@ -190,6 +190,11 @@ type Config struct {
 	// across goroutines never contends on the pool lock. Usually set
 	// via WithMemCache.
 	MemCache *mem.Cache
+
+	// Quota is the whole-monitor admission limit on VMs and nominal
+	// pages (see quota.go); the zero value admits everything. Usually
+	// set via WithQuota.
+	Quota Quota
 }
 
 func (cfg Config) withDefaults() Config {
@@ -303,6 +308,12 @@ type VMM struct {
 	cfg Config
 	vms []*VM
 	cur int // index of the VM owning the processor, -1 = none
+
+	// nextID is the monotonic VM ID counter. IDs used to be the VM's
+	// index in vms, which DestroyVM would recycle; with the counter a
+	// destroyed VM's ID is never reissued (while nothing is destroyed
+	// the numbering is identical to the old scheme).
+	nextID int
 
 	shared *vmmShared
 	parent *VMM       // non-nil on a per-worker shard of a parallel run
@@ -525,6 +536,28 @@ func (k *VMM) allocRun(n uint32) (uint32, error) {
 	k.shared.mu.Unlock()
 	k.Stats.ShadowPoolMisses++
 	return k.allocPagesRaw(n)
+}
+
+// takeRun takes a recycled run of exactly n pages if one is pooled,
+// without touching the shadow-pool statistics — it backs CreateVM's
+// reuse of destroyed-VM memory, and the pool is empty on monitors that
+// never destroy, so the counters (and allocation behavior) of every
+// existing harness stay byte-identical. The run comes back with stale
+// contents; the caller zeroes it and drops cached decodes.
+func (k *VMM) takeRun(n uint32) (uint32, bool) {
+	if local := k.alloc.runs[n]; len(local) > 0 {
+		p := local[len(local)-1]
+		k.alloc.runs[n] = local[:len(local)-1]
+		return p, true
+	}
+	k.shared.mu.Lock()
+	defer k.shared.mu.Unlock()
+	if runs := k.shared.pageRuns[n]; len(runs) > 0 {
+		p := runs[len(runs)-1]
+		k.shared.pageRuns[n] = runs[:len(runs)-1]
+		return p, true
+	}
+	return 0, false
 }
 
 // freeRun parks a page run for recycling. The root goes straight to

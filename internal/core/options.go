@@ -69,6 +69,37 @@ func WithMemCache(c *mem.Cache) Option {
 	return func(cfg *Config) { cfg.MemCache = c }
 }
 
+// WithScheme selects the ring virtualization strategy (Section 7.1).
+func WithScheme(s RingScheme) Option {
+	return func(cfg *Config) { cfg.Scheme = s }
+}
+
+// WithShadowCacheSlots sets the number of per-process shadow page
+// tables cached per VM (Section 7.2; 0 or 1 means no caching).
+func WithShadowCacheSlots(n int) Option {
+	return func(cfg *Config) { cfg.ShadowCacheSlots = n }
+}
+
+// WithPrefetchGroup sets the number of consecutive shadow PTEs filled
+// per fault (Section 4.3.1's rejected experiment; 0 or 1 means pure
+// on-demand fill).
+func WithPrefetchGroup(n int) Option {
+	return func(cfg *Config) { cfg.PrefetchGroup = n }
+}
+
+// WithMMIO selects emulated memory-mapped I/O instead of the KCALL
+// start-I/O interface (Section 4.4.3).
+func WithMMIO(on bool) Option {
+	return func(cfg *Config) { cfg.MMIOEmulatedIO = on }
+}
+
+// WithQuota bounds what the monitor will admit: CreateVM and Clone
+// fail with a *QuotaError once the limit would be breached. The fleet
+// manager layers per-tenant budgets above this whole-machine backstop.
+func WithQuota(q Quota) Option {
+	return func(cfg *Config) { cfg.Quota = q }
+}
+
 // Validate rejects configurations that clamping cannot repair. The
 // withDefaults pass already absorbs zero values and mild negatives;
 // what remains invalid here is a magnitude that would make the machine

@@ -254,26 +254,44 @@ func (k *VMM) CreateVM(cfg VMConfig) (*VM, error) {
 		cfg.MemBytes = 1 << 20
 	}
 	pages := (cfg.MemBytes + vax.PageSize - 1) / vax.PageSize
-	base, err := k.allocPages(pages)
-	if err != nil {
+	if err := k.checkQuota(pages); err != nil {
 		return nil, err
 	}
+	// Prefer a recycled run of this exact geometry (DestroyVM parks
+	// them) over carving fresh pages; recycled runs carry the previous
+	// owner's bytes and possibly cached decodes, so restore the
+	// allocPages contract by hand.
+	base, recycled := k.takeRun(pages)
+	if recycled {
+		k.CPU.InvalidateDecode(base*vax.PageSize, pages*vax.PageSize)
+		if err := k.zeroPages(base, pages); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if base, err = k.allocPages(pages); err != nil {
+			return nil, err
+		}
+	}
 	vm := &VM{
-		ID:      len(k.vms),
+		ID:      k.nextID,
 		name:    cfg.Name,
 		MemBase: base * vax.PageSize,
 		MemSize: pages * vax.PageSize,
 		k:       k,
 	}
+	k.nextID++
 	if vm.name == "" {
 		vm.name = defaultVMName(vm.ID)
 	}
 	if k.rec != nil {
 		vm.rec = k.rec.VM(vm.ID, vm.name)
 	}
-	if vm.shadow, err = k.newShadowSpace(vm); err != nil {
+	shadow, err := k.newShadowSpace(vm)
+	if err != nil {
 		return nil, err
 	}
+	vm.shadow = shadow
 	if len(cfg.Image) > 0 {
 		host, ok := vm.hostAddr(cfg.LoadAt, uint32(len(cfg.Image)))
 		if !ok {
@@ -663,6 +681,18 @@ const (
 	haltWatchdog
 	haltNoHandler
 )
+
+// HaltVM stops a VM from outside the machine — the operator/API
+// "power off" the fleet control plane issues. The halt is fatal (no
+// supervisor rollback) and releases the VM's shadow-table runs; the
+// memory itself is recycled by DestroyVM. Call on the root monitor
+// while no run is in flight; a no-op on an already-halted VM.
+func (k *VMM) HaltVM(vm *VM, msg string) {
+	if k.parent != nil || vm == nil || vm.k != k || vm.halted {
+		return
+	}
+	k.haltVM(vm, msg)
+}
 
 // haltVM stops a VM permanently — the response to HALT in VM-kernel
 // mode and to references to nonexistent memory ("we respond by halting

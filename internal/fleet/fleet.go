@@ -1,0 +1,605 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vax"
+)
+
+// Quota is a per-tenant admission budget. Zero values disable each
+// check. Pages ride the COW accounting of the monitor (nominal pages:
+// what the tenant's VMs are configured with, shared or not); cycles
+// ride the per-VM CyclesUsed machinery the watchdog uses.
+type Quota struct {
+	MaxVMs    int    `json:"max_vms,omitempty"`
+	MaxPages  uint32 `json:"max_pages,omitempty"`
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// DefaultQuota applies to tenants without an explicit SetQuota.
+	DefaultQuota Quota
+	// SnapshotCap bounds the in-memory snapshot store; the oldest
+	// snapshot is evicted beyond it (0 selects 64). The store must be
+	// bounded or a snapshot-heavy soak would read as a leak.
+	SnapshotCap int
+	// Quantum is the drive loop's Run budget per lock acquisition, in
+	// processor steps (0 selects 50000). Smaller quanta give API calls
+	// lower latency; larger ones less lock churn.
+	Quantum uint64
+}
+
+// DefaultTenant is the tenant of unlabeled requests and adopted VMs.
+const DefaultTenant = "default"
+
+// Manager is the fleet control plane over one monitor. Its methods
+// touch the machine and are NOT internally locked: the caller — the
+// command registry under the REPL/HTTP mutex, or the drive loop —
+// serializes them, the same single-writer discipline the machine has
+// always had.
+type Manager struct {
+	k   *core.VMM
+	cfg Config
+
+	meta    map[int]*vmMeta
+	tenants map[string]*tenant
+
+	snaps   map[string]*snapshotRec
+	snapIDs []string // FIFO eviction order
+	snapSeq int
+
+	stop chan struct{}
+	done chan struct{}
+	// waiters counts API callers queued for the drive mutex; the drive
+	// loop yields instead of re-locking while any are waiting, so an
+	// API call's latency is bounded by one quantum, not lock fairness
+	// (a bare mutex lets the relocking drive loop barge for tens of
+	// milliseconds).
+	waiters atomic.Int32
+}
+
+type vmMeta struct {
+	vm       *core.VM
+	tenant   string
+	workload string
+	// consOff is the console-output byte boundary already streamed to
+	// the API consumer; snapshots record it so a restored VM's stream
+	// resumes here instead of replaying bytes the client already saw.
+	consOff int
+}
+
+type tenant struct {
+	name      string
+	quota     Quota
+	usedCyc   uint64 // cycles banked from destroyed VMs
+	exhausted bool   // cycle budget ran dry: admission refused
+}
+
+type snapshotRec struct {
+	id       string
+	tenant   string
+	workload string
+	pages    uint32
+	image    []byte
+	observed int // console bytes streamed at snapshot time
+}
+
+// NewManager wraps an existing monitor. VMs already created (vaxmon's
+// booted MiniOS, harness fleets) are adopted under the default tenant.
+func NewManager(k *core.VMM, cfg Config) *Manager {
+	if cfg.SnapshotCap <= 0 {
+		cfg.SnapshotCap = 64
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 50_000
+	}
+	m := &Manager{
+		k:       k,
+		cfg:     cfg,
+		meta:    make(map[int]*vmMeta),
+		tenants: make(map[string]*tenant),
+		snaps:   make(map[string]*snapshotRec),
+	}
+	for _, vm := range k.VMs() {
+		m.meta[vm.ID] = &vmMeta{vm: vm, tenant: DefaultTenant}
+	}
+	return m
+}
+
+// Monitor returns the wrapped core.VMM.
+func (m *Manager) Monitor() *core.VMM { return m.k }
+
+// tenantFor returns (creating on first use) the tenant record.
+func (m *Manager) tenantFor(name string) *tenant {
+	if name == "" {
+		name = DefaultTenant
+	}
+	t, ok := m.tenants[name]
+	if !ok {
+		t = &tenant{name: name, quota: m.cfg.DefaultQuota}
+		m.tenants[name] = t
+	}
+	return t
+}
+
+// SetQuota installs a tenant's admission budget (replacing the
+// default) and re-arms a tenant that was exhausted under a smaller
+// cycle budget.
+func (m *Manager) SetQuota(name string, q Quota) {
+	t := m.tenantFor(name)
+	t.quota = q
+	if q.MaxCycles == 0 || m.tenantCycles(t) <= q.MaxCycles {
+		t.exhausted = false
+	}
+}
+
+// tenantCycles is a tenant's lifetime cycle consumption: banked cycles
+// of destroyed VMs plus the live accounting of every current VM.
+func (m *Manager) tenantCycles(t *tenant) uint64 {
+	total := t.usedCyc
+	for _, mt := range m.meta {
+		if mt.tenant == t.name {
+			total += mt.vm.CyclesUsed()
+		}
+	}
+	return total
+}
+
+func (m *Manager) tenantVMs(name string) (live int, pages uint32) {
+	for _, mt := range m.meta {
+		if mt.tenant != name {
+			continue
+		}
+		pages += mt.vm.MemSize / vax.PageSize
+		if halted, _ := mt.vm.Halted(); !halted {
+			live++
+		}
+	}
+	return live, pages
+}
+
+// admit applies the tenant's quota to adding one VM of addPages pages.
+func (m *Manager) admit(t *tenant, addPages uint32) error {
+	if t.exhausted {
+		return BudgetExhausted("tenant %s cycle budget %d exhausted", t.name, t.quota.MaxCycles)
+	}
+	live, pages := m.tenantVMs(t.name)
+	if q := t.quota.MaxVMs; q > 0 && live+1 > q {
+		return QuotaExceeded("tenant %s vm limit %d reached", t.name, q)
+	}
+	if q := t.quota.MaxPages; q > 0 && pages+addPages > q {
+		return QuotaExceeded("tenant %s page budget %d exceeded (holds %d, wants %d more)",
+			t.name, q, pages, addPages)
+	}
+	return nil
+}
+
+// Spec describes a VM to create.
+type Spec struct {
+	Name     string `json:"name"`
+	Workload string `json:"workload"` // stamp (default), compute, hello
+	Tenant   string `json:"tenant"`
+}
+
+// Create builds a new VM from a built-in guest workload.
+func (m *Manager) Create(spec Spec) (VMInfo, error) {
+	if spec.Workload == "" {
+		spec.Workload = "stamp"
+	}
+	t := m.tenantFor(spec.Tenant)
+	g, err := guestImage(spec.Workload)
+	if err != nil {
+		return VMInfo{}, err
+	}
+	if err := m.admit(t, guestMem/vax.PageSize); err != nil {
+		return VMInfo{}, err
+	}
+	vm, err := m.k.CreateVM(core.VMConfig{
+		Name: spec.Name, MemBytes: guestMem, Image: g.image,
+		StartPC: g.start, PreMapped: true, SBR: guestSPT, SLR: guestSPTLen,
+	})
+	if err != nil {
+		return VMInfo{}, wrapCore(err)
+	}
+	vm.SPs[vax.Kernel] = guestKSP
+	vm.ISP = guestISP
+	m.meta[vm.ID] = &vmMeta{vm: vm, tenant: t.name, workload: spec.Workload}
+	return m.info(m.meta[vm.ID]), nil
+}
+
+// CloneVM stamps a COW clone of a live VM (the golden-image path).
+func (m *Manager) CloneVM(srcID int, name, tenantName string) (VMInfo, error) {
+	src, ok := m.meta[srcID]
+	if !ok {
+		return VMInfo{}, NotFound("no vm with id %d", srcID)
+	}
+	if tenantName == "" {
+		tenantName = src.tenant
+	}
+	t := m.tenantFor(tenantName)
+	if err := m.admit(t, src.vm.MemSize/vax.PageSize); err != nil {
+		return VMInfo{}, err
+	}
+	if halted, msg := src.vm.Halted(); halted {
+		return VMInfo{}, Conflict("vm %d is halted (%s); clone sources must be live", srcID, msg)
+	}
+	vm, err := m.k.Clone(src.vm, name)
+	if err != nil {
+		return VMInfo{}, wrapCore(err)
+	}
+	m.meta[vm.ID] = &vmMeta{vm: vm, tenant: t.name, workload: src.workload}
+	return m.info(m.meta[vm.ID]), nil
+}
+
+// Halt powers a live VM off (fatal: no supervisor rollback).
+func (m *Manager) Halt(id int) (VMInfo, error) {
+	mt, ok := m.meta[id]
+	if !ok {
+		return VMInfo{}, NotFound("no vm with id %d", id)
+	}
+	if halted, msg := mt.vm.Halted(); halted {
+		return VMInfo{}, Conflict("vm %d already halted (%s)", id, msg)
+	}
+	m.k.HaltVM(mt.vm, "halted by operator")
+	return m.info(mt), nil
+}
+
+// SnapInfo describes a stored snapshot.
+type SnapInfo struct {
+	ID     string `json:"id"`
+	VM     int    `json:"vm"`
+	Tenant string `json:"tenant"`
+	Bytes  int    `json:"bytes"`
+}
+
+// Snapshot captures a live VM into the bounded in-memory store (the
+// checkpoint stream of internal/ckpt), recording the console bytes the
+// API has already streamed so a restore resumes at that boundary.
+func (m *Manager) Snapshot(id int) (SnapInfo, error) {
+	mt, ok := m.meta[id]
+	if !ok {
+		return SnapInfo{}, NotFound("no vm with id %d", id)
+	}
+	if halted, msg := mt.vm.Halted(); halted {
+		return SnapInfo{}, Conflict("vm %d is halted (%s); snapshot needs a live VM", id, msg)
+	}
+	img, err := m.k.Snapshot(mt.vm)
+	if err != nil {
+		return SnapInfo{}, Conflict("snapshot vm %d: %v", id, err)
+	}
+	observed := mt.consOff
+	if n := len(mt.vm.ConsoleOutput()); observed > n {
+		observed = n
+	}
+	rec := &snapshotRec{
+		id:       fmt.Sprintf("s%d", m.snapSeq),
+		tenant:   mt.tenant,
+		workload: mt.workload,
+		pages:    mt.vm.MemSize / vax.PageSize,
+		image:    img,
+		observed: observed,
+	}
+	m.snapSeq++
+	m.snaps[rec.id] = rec
+	m.snapIDs = append(m.snapIDs, rec.id)
+	if len(m.snapIDs) > m.cfg.SnapshotCap {
+		delete(m.snaps, m.snapIDs[0])
+		m.snapIDs = m.snapIDs[1:]
+	}
+	return SnapInfo{ID: rec.id, VM: id, Tenant: rec.tenant, Bytes: len(img)}, nil
+}
+
+// SnapshotByID reports a stored snapshot (nil if unknown or evicted).
+func (m *Manager) SnapshotByID(id string) *SnapInfo {
+	rec, ok := m.snaps[id]
+	if !ok {
+		return nil
+	}
+	return &SnapInfo{ID: rec.id, Tenant: rec.tenant, VM: -1, Bytes: len(rec.image)}
+}
+
+// Restore builds a new VM from a stored snapshot, charged to the
+// snapshot's tenant. The console stream cursor resumes at the
+// observed-output boundary recorded by Snapshot, so the API does not
+// replay bytes it already delivered.
+func (m *Manager) Restore(snapID, name string) (VMInfo, error) {
+	rec, ok := m.snaps[snapID]
+	if !ok {
+		return VMInfo{}, NotFound("no snapshot %q (evicted or never taken)", snapID)
+	}
+	t := m.tenantFor(rec.tenant)
+	if err := m.admit(t, rec.pages); err != nil {
+		return VMInfo{}, err
+	}
+	vm, err := m.k.Restore(name, rec.image)
+	if err != nil {
+		return VMInfo{}, wrapCore(err)
+	}
+	mt := &vmMeta{vm: vm, tenant: t.name, workload: rec.workload}
+	mt.consOff = rec.observed
+	if n := len(vm.ConsoleOutput()); mt.consOff > n {
+		mt.consOff = n
+	}
+	m.meta[vm.ID] = mt
+	return m.info(mt), nil
+}
+
+// Destroy unregisters a VM and recycles its pages, halting it first if
+// it is still live. The tenant keeps the cycles the VM consumed — a
+// destroy must not refill a cycle budget.
+func (m *Manager) Destroy(id int) (VMInfo, error) {
+	mt, ok := m.meta[id]
+	if !ok {
+		return VMInfo{}, NotFound("no vm with id %d", id)
+	}
+	if halted, _ := mt.vm.Halted(); !halted {
+		m.k.HaltVM(mt.vm, "destroyed by operator")
+	}
+	info := m.info(mt)
+	m.tenantFor(mt.tenant).usedCyc += mt.vm.CyclesUsed()
+	if err := m.k.DestroyVM(mt.vm); err != nil {
+		return VMInfo{}, Conflict("destroy vm %d: %v", id, err)
+	}
+	delete(m.meta, id)
+	info.State = "destroyed"
+	return info, nil
+}
+
+// Stat reports one VM.
+func (m *Manager) Stat(id int) (VMInfo, error) {
+	mt, ok := m.meta[id]
+	if !ok {
+		return VMInfo{}, NotFound("no vm with id %d", id)
+	}
+	return m.info(mt), nil
+}
+
+// ConsoleChunk is one incremental console read: Data covers [Off,
+// Next) of the VM's output; pass Next back (or rely on the manager's
+// cursor) to stream without replay.
+type ConsoleChunk struct {
+	VM   int    `json:"vm"`
+	Off  int    `json:"off"`
+	Next int    `json:"next"`
+	Data string `json:"data"`
+}
+
+// ConsoleRead returns console output from byte offset off, or from the
+// manager's streamed-output cursor when off is negative. The cursor
+// only ever advances.
+func (m *Manager) ConsoleRead(id, off int) (ConsoleChunk, error) {
+	mt, ok := m.meta[id]
+	if !ok {
+		return ConsoleChunk{}, NotFound("no vm with id %d", id)
+	}
+	out := mt.vm.ConsoleOutput()
+	if off < 0 {
+		off = mt.consOff
+	}
+	if off > len(out) {
+		off = len(out)
+	}
+	if len(out) > mt.consOff {
+		mt.consOff = len(out)
+	}
+	return ConsoleChunk{VM: id, Off: off, Next: len(out), Data: out[off:]}, nil
+}
+
+// ConsoleWrite queues console input for the VM.
+func (m *Manager) ConsoleWrite(id int, data string) error {
+	mt, ok := m.meta[id]
+	if !ok {
+		return NotFound("no vm with id %d", id)
+	}
+	mt.vm.FeedConsole(data)
+	return nil
+}
+
+// VMInfo is the JSON-facing description of one VM.
+type VMInfo struct {
+	ID            int    `json:"id"`
+	Name          string `json:"name"`
+	Tenant        string `json:"tenant"`
+	Workload      string `json:"workload,omitempty"`
+	State         string `json:"state"` // running | halted | destroyed
+	HaltMsg       string `json:"halt_msg,omitempty"`
+	MemKB         uint32 `json:"mem_kb"`
+	Ticks         uint64 `json:"ticks"`
+	Cycles        uint64 `json:"cycles"`
+	ResidentPages uint64 `json:"resident_pages"`
+	ConsoleLen    int    `json:"console_len"`
+}
+
+func (m *Manager) info(mt *vmMeta) VMInfo {
+	vm := mt.vm
+	info := VMInfo{
+		ID: vm.ID, Name: vm.Name(), Tenant: mt.tenant, Workload: mt.workload,
+		State: "running", MemKB: vm.MemSize / 1024, Ticks: vm.Ticks(),
+		Cycles: vm.CyclesUsed(), ResidentPages: vm.ResidentPages(),
+		ConsoleLen: len(vm.ConsoleOutput()),
+	}
+	if halted, msg := vm.Halted(); halted {
+		info.State, info.HaltMsg = "halted", msg
+	}
+	return info
+}
+
+// TenantInfo is the JSON-facing description of one tenant.
+type TenantInfo struct {
+	Name      string `json:"name"`
+	VMs       int    `json:"vms"`
+	Pages     uint32 `json:"pages"`
+	Cycles    uint64 `json:"cycles"`
+	Quota     Quota  `json:"quota"`
+	Exhausted bool   `json:"exhausted,omitempty"`
+}
+
+// FleetInfo is the GET /v1/fleet summary.
+type FleetInfo struct {
+	VMs          []VMInfo     `json:"vms"`
+	Live         int          `json:"live"`
+	FreePages    uint32       `json:"free_pages"`
+	CarvedPages  uint32       `json:"carved_pages"`
+	NominalPages uint32       `json:"nominal_pages"`
+	Snapshots    int          `json:"snapshots"`
+	Tenants      []TenantInfo `json:"tenants"`
+}
+
+// Summary reports the whole fleet.
+func (m *Manager) Summary() FleetInfo {
+	out := FleetInfo{
+		FreePages:    m.k.FreePages(),
+		CarvedPages:  m.k.CarvedPages(),
+		NominalPages: m.k.NominalPages(),
+		Snapshots:    len(m.snaps),
+	}
+	for _, vm := range m.k.VMs() {
+		mt, ok := m.meta[vm.ID]
+		if !ok {
+			// Created behind the manager's back (harness code): adopt.
+			mt = &vmMeta{vm: vm, tenant: DefaultTenant}
+			m.meta[vm.ID] = mt
+		}
+		info := m.info(mt)
+		if info.State == "running" {
+			out.Live++
+		}
+		out.VMs = append(out.VMs, info)
+	}
+	for _, name := range sortedTenants(m.tenants) {
+		t := m.tenants[name]
+		live, pages := m.tenantVMs(t.name)
+		out.Tenants = append(out.Tenants, TenantInfo{
+			Name: t.name, VMs: live, Pages: pages,
+			Cycles: m.tenantCycles(t), Quota: t.quota, Exhausted: t.exhausted,
+		})
+	}
+	return out
+}
+
+func sortedTenants(ts map[string]*tenant) []string {
+	names := make([]string, 0, len(ts))
+	for n := range ts {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ { // insertion sort: tenant counts are tiny
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// enforce applies cycle budgets after a drive quantum: a tenant over
+// its budget has every live VM halted and is marked exhausted, so its
+// neighbors keep the processor — the fleet-level analogue of the
+// per-VM watchdog.
+func (m *Manager) enforce() {
+	for _, t := range m.tenants {
+		if t.quota.MaxCycles == 0 || t.exhausted {
+			continue
+		}
+		if m.tenantCycles(t) <= t.quota.MaxCycles {
+			continue
+		}
+		t.exhausted = true
+		for _, mt := range m.meta {
+			if mt.tenant != t.name {
+				continue
+			}
+			if halted, _ := mt.vm.Halted(); !halted {
+				m.k.HaltVM(mt.vm, fmt.Sprintf("tenant %s cycle budget %d exhausted",
+					t.name, t.quota.MaxCycles))
+			}
+		}
+	}
+}
+
+// DriveOnce runs one scheduling quantum if any VM is live, then
+// enforces cycle budgets. Exported so tests (and a REPL without the
+// background loop) can drive the fleet synchronously under their own
+// lock. Reports whether the machine made progress.
+func (m *Manager) DriveOnce() bool {
+	live := 0
+	for _, vm := range m.k.VMs() {
+		if halted, _ := vm.Halted(); !halted {
+			live++
+		}
+	}
+	if live == 0 {
+		return false
+	}
+	// The machine halts when every VM halts; a later create/clone
+	// needs the processor back.
+	if m.k.CPU.Halted {
+		m.k.CPU.ClearHalt()
+	}
+	m.k.Run(m.cfg.Quantum)
+	m.enforce()
+	return true
+}
+
+// BeginAPI and EndAPI bracket an API caller's wait for the drive
+// mutex: Begin before locking, End once the lock is held. While any
+// caller is bracketed, the drive loop yields instead of re-locking.
+func (m *Manager) BeginAPI() { m.waiters.Add(1) }
+
+// EndAPI ends the bracket opened by BeginAPI.
+func (m *Manager) EndAPI() { m.waiters.Add(-1) }
+
+// Start launches the drive loop: one goroutine that repeatedly takes
+// mu, runs a quantum, and releases it — the same mutex the REPL and
+// HTTP handlers take around registry dispatch, so every API call
+// lands between quanta. Idle fleets (no live VM) back off instead of
+// spinning on the lock, and queued API callers (BeginAPI) always win
+// the next quantum boundary.
+func (m *Manager) Start(mu *sync.Mutex) {
+	if m.stop != nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for m.waiters.Load() > 0 {
+				runtime.Gosched()
+			}
+			mu.Lock()
+			ran := m.DriveOnce()
+			mu.Unlock()
+			if !ran {
+				time.Sleep(time.Millisecond)
+			} else {
+				// A real sleep, not a Gosched: on a single-CPU host an
+				// always-runnable drive goroutine keeps the scheduler
+				// out of netpoll, and API requests sit unnoticed until
+				// sysmon's ~20ms fallback poll. Parking between quanta
+				// lets the network wake handlers immediately.
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}(m.stop, m.done)
+}
+
+// Stop halts the drive loop and waits for it to exit. Callers must not
+// hold the drive mutex (the loop may be blocked on it).
+func (m *Manager) Stop() {
+	if m.stop == nil {
+		return
+	}
+	close(m.stop)
+	<-m.done
+	m.stop, m.done = nil, nil
+}

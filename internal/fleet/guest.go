@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/vax"
+)
+
+// Built-in guest workloads. Fleet guests are the tiny pre-mapped
+// kernel images the experiment harness uses (identity SPT, code at a
+// fixed offset, 64 KB of VM memory): big enough to exercise shadow
+// tables, COW breaks and the console, small enough that thousands of
+// API-driven lifecycles stay cheap.
+
+// Guest layout (VM-physical), mirroring internal/exp's campaign guests.
+const (
+	guestSPT    = 0x0200
+	guestCode   = 0x1000
+	guestSPTLen = 64
+	guestMem    = 64 * 1024
+
+	guestKSP = vax.SystemBase + 0x8000
+	guestISP = vax.SystemBase + 0x8800
+)
+
+// stampSrc is the golden-image workload: each round stores a counter
+// (so every clone privatizes the data page on its first iteration —
+// real COW traffic) and then WAITs. It never halts, which keeps it a
+// legal Clone source for the whole life of the fleet.
+const stampSrc = `
+start:	clrl r0
+loop:	incl r0
+	movl r0, @#0x80004000
+	wait
+	brb loop
+`
+
+// computeSrc is a finite busy guest: a counted add loop that stores
+// its result and halts on its own.
+const computeSrc = `
+start:	clrl r0
+	movl #50000, r1
+loop:	addl2 #7, r0
+	sobgtr r1, loop
+	movl r0, @#0x80006000
+	halt
+`
+
+// helloSrc prints over the virtual console (MTPR to TXDB), then idles
+// forever — the console-streaming test guest.
+const helloSrc = `
+start:	mtpr #104, #35
+	mtpr #101, #35
+	mtpr #108, #35
+	mtpr #108, #35
+	mtpr #111, #35
+	mtpr #10, #35
+loop:	wait
+	brb loop
+`
+
+var guestSources = map[string]string{
+	"stamp":   stampSrc,
+	"compute": computeSrc,
+	"hello":   helloSrc,
+}
+
+// Workloads lists the built-in guest workload names.
+func Workloads() []string { return []string{"stamp", "compute", "hello"} }
+
+// guestImage assembles a built-in workload into a pre-mapped 64 KB
+// image, returning the image and the start PC. Results are memoized
+// under their own lock (managers on different machines share the
+// cache): the soak driver stamps thousands of guests from the same
+// few images.
+var (
+	guestMu    sync.Mutex
+	guestCache = map[string]guest{}
+)
+
+type guest struct {
+	image []byte
+	start uint32
+}
+
+func guestImage(workload string) (guest, error) {
+	guestMu.Lock()
+	defer guestMu.Unlock()
+	if g, ok := guestCache[workload]; ok {
+		return g, nil
+	}
+	src, ok := guestSources[workload]
+	if !ok {
+		return guest{}, BadRequest("unknown workload %q (have %v)", workload, Workloads())
+	}
+	prog, err := asm.Assemble(src, vax.SystemBase+guestCode)
+	if err != nil {
+		return guest{}, fmt.Errorf("fleet: assembling %s guest: %w", workload, err)
+	}
+	img := make([]byte, guestMem)
+	for i := uint32(0); i < guestSPTLen; i++ {
+		pte := vax.NewPTE(true, vax.ProtUW, true, i)
+		binary.LittleEndian.PutUint32(img[guestSPT+4*i:], uint32(pte))
+	}
+	copy(img[guestCode:], prog.Code)
+	g := guest{image: img, start: prog.MustSymbol("start")}
+	guestCache[workload] = g
+	return g, nil
+}

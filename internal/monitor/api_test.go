@@ -1,0 +1,277 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// testServer wraps an httptest server over APIHandler with JSON
+// request/response helpers.
+type testServer struct {
+	srv *httptest.Server
+}
+
+func newTestServer(t *testing.T, m *Monitor, mu *sync.Mutex) *testServer {
+	t.Helper()
+	srv := httptest.NewServer(APIHandler(m, mu))
+	t.Cleanup(srv.Close)
+	return &testServer{srv: srv}
+}
+
+func (s *testServer) do(t *testing.T, method, path, body string) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, s.srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+func (s *testServer) post(t *testing.T, path, body string) (int, string) {
+	return s.do(t, "POST", path, body)
+}
+
+func (s *testServer) getJSON(t *testing.T, path string, dst any) {
+	t.Helper()
+	status, body := s.do(t, "GET", path, "")
+	if status != http.StatusOK {
+		t.Fatalf("GET %s = %d (%s)", path, status, body)
+	}
+	if err := json.Unmarshal([]byte(body), dst); err != nil {
+		t.Fatalf("GET %s: %v in %q", path, err, body)
+	}
+}
+
+func (s *testServer) postJSON(t *testing.T, path string, in any, dst any) {
+	t.Helper()
+	body := ""
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = string(buf)
+	}
+	status, out := s.post(t, path, body)
+	if status != http.StatusOK {
+		t.Fatalf("POST %s = %d (%s)", path, status, out)
+	}
+	if dst != nil {
+		if err := json.Unmarshal([]byte(out), dst); err != nil {
+			t.Fatalf("POST %s: %v in %q", path, err, out)
+		}
+	}
+}
+
+// TestFleet256OverHTTP is the acceptance run: a 256-VM fleet created,
+// cloned, snapshotted and halted entirely over HTTP, with per-tenant
+// quotas enforced mid-flight (typed error on breach, neighbors
+// unaffected) while the background drive loop executes guests.
+func TestFleet256OverHTTP(t *testing.T) {
+	k := core.New(128<<20, core.Config{})
+	mgr := fleet.NewManager(k, fleet.Config{Quantum: 5_000})
+	m := New(k.CPU)
+	m.VMM = k
+	m.Fleet = mgr
+
+	var mu sync.Mutex
+	srv := newTestServer(t, m, &mu)
+	mgr.Start(&mu)
+	defer mgr.Stop()
+
+	var golden fleet.VMInfo
+	srv.postJSON(t, "/v1/vms", fleet.Spec{Name: "golden", Workload: "stamp"}, &golden)
+
+	// Clone to 256 VMs across four tenants.
+	const total = 256
+	ids := []int{golden.ID}
+	for i := 1; i < total; i++ {
+		var v fleet.VMInfo
+		srv.postJSON(t, fmt.Sprintf("/v1/vms/%d/clone", golden.ID),
+			map[string]string{"tenant": fmt.Sprintf("t%d", i%4)}, &v)
+		ids = append(ids, v.ID)
+	}
+
+	var sum fleet.FleetInfo
+	srv.getJSON(t, "/v1/fleet", &sum)
+	if len(sum.VMs) != total || sum.Live != total {
+		t.Fatalf("fleet = %d VMs / %d live, want %d/%d", len(sum.VMs), sum.Live, total, total)
+	}
+
+	// Freeze tenant t0 at its current VM count; the next clone into t0
+	// is a typed 429 while t1 keeps admitting.
+	t0VMs := 0
+	for _, tn := range sum.Tenants {
+		if tn.Name == "t0" {
+			t0VMs = tn.VMs
+		}
+	}
+	if t0VMs == 0 {
+		t.Fatal("tenant t0 missing from summary")
+	}
+	status, _ := srv.do(t, "PUT", "/v1/tenants/t0/quota", fmt.Sprintf(`{"max_vms":%d}`, t0VMs))
+	if status != http.StatusOK {
+		t.Fatalf("quota set = %d", status)
+	}
+	status, body := srv.post(t, fmt.Sprintf("/v1/vms/%d/clone", golden.ID), `{"tenant":"t0"}`)
+	if status != http.StatusTooManyRequests || !strings.Contains(body, "quota_exceeded") {
+		t.Fatalf("t0 breach = %d (%s)", status, body)
+	}
+	var extra fleet.VMInfo
+	srv.postJSON(t, fmt.Sprintf("/v1/vms/%d/clone", golden.ID), map[string]string{"tenant": "t1"}, &extra)
+	ids = append(ids, extra.ID)
+
+	// Snapshot a sample of the fleet over HTTP.
+	for _, id := range ids[:8] {
+		var snap fleet.SnapInfo
+		srv.postJSON(t, fmt.Sprintf("/v1/vms/%d/snapshot", id), nil, &snap)
+		if snap.Bytes == 0 {
+			t.Fatalf("vm%d: empty snapshot", id)
+		}
+	}
+
+	// Halt the whole fleet over HTTP and verify nothing stays live.
+	for _, id := range ids {
+		srv.postJSON(t, fmt.Sprintf("/v1/vms/%d/halt", id), nil, nil)
+	}
+	srv.getJSON(t, "/v1/fleet", &sum)
+	if sum.Live != 0 || len(sum.VMs) != total+1 {
+		t.Fatalf("after halt: %d live of %d", sum.Live, len(sum.VMs))
+	}
+}
+
+// TestConsoleOverHTTP streams console output incrementally and feeds
+// input, and pins the snapshot/restore no-replay behavior end to end.
+func TestConsoleOverHTTP(t *testing.T) {
+	k := core.New(32<<20, core.Config{})
+	mgr := fleet.NewManager(k, fleet.Config{Quantum: 5_000})
+	m := New(k.CPU)
+	m.VMM = k
+	m.Fleet = mgr
+	var mu sync.Mutex
+	srv := newTestServer(t, m, &mu)
+
+	var vm fleet.VMInfo
+	srv.postJSON(t, "/v1/vms", fleet.Spec{Name: "greeter", Workload: "hello"}, &vm)
+	for i := 0; i < 10_000; i++ {
+		mu.Lock()
+		mgr.DriveOnce()
+		done := len(k.VMs()[0].ConsoleOutput()) >= 6
+		mu.Unlock()
+		if done {
+			break
+		}
+	}
+
+	var chunk fleet.ConsoleChunk
+	srv.getJSON(t, fmt.Sprintf("/v1/vms/%d/console", vm.ID), &chunk)
+	if !strings.Contains(chunk.Data, "hello") {
+		t.Fatalf("console = %+v", chunk)
+	}
+	// The cursor advanced: a second read is empty.
+	srv.getJSON(t, fmt.Sprintf("/v1/vms/%d/console", vm.ID), &chunk)
+	if chunk.Data != "" {
+		t.Fatalf("replayed %q", chunk.Data)
+	}
+	// An explicit offset rewinds.
+	srv.getJSON(t, fmt.Sprintf("/v1/vms/%d/console?off=0", vm.ID), &chunk)
+	if !strings.Contains(chunk.Data, "hello") {
+		t.Fatalf("offset read = %+v", chunk)
+	}
+
+	// Snapshot, restore: the restored VM's stream resumes at the
+	// observed boundary over HTTP too.
+	var snap fleet.SnapInfo
+	srv.postJSON(t, fmt.Sprintf("/v1/vms/%d/snapshot", vm.ID), nil, &snap)
+	var revived fleet.VMInfo
+	srv.postJSON(t, "/v1/snapshots/"+snap.ID+"/restore", map[string]string{"name": "revived"}, &revived)
+	if revived.ConsoleLen < 6 {
+		t.Fatalf("restored console backlog = %d", revived.ConsoleLen)
+	}
+	srv.getJSON(t, fmt.Sprintf("/v1/vms/%d/console", revived.ID), &chunk)
+	if chunk.Data != "" {
+		t.Fatalf("restored VM replayed %q over HTTP", chunk.Data)
+	}
+
+	// Console input round-trips.
+	srv.postJSON(t, fmt.Sprintf("/v1/vms/%d/console", vm.ID), map[string]string{"data": "ping"}, nil)
+	status, body := srv.post(t, fmt.Sprintf("/v1/vms/%d/console", vm.ID), `{}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty feed = %d (%s)", status, body)
+	}
+}
+
+// TestHTTPErrors pins the status mapping for the common failures.
+func TestHTTPErrors(t *testing.T) {
+	m, _ := newFleetMonitor(t)
+	var mu sync.Mutex
+	srv := newTestServer(t, m, &mu)
+
+	for _, tc := range []struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		{"GET", "/v1/vms/99", "", 404, "not_found"},
+		{"POST", "/v1/vms/99/halt", "", 404, "not_found"},
+		{"POST", "/v1/vms/0/clone", `{bad json`, 400, "bad_request"},
+		{"POST", "/v1/vms", `{"workload":"nope"}`, 400, "bad_request"},
+		{"POST", "/v1/snapshots/s999/restore", "", 404, "not_found"},
+		{"GET", "/v1/vms/zz", "", 400, "bad_request"},
+	} {
+		status, body := s_do(t, srv, tc.method, tc.path, tc.body)
+		if status != tc.status || !strings.Contains(body, tc.code) {
+			t.Errorf("%s %s = %d (%s), want %d %s", tc.method, tc.path, status, body, tc.status, tc.code)
+		}
+	}
+
+	// Metrics stay served next to the fleet API.
+	status, body := srv.do(t, "GET", "/metrics", "")
+	if status != 200 || !strings.Contains(body, "instructions") {
+		t.Fatalf("/metrics = %d (%.80s)", status, body)
+	}
+}
+
+func s_do(t *testing.T, s *testServer, method, path, body string) (int, string) {
+	t.Helper()
+	return s.do(t, method, path, body)
+}
+
+// TestSoakSmoke runs a miniature soak end to end as part of the suite.
+func TestSoakSmoke(t *testing.T) {
+	rep, err := Soak(SoakOptions{Lifecycles: 24, Clients: 3, Tenants: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("%d lifecycle errors:\n%s", rep.Errors, rep)
+	}
+	if rep.Leaked() {
+		t.Fatalf("leak: %s", rep)
+	}
+	if rep.Clone.Count == 0 || rep.Destroy.Count == 0 {
+		t.Fatalf("histograms empty: %s", rep)
+	}
+}

@@ -1,0 +1,293 @@
+package monitor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// Fleet-facing command handlers: each parses REPL-style string args,
+// calls one fleet.Manager method, and renders both a text line and the
+// JSON the HTTP surface returns — so the two surfaces cannot drift.
+
+// parseVM parses a numeric VM id argument.
+func parseVM(arg string) (int, error) {
+	id, err := strconv.Atoi(arg)
+	if err != nil {
+		return 0, fleet.BadRequest("bad vm id %s", arg)
+	}
+	return id, nil
+}
+
+// vmLine is the one-line text rendering of a VMInfo.
+func vmLine(v fleet.VMInfo) string {
+	state := v.State
+	if v.HaltMsg != "" {
+		state += " (" + v.HaltMsg + ")"
+	}
+	return fmt.Sprintf("vm%d %s: tenant=%s workload=%s %s  mem=%dKB  ticks=%d  cycles=%d  resident=%d  console=%dB",
+		v.ID, v.Name, v.Tenant, v.Workload, state, v.MemKB, v.Ticks, v.Cycles, v.ResidentPages, v.ConsoleLen)
+}
+
+// statCmd keeps the classic machine statistics dump, gains a per-VM
+// form (stat <vm>) with a fleet attached, and renders JSON as the full
+// counter snapshot the /metrics.json exporter uses.
+func statCmd(m *Monitor, args []string) (Result, error) {
+	if len(args) > 0 {
+		if m.Fleet == nil {
+			return Result{}, fleet.Conflict("no fleet manager attached (stat <vm> needs a fleet-serving vaxmon)")
+		}
+		id, err := parseVM(args[0])
+		if err != nil {
+			return Result{}, err
+		}
+		info, err := m.Fleet.Stat(id)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Text: vmLine(info), JSON: info}, nil
+	}
+	return Result{Text: m.stat(), JSON: trace.CaptureAll(m.Sources()...)}, nil
+}
+
+// restoreCmd creates a new VM from a stored fleet snapshot id, or —
+// the classic form — from an externalized checkpoint file on disk.
+// Snapshot-id-shaped sources (s<seq>) resolve through the fleet store,
+// so a missing one is a typed 404 rather than a file-open failure.
+func restoreCmd(m *Monitor, args []string) (Result, error) {
+	if len(args) == 0 {
+		return Result{Text: "usage: restore src [name]"}, nil
+	}
+	if m.Fleet != nil && isSnapID(args[0]) {
+		name := ""
+		if len(args) > 1 {
+			name = args[1]
+		}
+		info, err := m.Fleet.Restore(args[0], name)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Text: fmt.Sprintf("vm%d %s: restored from snapshot %s (tenant %s)",
+				info.ID, info.Name, args[0], info.Tenant),
+			JSON: info,
+		}, nil
+	}
+	return Result{Text: m.restoreCmd(args)}, nil
+}
+
+// isSnapID reports whether src has the fleet snapshot-id shape (s0,
+// s17, ...), distinguishing it from a checkpoint file path.
+func isSnapID(src string) bool {
+	if len(src) < 2 || src[0] != 's' {
+		return false
+	}
+	for _, r := range src[1:] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func fleetCmd(m *Monitor, _ []string) (Result, error) {
+	sum := m.Fleet.Summary()
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d vms (%d live)  free-pages %d  carved %d  nominal %d  snapshots %d\n",
+		len(sum.VMs), sum.Live, sum.FreePages, sum.CarvedPages, sum.NominalPages, sum.Snapshots)
+	for _, v := range sum.VMs {
+		b.WriteString(vmLine(v))
+		b.WriteByte('\n')
+	}
+	for _, t := range sum.Tenants {
+		fmt.Fprintf(&b, "tenant %s: %d live vms  %d pages  %d cycles  quota{vms %d, pages %d, cycles %d}",
+			t.Name, t.VMs, t.Pages, t.Cycles, t.Quota.MaxVMs, t.Quota.MaxPages, t.Quota.MaxCycles)
+		if t.Exhausted {
+			b.WriteString("  EXHAUSTED")
+		}
+		b.WriteByte('\n')
+	}
+	return Result{Text: strings.TrimRight(b.String(), "\n"), JSON: sum}, nil
+}
+
+func createCmd(m *Monitor, args []string) (Result, error) {
+	spec := fleet.Spec{}
+	if len(args) > 0 {
+		spec.Name = args[0]
+	}
+	if len(args) > 1 {
+		spec.Workload = args[1]
+	}
+	if len(args) > 2 {
+		spec.Tenant = args[2]
+	}
+	info, err := m.Fleet.Create(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Text: fmt.Sprintf("vm%d %s: created (%s, tenant %s)", info.ID, info.Name, info.Workload, info.Tenant),
+		JSON: info,
+	}, nil
+}
+
+func cloneCmd(m *Monitor, args []string) (Result, error) {
+	if len(args) == 0 {
+		return Result{Text: "usage: clone <vm> [name] [tenant]"}, nil
+	}
+	id, err := parseVM(args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	name, tenant := "", ""
+	if len(args) > 1 {
+		name = args[1]
+	}
+	if len(args) > 2 {
+		tenant = args[2]
+	}
+	info, err := m.Fleet.CloneVM(id, name, tenant)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Text: fmt.Sprintf("vm%d %s: cloned from vm%d (tenant %s)", info.ID, info.Name, id, info.Tenant),
+		JSON: info,
+	}, nil
+}
+
+func haltCmd(m *Monitor, args []string) (Result, error) {
+	if len(args) == 0 {
+		return Result{Text: "usage: halt <vm>"}, nil
+	}
+	id, err := parseVM(args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	info, err := m.Fleet.Halt(id)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Text: fmt.Sprintf("vm%d %s: halted (%s)", info.ID, info.Name, info.HaltMsg),
+		JSON: info,
+	}, nil
+}
+
+func snapshotCmd(m *Monitor, args []string) (Result, error) {
+	if len(args) == 0 {
+		return Result{Text: "usage: snapshot <vm>"}, nil
+	}
+	id, err := parseVM(args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	snap, err := m.Fleet.Snapshot(id)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Text: fmt.Sprintf("%s: snapshot of vm%d (%d bytes, tenant %s)", snap.ID, snap.VM, snap.Bytes, snap.Tenant),
+		JSON: snap,
+	}, nil
+}
+
+func destroyCmd(m *Monitor, args []string) (Result, error) {
+	if len(args) == 0 {
+		return Result{Text: "usage: destroy <vm>"}, nil
+	}
+	id, err := parseVM(args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	info, err := m.Fleet.Destroy(id)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Text: fmt.Sprintf("vm%d %s: destroyed, pages recycled", info.ID, info.Name),
+		JSON: info,
+	}, nil
+}
+
+func consoleCmd(m *Monitor, args []string) (Result, error) {
+	if len(args) == 0 {
+		return Result{Text: "usage: console <vm> [off]"}, nil
+	}
+	id, err := parseVM(args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	off := -1
+	if len(args) > 1 {
+		v, err := strconv.Atoi(args[1])
+		if err != nil {
+			return Result{}, fleet.BadRequest("bad console offset %s", args[1])
+		}
+		off = v
+	}
+	chunk, err := m.Fleet.ConsoleRead(id, off)
+	if err != nil {
+		return Result{}, err
+	}
+	text := chunk.Data
+	if text == "" {
+		text = fmt.Sprintf("(no new console output; %d bytes total)", chunk.Next)
+	}
+	return Result{Text: text, JSON: chunk}, nil
+}
+
+func feedCmd(m *Monitor, args []string) (Result, error) {
+	if len(args) < 2 {
+		return Result{Text: "usage: feed <vm> <text>"}, nil
+	}
+	id, err := parseVM(args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	data := strings.Join(args[1:], " ") + "\n"
+	if err := m.Fleet.ConsoleWrite(id, data); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Text: fmt.Sprintf("%d bytes queued for vm%d", len(data), id),
+		JSON: map[string]any{"vm": id, "queued": len(data)},
+	}, nil
+}
+
+func quotaCmd(m *Monitor, args []string) (Result, error) {
+	if len(args) == 0 {
+		sum := m.Fleet.Summary()
+		if len(sum.Tenants) == 0 {
+			return Result{Text: "no tenants", JSON: sum.Tenants}, nil
+		}
+		var b strings.Builder
+		for _, t := range sum.Tenants {
+			fmt.Fprintf(&b, "tenant %s: quota{vms %d, pages %d, cycles %d}  holds %d vms, %d pages, %d cycles",
+				t.Name, t.Quota.MaxVMs, t.Quota.MaxPages, t.Quota.MaxCycles, t.VMs, t.Pages, t.Cycles)
+			if t.Exhausted {
+				b.WriteString("  EXHAUSTED")
+			}
+			b.WriteByte('\n')
+		}
+		return Result{Text: strings.TrimRight(b.String(), "\n"), JSON: sum.Tenants}, nil
+	}
+	if len(args) != 4 {
+		return Result{Text: "usage: quota [tenant maxvms maxpages maxcycles]"}, nil
+	}
+	maxVMs, err1 := strconv.Atoi(args[1])
+	maxPages, err2 := strconv.ParseUint(args[2], 0, 32)
+	maxCycles, err3 := strconv.ParseUint(args[3], 0, 64)
+	if err1 != nil || err2 != nil || err3 != nil || maxVMs < 0 {
+		return Result{}, fleet.BadRequest("bad quota values %v", args[1:])
+	}
+	q := fleet.Quota{MaxVMs: maxVMs, MaxPages: uint32(maxPages), MaxCycles: maxCycles}
+	m.Fleet.SetQuota(args[0], q)
+	return Result{
+		Text: fmt.Sprintf("tenant %s: quota{vms %d, pages %d, cycles %d}", args[0], q.MaxVMs, q.MaxPages, q.MaxCycles),
+		JSON: map[string]any{"tenant": args[0], "quota": q},
+	}, nil
+}

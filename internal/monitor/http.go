@@ -1,0 +1,199 @@
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// The HTTP surface of the fleet control plane. Every /v1 route is a
+// thin adapter: it parses the request into the same (command, args)
+// shape the REPL produces and dispatches through the shared registry,
+// so the two surfaces run identical code and return identical results
+// — the REPL renders Result.Text, HTTP renders Result.JSON.
+//
+// Endpoints:
+//
+//	POST   /v1/vms                      create a VM {name, workload, tenant}
+//	GET    /v1/vms/{id}                 one VM's state
+//	POST   /v1/vms/{id}/clone           clone a live VM {name, tenant}
+//	POST   /v1/vms/{id}/halt            power a VM off
+//	POST   /v1/vms/{id}/snapshot        store a checkpoint stream
+//	DELETE /v1/vms/{id}                 destroy a VM, recycling pages
+//	GET    /v1/vms/{id}/console?off=N   incremental console read
+//	POST   /v1/vms/{id}/console         queue console input {data}
+//	POST   /v1/snapshots/{sid}/restore  new VM from a snapshot {name}
+//	GET    /v1/tenants                  tenant quotas and usage
+//	PUT    /v1/tenants/{tenant}/quota   set a tenant's budget
+//	GET    /v1/fleet                    whole-fleet summary
+//	GET    /metrics, /metrics.json      counter exports (as always)
+
+// APIHandler builds the HTTP mux over one monitor. mu is the machine
+// mutex every surface shares: handlers take it around dispatch exactly
+// as the REPL does, so a request can never observe a step in progress.
+func APIHandler(m *Monitor, mu *sync.Mutex) http.Handler {
+	mux := http.NewServeMux()
+
+	// lock takes the machine mutex with the fleet's API bracket, so
+	// the background drive loop yields the next quantum boundary to
+	// this request instead of barging back in.
+	lock := func() {
+		if m.Fleet != nil {
+			m.Fleet.BeginAPI()
+			defer m.Fleet.EndAPI()
+		}
+		mu.Lock()
+	}
+
+	dispatch := func(w http.ResponseWriter, name string, args ...string) {
+		lock()
+		res, err := m.Dispatch(name, args)
+		mu.Unlock()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		body := res.JSON
+		if body == nil {
+			body = map[string]string{"text": res.Text}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(body); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet api:", err)
+		}
+	}
+
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		dispatch(w, "fleet")
+	})
+	mux.HandleFunc("POST /v1/vms", func(w http.ResponseWriter, r *http.Request) {
+		var spec fleet.Spec
+		if !decodeBody(w, r, &spec) {
+			return
+		}
+		dispatch(w, "create", spec.Name, spec.Workload, spec.Tenant)
+	})
+	mux.HandleFunc("GET /v1/vms/{id}", func(w http.ResponseWriter, r *http.Request) {
+		dispatch(w, "stat", r.PathValue("id"))
+	})
+	mux.HandleFunc("POST /v1/vms/{id}/clone", func(w http.ResponseWriter, r *http.Request) {
+		var spec fleet.Spec
+		if !decodeBody(w, r, &spec) {
+			return
+		}
+		dispatch(w, "clone", r.PathValue("id"), spec.Name, spec.Tenant)
+	})
+	mux.HandleFunc("POST /v1/vms/{id}/halt", func(w http.ResponseWriter, r *http.Request) {
+		dispatch(w, "halt", r.PathValue("id"))
+	})
+	mux.HandleFunc("POST /v1/vms/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		dispatch(w, "snapshot", r.PathValue("id"))
+	})
+	mux.HandleFunc("DELETE /v1/vms/{id}", func(w http.ResponseWriter, r *http.Request) {
+		dispatch(w, "destroy", r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/vms/{id}/console", func(w http.ResponseWriter, r *http.Request) {
+		args := []string{r.PathValue("id")}
+		if off := r.URL.Query().Get("off"); off != "" {
+			if _, err := strconv.Atoi(off); err != nil {
+				writeError(w, fleet.BadRequest("bad console offset %s", off))
+				return
+			}
+			args = append(args, off)
+		}
+		dispatch(w, "console", args...)
+	})
+	mux.HandleFunc("POST /v1/vms/{id}/console", func(w http.ResponseWriter, r *http.Request) {
+		var in struct {
+			Data string `json:"data"`
+		}
+		if !decodeBody(w, r, &in) {
+			return
+		}
+		if in.Data == "" {
+			writeError(w, fleet.BadRequest("console input needs a non-empty data field"))
+			return
+		}
+		dispatch(w, "feed", r.PathValue("id"), in.Data)
+	})
+	mux.HandleFunc("POST /v1/snapshots/{sid}/restore", func(w http.ResponseWriter, r *http.Request) {
+		var in struct {
+			Name string `json:"name"`
+		}
+		if !decodeBody(w, r, &in) {
+			return
+		}
+		dispatch(w, "restore", r.PathValue("sid"), in.Name)
+	})
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, _ *http.Request) {
+		dispatch(w, "quota")
+	})
+	mux.HandleFunc("PUT /v1/tenants/{tenant}/quota", func(w http.ResponseWriter, r *http.Request) {
+		var q fleet.Quota
+		if !decodeBody(w, r, &q) {
+			return
+		}
+		dispatch(w, "quota", r.PathValue("tenant"),
+			strconv.Itoa(q.MaxVMs),
+			strconv.FormatUint(uint64(q.MaxPages), 10),
+			strconv.FormatUint(q.MaxCycles, 10))
+	})
+
+	// The counter exporters predate the fleet API and keep their paths.
+	recorder := func() *trace.Recorder {
+		if m.VMM == nil {
+			return nil
+		}
+		return m.VMM.Recorder()
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		lock()
+		defer mu.Unlock()
+		trace.WritePrometheus(w, trace.CaptureAll(m.Sources()...), recorder())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		lock()
+		defer mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteJSON(w, trace.CaptureAll(m.Sources()...), recorder()); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics.json:", err)
+		}
+	})
+	return mux
+}
+
+// decodeBody parses an optional JSON request body (an empty body is a
+// zero value, not an error). Reports false after writing a 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Body == nil || r.ContentLength == 0 {
+		return true
+	}
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		writeError(w, fleet.BadRequest("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeError renders any error with the status and stable code
+// fleet.HTTPStatus assigns it.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := fleet.HTTPStatus(err)
+	msg := err.Error()
+	var fe *fleet.Error
+	if errors.As(err, &fe) {
+		msg = fe.Msg
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": code, "message": msg}); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet api:", err)
+	}
+}

@@ -1,8 +1,9 @@
 // Package monitor is an interactive machine monitor (debugger) for the
 // simulated VAX: single-stepping, breakpoints, register and memory
-// inspection, live disassembly, and VM-aware state display. The command
-// processor is I/O-agnostic so cmd/vaxmon can wrap it around stdin and
-// tests can drive it directly.
+// inspection, live disassembly, and VM-aware state display. Commands
+// live in one registry (registry.go) shared by every surface: the
+// command processor is I/O-agnostic so cmd/vaxmon can wrap it around
+// stdin and an HTTP mux alike, and tests can drive it directly.
 package monitor
 
 import (
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/trace"
 	"repro/internal/vax"
 )
@@ -27,6 +29,9 @@ type Monitor struct {
 	Symbols map[string]uint32
 	// VMM, when set, enables the VM-level commands (fault, watchdog).
 	VMM *core.VMM
+	// Fleet, when set, enables the lifecycle commands (create, clone,
+	// halt, snapshot, destroy, console, quota) on both surfaces.
+	Fleet *fleet.Manager
 
 	breaks map[uint32]bool
 }
@@ -36,83 +41,23 @@ func New(c *cpu.CPU) *Monitor {
 	return &Monitor{CPU: c, breaks: make(map[uint32]bool)}
 }
 
-// Execute runs one command line and returns its output. Unknown
-// commands return usage help. The boolean reports whether the session
-// should end (the "quit" command).
-func (m *Monitor) Execute(line string) (string, bool) {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		return "", false
+// Sources collects every counter source the machine exposes, for the
+// metrics exporters and the stat command's JSON rendering.
+func (m *Monitor) Sources() []trace.Source {
+	srcs := []trace.Source{m.CPU, m.CPU.MMU}
+	if m.VMM != nil {
+		srcs = append(srcs, m.VMM)
+		for _, vm := range m.VMM.VMs() {
+			srcs = append(srcs, vm)
+		}
+		// The merged totals of the last parallel run carry the scheduler
+		// counters (and the worker_occupancy_permille balance ratio) that
+		// no per-VM or monitor source exposes.
+		if pr := m.VMM.LastParallelRun(); pr.VMs > 0 {
+			srcs = append(srcs, pr)
+		}
 	}
-	cmd, args := fields[0], fields[1:]
-	switch cmd {
-	case "q", "quit", "exit":
-		return "", true
-	case "h", "help", "?":
-		return m.help(), false
-	case "s", "step":
-		return m.step(args), false
-	case "c", "continue", "run":
-		return m.cont(args), false
-	case "r", "regs":
-		return m.regs(), false
-	case "d", "dis":
-		return m.dis(args), false
-	case "x", "mem":
-		return m.mem(args), false
-	case "b", "break":
-		return m.breakCmd(args), false
-	case "del":
-		return m.deleteBreak(args), false
-	case "sym":
-		return m.symbols(args), false
-	case "stat":
-		return m.stat(), false
-	case "fault":
-		return m.faultCmd(args), false
-	case "watchdog":
-		return m.watchdogCmd(args), false
-	case "trace":
-		return m.traceCmd(args), false
-	case "hist":
-		return m.histCmd(), false
-	case "checkpoint":
-		return m.checkpointCmd(args), false
-	case "restore":
-		return m.restoreCmd(args), false
-	case "recover":
-		return m.recoverCmd(args), false
-	}
-	return fmt.Sprintf("unknown command %q; try help", cmd), false
-}
-
-func (m *Monitor) help() string {
-	return strings.TrimSpace(`
-commands:
-  step [n]        execute n instructions (default 1)
-  continue [max]  run until a breakpoint, halt, or max steps (default 1e6)
-  regs            show registers and the PSL (and VMPSL when set)
-  dis [addr [n]]  disassemble n instructions (default: at PC, 8)
-  mem addr [n]    dump n longwords of virtual memory (default 8)
-  break [addr]    set a breakpoint, or list breakpoints
-  del addr        delete a breakpoint
-  sym [prefix]    list known symbols
-  stat            machine statistics
-  fault           show the armed fault plan and per-VM fault counters
-  fault seed n [vm]  arm a fault-injection plan (vm -1 = all VMs)
-  fault off       disarm fault injection
-  fault check     run the shadow-table self-check pass now
-  watchdog [n]    show or set the per-VM watchdog budget (0 = off)
-  trace [n]       show the last n flight-recorder events (default 20)
-  hist            show trap/shadow-fill/KCALL latency percentiles
-  checkpoint vm [file]  take a checkpoint generation (and save it to file)
-  restore file [name]   create a new VM from a checkpoint file
-  recover         show supervisor status and per-VM generation rings
-  recover vm      force recovery of a halted VM from its newest generation
-  recover on [budget] | off   arm or disarm automatic recovery
-  recover every n [gens]      set the periodic checkpoint policy (0 = off)
-  quit            leave the monitor
-addresses accept 0x hex, decimal, or a symbol name`)
+	return srcs
 }
 
 // resolve parses an address: symbol, hex or decimal.

@@ -1,0 +1,232 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fleet"
+)
+
+// The command registry: one table of commands shared by every surface.
+// vaxmon's REPL (Execute) and the HTTP API (APIHandler) both dispatch
+// through it, so a command exists exactly once — name, args schema,
+// handler, and both renderers — instead of a REPL string-switch the
+// HTTP layer would have to shadow.
+
+// Result is one command's outcome, carrying both renderings: Text for
+// the REPL, and JSON for the API surface (a nil JSON renders as
+// {"text": Text}). quit marks the session-ending command.
+type Result struct {
+	Text string
+	JSON any
+	quit bool
+}
+
+// Quit reports whether the command ends the REPL session.
+func (r Result) Quit() bool { return r.quit }
+
+// Command is one registry entry.
+type Command struct {
+	Name    string
+	Aliases []string
+	Usage   string      // name plus args schema, e.g. "snapshot <vm>"
+	Help    string      // one-line description
+	Extra   [][2]string // additional usage/help lines for multi-form commands
+
+	// NeedVMM, when non-empty, rejects the command on a bare-CPU
+	// monitor, naming the subsystem in the guard message.
+	NeedVMM string
+	// NeedFleet rejects the command when no fleet manager is attached.
+	NeedFleet bool
+
+	Handler func(m *Monitor, args []string) (Result, error)
+}
+
+var (
+	registry []*Command
+	byName   = map[string]*Command{}
+)
+
+func register(c *Command) {
+	registry = append(registry, c)
+	byName[c.Name] = c
+	for _, a := range c.Aliases {
+		byName[a] = c
+	}
+}
+
+// Commands returns the registered commands in help order.
+func Commands() []*Command { return registry }
+
+// Lookup resolves a command name or alias (nil if unknown).
+func Lookup(name string) *Command { return byName[name] }
+
+// Dispatch runs one registered command — the single execution path
+// under every surface. Typed *fleet.Error values flow back to the
+// caller: the REPL prints them, the HTTP layer maps them to statuses.
+func (m *Monitor) Dispatch(name string, args []string) (Result, error) {
+	c := byName[name]
+	if c == nil {
+		return Result{}, fleet.BadRequest("unknown command %q; try help", name)
+	}
+	if c.NeedVMM != "" && m.VMM == nil {
+		return Result{Text: fmt.Sprintf("no VMM attached (%s needs -vm mode)", c.NeedVMM)}, nil
+	}
+	if c.NeedFleet && m.Fleet == nil {
+		return Result{}, fleet.Conflict("no fleet manager attached (%s needs a fleet-serving vaxmon)", c.Name)
+	}
+	return c.Handler(m, args)
+}
+
+// Execute runs one command line and returns its output — the REPL
+// rendering of Dispatch. Unknown commands and typed errors come back
+// as text; the boolean reports whether the session should end.
+func (m *Monitor) Execute(line string) (string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", false
+	}
+	res, err := m.Dispatch(fields[0], fields[1:])
+	if err != nil {
+		return err.Error(), false
+	}
+	return res.Text, res.quit
+}
+
+// help renders the command table.
+func (m *Monitor) help() string {
+	var b strings.Builder
+	b.WriteString("commands:\n")
+	for _, c := range registry {
+		usage := c.Usage
+		if usage == "" {
+			usage = c.Name
+		}
+		fmt.Fprintf(&b, "  %-22s %s\n", usage, c.Help)
+		for _, x := range c.Extra {
+			fmt.Fprintf(&b, "  %-22s %s\n", x[0], x[1])
+		}
+	}
+	b.WriteString("addresses accept 0x hex, decimal, or a symbol name")
+	return b.String()
+}
+
+// text adapts a legacy string-returning handler: errors travel as
+// text (the REPL contract these commands have always had) and the
+// JSON rendering is the {"text": ...} wrapper.
+func text(f func(m *Monitor, args []string) string) func(*Monitor, []string) (Result, error) {
+	return func(m *Monitor, args []string) (Result, error) {
+		return Result{Text: f(m, args)}, nil
+	}
+}
+
+func init() {
+	register(&Command{Name: "help", Aliases: []string{"h", "?"},
+		Help: "show this command table",
+		Handler: func(m *Monitor, _ []string) (Result, error) {
+			names := make([]string, 0, len(registry))
+			for _, c := range registry {
+				names = append(names, c.Name)
+			}
+			return Result{Text: m.help(), JSON: map[string]any{"commands": names}}, nil
+		}})
+	register(&Command{Name: "step", Aliases: []string{"s"}, Usage: "step [n]",
+		Help:    "execute n instructions (default 1)",
+		Handler: text((*Monitor).step)})
+	register(&Command{Name: "continue", Aliases: []string{"c", "run"}, Usage: "continue [max]",
+		Help:    "run until a breakpoint, halt, or max steps (default 1e6)",
+		Handler: text((*Monitor).cont)})
+	register(&Command{Name: "regs", Aliases: []string{"r"},
+		Help:    "show registers and the PSL (and VMPSL when set)",
+		Handler: text(func(m *Monitor, _ []string) string { return m.regs() })})
+	register(&Command{Name: "dis", Aliases: []string{"d"}, Usage: "dis [addr [n]]",
+		Help:    "disassemble n instructions (default: at PC, 8)",
+		Handler: text((*Monitor).dis)})
+	register(&Command{Name: "mem", Aliases: []string{"x"}, Usage: "mem addr [n]",
+		Help:    "dump n longwords of virtual memory (default 8)",
+		Handler: text((*Monitor).mem)})
+	register(&Command{Name: "break", Aliases: []string{"b"}, Usage: "break [addr]",
+		Help:    "set a breakpoint, or list breakpoints",
+		Handler: text((*Monitor).breakCmd)})
+	register(&Command{Name: "del", Usage: "del addr",
+		Help:    "delete a breakpoint",
+		Handler: text((*Monitor).deleteBreak)})
+	register(&Command{Name: "sym", Usage: "sym [prefix]",
+		Help:    "list known symbols",
+		Handler: text((*Monitor).symbols)})
+	register(&Command{Name: "stat", Usage: "stat [vm]",
+		Help:    "machine statistics (or one VM's, with a fleet attached)",
+		Handler: statCmd})
+	register(&Command{Name: "fault", Usage: "fault",
+		Help: "show the armed fault plan and per-VM fault counters",
+		Extra: [][2]string{
+			{"fault seed n [vm]", "arm a fault-injection plan (vm -1 = all VMs)"},
+			{"fault off", "disarm fault injection"},
+			{"fault check", "run the shadow-table self-check pass now"}},
+		NeedVMM: "fault commands",
+		Handler: text((*Monitor).faultCmd)})
+	register(&Command{Name: "watchdog", Usage: "watchdog [n]",
+		Help:    "show or set the per-VM watchdog budget (0 = off)",
+		NeedVMM: "watchdog",
+		Handler: text((*Monitor).watchdogCmd)})
+	register(&Command{Name: "trace", Usage: "trace [n]",
+		Help:    "show the last n flight-recorder events (default 20)",
+		NeedVMM: "trace",
+		Handler: text((*Monitor).traceCmd)})
+	register(&Command{Name: "hist",
+		Help:    "show trap/shadow-fill/KCALL latency percentiles",
+		NeedVMM: "hist",
+		Handler: text(func(m *Monitor, _ []string) string { return m.histCmd() })})
+	register(&Command{Name: "checkpoint", Usage: "checkpoint vm [file]",
+		Help:    "take a checkpoint generation (and save it to file)",
+		NeedVMM: "checkpoint",
+		Handler: text((*Monitor).checkpointCmd)})
+	register(&Command{Name: "restore", Usage: "restore src [name]",
+		Help:    "create a new VM from a snapshot id or checkpoint file",
+		NeedVMM: "restore",
+		Handler: restoreCmd})
+	register(&Command{Name: "recover", Usage: "recover",
+		Help: "show supervisor status and per-VM generation rings",
+		Extra: [][2]string{
+			{"recover vm", "force recovery of a halted VM from its newest generation"},
+			{"recover on [budget] | off", "arm or disarm automatic recovery"},
+			{"recover every n [gens]", "set the periodic checkpoint policy (0 = off)"}},
+		NeedVMM: "recover",
+		Handler: text((*Monitor).recoverCmd)})
+
+	// Fleet lifecycle commands: thin shims into the fleet manager, so
+	// REPL and HTTP drive the same code and return the same results.
+	register(&Command{Name: "fleet", Aliases: []string{"vms"},
+		Help:      "fleet summary: VMs, page accounting, tenants",
+		NeedFleet: true, Handler: fleetCmd})
+	register(&Command{Name: "create", Usage: "create [name] [workload] [tenant]",
+		Help:      "create a VM from a built-in guest workload (default stamp)",
+		NeedFleet: true, Handler: createCmd})
+	register(&Command{Name: "clone", Usage: "clone <vm> [name] [tenant]",
+		Help:      "stamp a copy-on-write clone of a live VM",
+		NeedFleet: true, Handler: cloneCmd})
+	register(&Command{Name: "halt", Usage: "halt <vm>",
+		Help:      "power a live VM off",
+		NeedFleet: true, Handler: haltCmd})
+	register(&Command{Name: "snapshot", Usage: "snapshot <vm>",
+		Help:      "store a checkpoint stream of a live VM (see restore)",
+		NeedFleet: true, Handler: snapshotCmd})
+	register(&Command{Name: "destroy", Usage: "destroy <vm>",
+		Help:      "halt (if needed) and unregister a VM, recycling its pages",
+		NeedFleet: true, Handler: destroyCmd})
+	register(&Command{Name: "console", Usage: "console <vm> [off]",
+		Help:      "read console output from off (default: the streamed boundary)",
+		NeedFleet: true, Handler: consoleCmd})
+	register(&Command{Name: "feed", Usage: "feed <vm> <text>",
+		Help:      "queue console input for a VM",
+		NeedFleet: true, Handler: feedCmd})
+	register(&Command{Name: "quota", Usage: "quota [tenant maxvms maxpages maxcycles]",
+		Help:      "show tenants, or set a tenant's admission budget (0 = unlimited)",
+		NeedFleet: true, Handler: quotaCmd})
+
+	register(&Command{Name: "quit", Aliases: []string{"q", "exit"},
+		Help: "leave the monitor",
+		Handler: func(*Monitor, []string) (Result, error) {
+			return Result{quit: true}, nil
+		}})
+}

@@ -52,32 +52,6 @@ func CaptureAll(srcs ...Source) []Snapshot {
 	return out
 }
 
-// CaptureCPU snapshots a processor's counters.
-//
-// Deprecated: use Capture.
-func CaptureCPU(src Source) Snapshot { return Capture(src) }
-
-// CaptureMMU snapshots memory-management counters.
-//
-// Deprecated: use Capture.
-func CaptureMMU(src Source) Snapshot { return Capture(src) }
-
-// CaptureVMM snapshots monitor-level counters.
-//
-// Deprecated: use Capture.
-func CaptureVMM(src Source) Snapshot { return Capture(src) }
-
-// CaptureParallel snapshots the merged totals of the most recent
-// parallel-engine run.
-//
-// Deprecated: use Capture on VMM.LastParallelRun().
-func CaptureParallel(src Source) Snapshot { return Capture(src) }
-
-// CaptureVM snapshots one virtual machine's counters.
-//
-// Deprecated: use Capture.
-func CaptureVM(src Source) Snapshot { return Capture(src) }
-
 // Delta returns after minus before, counter by counter (counters absent
 // from before count from zero).
 func Delta(before, after Snapshot) Snapshot {

@@ -58,20 +58,6 @@ func TestCaptureMMUAndVMM(t *testing.T) {
 	}
 }
 
-// The deprecated wrappers must keep working until every caller is gone.
-func TestDeprecatedWrappers(t *testing.T) {
-	k := core.New(8<<20, core.Config{})
-	if s := trace.CaptureVMM(k); s.Name != "vmm" {
-		t.Errorf("CaptureVMM name %q", s.Name)
-	}
-	if s := trace.CaptureCPU(k.CPU); s.Name != "cpu" {
-		t.Errorf("CaptureCPU name %q", s.Name)
-	}
-	if s := trace.CaptureMMU(k.CPU.MMU); s.Name != "mmu" {
-		t.Errorf("CaptureMMU name %q", s.Name)
-	}
-}
-
 func TestTable(t *testing.T) {
 	a := trace.Snapshot{Name: "a", Counters: map[string]uint64{"x": 1, "y": 2}}
 	b := trace.Snapshot{Name: "b", Counters: map[string]uint64{"x": 3, "z": 4}}
